@@ -1,0 +1,35 @@
+# Convenience targets for the nwscpu reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench bench-paper experiments report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of every table/figure/ablation benchmark at 6-hour scale.
+bench:
+	$(GO) test -bench . -benchtime 1x -benchmem .
+
+# The paper's dimensions: 24-hour monitored runs, 1-week Hurst traces.
+bench-paper:
+	NWSBENCH_SCALE=paper $(GO) test -bench . -benchtime 1x -benchmem .
+
+# Regenerate every table and figure at paper scale on stdout.
+experiments:
+	$(GO) run ./cmd/nwsbench all
+
+# Paper-scale HTML report plus archived CSV traces under ./out.
+report:
+	$(GO) run ./cmd/nwsbench -save out/traces -html out/report.html all
+
+clean:
+	rm -rf out

@@ -1,0 +1,110 @@
+// Command nwsctl queries a running distributed NWS deployment:
+//
+//	nwsctl -nameserver localhost:8090 list
+//	nwsctl -memory localhost:8091 series
+//	nwsctl -memory localhost:8091 fetch thing1/cpu/nws_hybrid [maxPoints]
+//	nwsctl -forecaster localhost:8092 forecast thing1/cpu/nws_hybrid
+//	nwsctl -nameserver localhost:8090 ping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"nwscpu/internal/nwsnet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nwsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nwsctl", flag.ContinueOnError)
+	nameserver := fs.String("nameserver", "", "name server address")
+	memory := fs.String("memory", "", "memory server address")
+	forecaster := fs.String("forecaster", "", "forecaster address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cmd := fs.Args()
+	if len(cmd) == 0 {
+		return fmt.Errorf("no command; try: list | series | fetch <key> | forecast <key> | ping")
+	}
+
+	c := nwsnet.NewClient(0)
+	switch cmd[0] {
+	case "ping":
+		for _, addr := range []string{*nameserver, *memory, *forecaster} {
+			if addr == "" {
+				continue
+			}
+			if err := c.Ping(addr); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s: ok\n", addr)
+		}
+		return nil
+	case "list":
+		if *nameserver == "" {
+			return fmt.Errorf("list needs -nameserver")
+		}
+		regs, err := c.List(*nameserver, "")
+		if err != nil {
+			return err
+		}
+		for _, r := range regs {
+			fmt.Fprintf(out, "%-24s %-12s %s\n", r.Name, r.Kind, r.Addr)
+		}
+		return nil
+	case "series":
+		if *memory == "" {
+			return fmt.Errorf("series needs -memory")
+		}
+		names, err := c.Series(*memory)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Fprintln(out, n)
+		}
+		return nil
+	case "fetch":
+		if *memory == "" || len(cmd) < 2 {
+			return fmt.Errorf("fetch needs -memory and a series key")
+		}
+		max := 0
+		if len(cmd) >= 3 {
+			var err error
+			if max, err = strconv.Atoi(cmd[2]); err != nil {
+				return fmt.Errorf("bad max %q: %w", cmd[2], err)
+			}
+		}
+		pts, err := c.Fetch(*memory, cmd[1], 0, 0, max)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			fmt.Fprintf(out, "%.3f %.6f\n", p[0], p[1])
+		}
+		return nil
+	case "forecast":
+		if *forecaster == "" || len(cmd) < 2 {
+			return fmt.Errorf("forecast needs -forecaster and a series key")
+		}
+		f, err := c.Forecast(*forecaster, cmd[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "forecast %.4f (method %s, MAE %.4f over %d measurements)\n",
+			f.Value, f.Method, f.MAE, f.N)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd[0])
+	}
+}

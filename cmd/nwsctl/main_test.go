@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nwscpu/internal/nwsnet"
+)
+
+func startComponent(t *testing.T, h nwsnet.Handler) string {
+	t.Helper()
+	srv := nwsnet.NewServer(h, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		nil,           // no command
+		{"bogus"},     // unknown command
+		{"list"},      // missing -nameserver
+		{"series"},    // missing -memory
+		{"fetch"},     // missing -memory and key
+		{"forecast"},  // missing -forecaster and key
+		{"-nonsense"}, // bad flag
+	}
+	for i, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("case %d (%v) accepted", i, args)
+		}
+	}
+}
+
+func TestRunAgainstLiveComponents(t *testing.T) {
+	nsAddr := startComponent(t, nwsnet.NewNameServer())
+	memAddr := startComponent(t, nwsnet.NewMemory(0))
+	fcAddr := startComponent(t, nwsnet.NewForecasterService(memAddr, 0))
+
+	c := nwsnet.NewClient(0)
+	if err := c.Register(nsAddr, nwsnet.Registration{
+		Name: "h/cpu", Kind: nwsnet.KindSensor, Addr: "s:1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(memAddr, "h/cpu/vmstat",
+		[][2]float64{{10, 0.5}, {20, 0.5}, {30, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-nameserver", nsAddr, "list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "h/cpu") {
+		t.Fatalf("list output: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"-memory", memAddr, "series"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "h/cpu/vmstat") {
+		t.Fatalf("series output: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"-memory", memAddr, "fetch", "h/cpu/vmstat", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("fetch lines = %d, want 2:\n%s", got, buf.String())
+	}
+	if err := run([]string{"-memory", memAddr, "fetch", "h/cpu/vmstat", "zz"}, &buf); err == nil {
+		t.Fatal("bad max accepted")
+	}
+
+	buf.Reset()
+	if err := run([]string{"-forecaster", fcAddr, "forecast", "h/cpu/vmstat"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "forecast 0.5") {
+		t.Fatalf("forecast output: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"-nameserver", nsAddr, "-memory", memAddr, "ping"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "ok") != 2 {
+		t.Fatalf("ping output: %q", buf.String())
+	}
+}

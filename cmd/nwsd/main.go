@@ -1,0 +1,228 @@
+// Command nwsd runs one component of the distributed NWS:
+//
+//	nwsd -role nameserver -listen :8090
+//	nwsd -role memory     -listen :8091 [-statedir /var/lib/nws]
+//	nwsd -role forecaster -listen :8092 -memory localhost:8091
+//	nwsd -role reflector  -listen :8093
+//	nwsd -role sensor     -host mybox -memory localhost:8091 \
+//	     -nameserver localhost:8090 -period 10s [-sim <profile>] \
+//	     [-reflector otherbox:8093]
+//
+// The sensor role measures either the live Linux machine (default) or a
+// simulated host running one of the paper's workload profiles (-sim thing1,
+// thing2, conundrum, beowulf, gremlin, kongo); in simulation mode virtual
+// time is advanced at the measurement cadence so the daemon produces the
+// same series the experiments use, but live over the network.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nwscpu/internal/netsensor"
+	"nwscpu/internal/nwsnet"
+	"nwscpu/internal/prochost"
+	"nwscpu/internal/sensors"
+	"nwscpu/internal/simos"
+	"nwscpu/internal/workload"
+)
+
+func main() {
+	role := flag.String("role", "", "nameserver | memory | forecaster | reflector | sensor")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address for server roles")
+	memory := flag.String("memory", "", "memory server address (forecaster, sensor)")
+	nameserver := flag.String("nameserver", "", "name server address to register with (optional)")
+	hostName := flag.String("host", "localhost", "host name for the sensor's series keys")
+	period := flag.Duration("period", 10*time.Second, "sensor measurement period")
+	simProfile := flag.String("sim", "", "simulate a paper host profile instead of reading /proc")
+	capacity := flag.Int("capacity", 0, "memory: max points per series (0 = default)")
+	stateDir := flag.String("statedir", "", "memory: directory for durable series logs (empty = in-memory only)")
+	reflector := flag.String("reflector", "", "sensor: also probe network latency/bandwidth against this reflector")
+	ttl := flag.Duration("ttl", 0, "nameserver: registration expiry (0 = never; sensors re-register each period)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "nwsd: ", log.LstdFlags)
+	opts := daemonOpts{
+		role: *role, listen: *listen, memory: *memory, nameserver: *nameserver,
+		hostName: *hostName, period: *period, simProfile: *simProfile,
+		capacity: *capacity, stateDir: *stateDir, ttl: *ttl, reflector: *reflector,
+	}
+	if err := run(opts, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// daemonOpts carries the parsed command-line configuration.
+type daemonOpts struct {
+	role, listen, memory, nameserver string
+	hostName, simProfile, stateDir   string
+	reflector                        string
+	period                           time.Duration
+	ttl                              time.Duration
+	capacity                         int
+}
+
+func run(o daemonOpts, logger *log.Logger) error {
+	switch o.role {
+	case "nameserver":
+		return serve(nwsnet.NewNameServerTTL(o.ttl), o.listen, logger)
+	case "memory":
+		if o.stateDir != "" {
+			pm, err := nwsnet.NewPersistentMemory(o.capacity, o.stateDir)
+			if err != nil {
+				return err
+			}
+			defer pm.Close()
+			logger.Printf("durable memory in %s", o.stateDir)
+			return serve(pm, o.listen, logger)
+		}
+		return serve(nwsnet.NewMemory(o.capacity), o.listen, logger)
+	case "forecaster":
+		if o.memory == "" {
+			return fmt.Errorf("forecaster needs -memory")
+		}
+		return serve(nwsnet.NewForecasterService(o.memory, 0), o.listen, logger)
+	case "reflector":
+		r := netsensor.NewReflector()
+		addr, err := r.Listen(o.listen)
+		if err != nil {
+			return err
+		}
+		logger.Printf("reflector on %s", addr)
+		waitForSignal()
+		return r.Close()
+	case "sensor":
+		if o.memory == "" {
+			return fmt.Errorf("sensor needs -memory")
+		}
+		return runSensor(o, logger)
+	default:
+		return fmt.Errorf("unknown -role %q", o.role)
+	}
+}
+
+func serve(h nwsnet.Handler, listen string, logger *log.Logger) error {
+	srv := nwsnet.NewServer(h, logger)
+	addr, err := srv.Listen(listen)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s", addr)
+	waitForSignal()
+	return srv.Close()
+}
+
+func runSensor(o daemonOpts, logger *log.Logger) error {
+	memory, nameserver, hostName := o.memory, o.nameserver, o.hostName
+	period, simProfile := o.period, o.simProfile
+
+	var host sensors.Host
+	var sim *simos.Host
+	if simProfile != "" {
+		var profile *workload.Profile
+		const simHorizon = 30 * 86400 // a month of simulated load
+		for _, p := range workload.Profiles(simHorizon) {
+			if p.Name == simProfile {
+				pp := p
+				profile = &pp
+				break
+			}
+		}
+		if profile == nil {
+			return fmt.Errorf("unknown -sim profile %q", simProfile)
+		}
+		sim = simos.New(simos.DefaultConfig())
+		workload.Submit(sim, profile.Generate(simHorizon))
+		host = sensors.SimHost{H: sim}
+		logger.Printf("simulating profile %s", simProfile)
+	} else {
+		ph, err := prochost.New()
+		if err != nil {
+			return fmt.Errorf("live host unavailable (%v); use -sim <profile>", err)
+		}
+		host = ph
+	}
+
+	daemon := nwsnet.NewSensorDaemon(hostName, host, memory, sensors.HybridConfig{})
+	defer daemon.Close()
+
+	// Optional network probes against a reflector.
+	var lat *netsensor.LatencySensor
+	var bw *netsensor.BandwidthSensor
+	var netConn *nwsnet.Conn
+	if o.reflector != "" {
+		lat = netsensor.NewLatencySensor(o.reflector, 4, 0)
+		defer lat.Close()
+		bw = netsensor.NewBandwidthSensor(o.reflector, 0, 0)
+		defer bw.Close()
+		netConn = nwsnet.NewConn(memory, 0)
+		defer netConn.Close()
+		logger.Printf("probing network against %s", o.reflector)
+	}
+
+	if nameserver != "" {
+		if err := daemon.Register(nameserver, memory); err != nil {
+			return fmt.Errorf("registering with name server: %w", err)
+		}
+		logger.Printf("registered %s/cpu with %s", hostName, nameserver)
+	}
+
+	logger.Printf("sensing %s every %v, pushing to %s", hostName, period, memory)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+			if sim != nil {
+				sim.RunUntil(sim.Now() + period.Seconds())
+			}
+			if err := daemon.Step(); err != nil {
+				logger.Printf("measurement push failed: %v", err)
+			}
+			if lat != nil {
+				if err := pushNetProbes(netConn, hostName, host.Now(), lat, bw); err != nil {
+					logger.Printf("network probe failed: %v", err)
+				}
+			}
+			// Re-registration doubles as the name-server heartbeat.
+			if nameserver != "" {
+				if err := daemon.Register(nameserver, memory); err != nil {
+					logger.Printf("heartbeat failed: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// pushNetProbes takes one latency and one bandwidth sample and stores them.
+func pushNetProbes(conn *nwsnet.Conn, hostName string, now float64,
+	lat *netsensor.LatencySensor, bw *netsensor.BandwidthSensor) error {
+
+	rtt, err := lat.Measure()
+	if err != nil {
+		return err
+	}
+	if err := conn.Store(hostName+"/net/latency", [][2]float64{{now, rtt}}); err != nil {
+		return err
+	}
+	throughput, err := bw.Measure()
+	if err != nil {
+		return err
+	}
+	return conn.Store(hostName+"/net/bandwidth", [][2]float64{{now, throughput}})
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

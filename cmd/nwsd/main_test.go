@@ -1,0 +1,88 @@
+package main
+
+import (
+	"io"
+	"log"
+	"testing"
+	"time"
+
+	"nwscpu/internal/netsensor"
+	"nwscpu/internal/nwsnet"
+)
+
+func quietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+func TestRunValidation(t *testing.T) {
+	cases := []daemonOpts{
+		{role: ""},
+		{role: "bogus"},
+		{role: "forecaster"}, // missing memory
+		{role: "sensor"},     // missing memory
+		{role: "sensor", memory: "x:1", simProfile: "bogus", period: time.Second},
+	}
+	for i, o := range cases {
+		if err := run(o, quietLogger()); err == nil {
+			t.Errorf("case %d (%+v) accepted", i, o)
+		}
+	}
+}
+
+func TestMemoryRoleBadStateDir(t *testing.T) {
+	o := daemonOpts{role: "memory", stateDir: "/proc/definitely/not/writable", listen: "127.0.0.1:0"}
+	if err := run(o, quietLogger()); err == nil {
+		t.Fatal("unwritable state dir accepted")
+	}
+}
+
+func TestPushNetProbes(t *testing.T) {
+	refl := netsensor.NewReflector()
+	reflAddr, err := refl.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refl.Close()
+
+	mem := nwsnet.NewMemory(0)
+	srv := nwsnet.NewServer(mem, nil)
+	memAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	lat := netsensor.NewLatencySensor(reflAddr, 4, time.Second)
+	defer lat.Close()
+	bw := netsensor.NewBandwidthSensor(reflAddr, 0, 2*time.Second)
+	defer bw.Close()
+	conn := nwsnet.NewConn(memAddr, time.Second)
+	defer conn.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := pushNetProbes(conn, "box", float64(i*10), lat, bw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mem.Len("box/net/latency") != 3 || mem.Len("box/net/bandwidth") != 3 {
+		t.Fatalf("stored latency=%d bandwidth=%d, want 3 each",
+			mem.Len("box/net/latency"), mem.Len("box/net/bandwidth"))
+	}
+}
+
+func TestPushNetProbesDeadReflector(t *testing.T) {
+	mem := nwsnet.NewMemory(0)
+	srv := nwsnet.NewServer(mem, nil)
+	memAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	lat := netsensor.NewLatencySensor("127.0.0.1:1", 4, 200*time.Millisecond)
+	defer lat.Close()
+	bw := netsensor.NewBandwidthSensor("127.0.0.1:1", 0, 200*time.Millisecond)
+	defer bw.Close()
+	conn := nwsnet.NewConn(memAddr, time.Second)
+	defer conn.Close()
+	if err := pushNetProbes(conn, "box", 0, lat, bw); err == nil {
+		t.Fatal("dead reflector accepted")
+	}
+}

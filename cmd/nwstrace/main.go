@@ -1,0 +1,206 @@
+// Command nwstrace generates and analyzes CPU-availability traces in the
+// repository's CSV format ("t,value" header; see package series).
+//
+//	nwstrace gen -profile thing2 -duration 86400 > trace.csv
+//	nwstrace gen -fgn 0.7 -n 8640 -mean 0.7 -scale 0.1 > trace.csv
+//	nwstrace analyze < trace.csv
+//	nwstrace forecast < trace.csv
+//	nwstrace replay  < trace.csv > remeasured.csv
+//
+// "gen" produces a trace either from the simulator under a paper workload
+// profile or from exact fractional Gaussian noise. "analyze" prints summary
+// statistics, autocorrelations, and three Hurst estimates (R/S, GPH
+// log-periodogram, variance-time). "forecast" replays the trace through the
+// NWS engine and reports per-method one-step-ahead accuracy. "replay" treats
+// the input as an availability trace, drives the simulator with the load it
+// implies, and emits the re-measured availability series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"nwscpu/internal/fgn"
+	"nwscpu/internal/forecast"
+	"nwscpu/internal/sensors"
+	"nwscpu/internal/series"
+	"nwscpu/internal/simos"
+	"nwscpu/internal/stats"
+	"nwscpu/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nwstrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: nwstrace gen|analyze|forecast [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:], out)
+	case "analyze":
+		return runAnalyze(in, out)
+	case "forecast":
+		return runForecast(in, out)
+	case "replay":
+		return runReplay(in, out)
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func runGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	profile := fs.String("profile", "", "simulate a paper host profile (thing1, thing2, ...)")
+	duration := fs.Float64("duration", 86400, "simulated duration in seconds")
+	period := fs.Float64("period", 10, "sampling period in seconds")
+	hurst := fs.Float64("fgn", 0, "generate fractional Gaussian noise with this Hurst parameter instead")
+	n := fs.Int("n", 8640, "fgn: number of samples")
+	mean := fs.Float64("mean", 0.7, "fgn: availability mean")
+	scale := fs.Float64("scale", 0.1, "fgn: noise scale")
+	seed := fs.Int64("seed", 1, "fgn: random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var s *series.Series
+	switch {
+	case *hurst > 0:
+		rng := rand.New(rand.NewSource(*seed))
+		vals, err := fgn.AvailabilityTrace(rng, *hurst, *mean, *scale, *n)
+		if err != nil {
+			return err
+		}
+		s = series.FromValues("fgn", 0, *period, vals)
+	case *profile != "":
+		var p *workload.Profile
+		for _, cand := range workload.Profiles(*duration) {
+			if cand.Name == *profile {
+				pp := cand
+				p = &pp
+				break
+			}
+		}
+		if p == nil {
+			return fmt.Errorf("unknown profile %q", *profile)
+		}
+		h := simos.New(simos.DefaultConfig())
+		workload.Submit(h, p.Generate(*duration+60))
+		sh := sensors.SimHost{H: h}
+		la := sensors.NewLoadAvgSensor(sh)
+		s = series.New(*profile, "fraction")
+		for t := *period; t <= *duration; t += *period {
+			h.RunUntil(t)
+			if err := s.Append(t, la.Measure()); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("gen needs -profile or -fgn")
+	}
+	return s.WriteCSV(out)
+}
+
+func runAnalyze(in io.Reader, out io.Writer) error {
+	s, err := series.ReadCSV(in, "trace")
+	if err != nil {
+		return err
+	}
+	vals := s.Values()
+	if len(vals) < 64 {
+		return fmt.Errorf("trace too short to analyze (%d points)", len(vals))
+	}
+	sum := stats.Summarize(vals)
+	fmt.Fprintf(out, "points:    %d\n", sum.N)
+	rng := rand.New(rand.NewSource(1))
+	if lo, hi, err := stats.BootstrapCI(rng, vals, len(vals)/20+1, 200, 0.95, stats.Mean); err == nil {
+		fmt.Fprintf(out, "mean:      %.4f  (95%% block-bootstrap CI %.4f..%.4f)\n", sum.Mean, lo, hi)
+	} else {
+		fmt.Fprintf(out, "mean:      %.4f\n", sum.Mean)
+	}
+	fmt.Fprintf(out, "stddev:    %.4f\n", sum.StdDev)
+	fmt.Fprintf(out, "min/max:   %.4f / %.4f\n", sum.Min, sum.Max)
+	fmt.Fprintf(out, "median:    %.4f (IQR %.4f..%.4f)\n", sum.Median, sum.Q25, sum.Q75)
+
+	acf := stats.ACF(vals, 60)
+	fmt.Fprintf(out, "acf:       lag1 %.3f  lag10 %.3f  lag60 %.3f\n", acf[1], acf[10], acf[60])
+	fmt.Fprintf(out, "ljung-box: %.1f over 20 lags\n", stats.LjungBox(vals, 20))
+
+	if h, fit, err := stats.HurstRS(vals, 16); err == nil {
+		fmt.Fprintf(out, "hurst R/S:       %.3f (fit R2 %.3f)\n", h, fit.R2)
+	} else {
+		fmt.Fprintf(out, "hurst R/S:       unavailable (%v)\n", err)
+	}
+	if h, _, err := stats.HurstGPH(vals, 0.5); err == nil {
+		fmt.Fprintf(out, "hurst GPH:       %.3f\n", h)
+	} else {
+		fmt.Fprintf(out, "hurst GPH:       unavailable (%v)\n", err)
+	}
+	if h, _, err := stats.HurstVarianceTime(vals, 8); err == nil {
+		fmt.Fprintf(out, "hurst var-time:  %.3f\n", h)
+	} else {
+		fmt.Fprintf(out, "hurst var-time:  unavailable (%v)\n", err)
+	}
+	return nil
+}
+
+// runReplay drives the simulator with the load implied by an availability
+// trace and writes back what the load-average sensor measures.
+func runReplay(in io.Reader, out io.Writer) error {
+	trace, err := series.ReadCSV(in, "trace")
+	if err != nil {
+		return err
+	}
+	arrivals, err := workload.FromAvailabilityTrace(trace)
+	if err != nil {
+		return err
+	}
+	h := simos.New(simos.DefaultConfig())
+	workload.Submit(h, arrivals)
+	sh := sensors.SimHost{H: h}
+	la := sensors.NewLoadAvgSensor(sh)
+	remeasured := series.New(trace.Name+"/replayed", "fraction")
+	last, _ := trace.Last()
+	first := trace.At(0)
+	dt := 10.0
+	if trace.Len() > 1 {
+		dt = (last.T - first.T) / float64(trace.Len()-1)
+	}
+	for t := first.T + dt; t <= last.T; t += dt {
+		h.RunUntil(t)
+		if err := remeasured.Append(t, la.Measure()); err != nil {
+			return err
+		}
+	}
+	return remeasured.WriteCSV(out)
+}
+
+func runForecast(in io.Reader, out io.Writer) error {
+	s, err := series.ReadCSV(in, "trace")
+	if err != nil {
+		return err
+	}
+	vals := s.Values()
+	res, report, err := forecast.EvaluateEngine(forecast.NewDefaultEngine, vals)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "one-step-ahead MAE:  %.4f over %d forecasts\n", res.MAE, res.N)
+	fmt.Fprintf(out, "one-step-ahead RMSE: %.4f\n", res.RMSE)
+	fmt.Fprintln(out, "\nper-method MAE (best ten):")
+	for i, m := range report {
+		if i == 10 {
+			break
+		}
+		fmt.Fprintf(out, "  %-16s %.4f\n", m.Name, m.MAE)
+	}
+	return nil
+}

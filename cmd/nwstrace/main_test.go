@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunUsage(t *testing.T) {
+	if err := run(nil, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("no command accepted")
+	}
+	if err := run([]string{"bogus"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestGenRequiresSource(t *testing.T) {
+	if err := run([]string{"gen"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("gen with no source accepted")
+	}
+	if err := run([]string{"gen", "-profile", "bogus"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestGenAnalyzeForecastPipeline(t *testing.T) {
+	var trace bytes.Buffer
+	if err := run([]string{"gen", "-fgn", "0.7", "-n", "2048"}, strings.NewReader(""), &trace); err != nil {
+		t.Fatal(err)
+	}
+	csv := trace.String()
+
+	var analysis bytes.Buffer
+	if err := run([]string{"analyze"}, strings.NewReader(csv), &analysis); err != nil {
+		t.Fatal(err)
+	}
+	out := analysis.String()
+	for _, want := range []string{"points:    2048", "hurst R/S", "hurst GPH", "ljung-box"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analysis missing %q:\n%s", want, out)
+		}
+	}
+
+	var fc bytes.Buffer
+	if err := run([]string{"forecast"}, strings.NewReader(csv), &fc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fc.String(), "one-step-ahead MAE") {
+		t.Fatalf("forecast output:\n%s", fc.String())
+	}
+}
+
+func TestGenSimProfile(t *testing.T) {
+	var trace bytes.Buffer
+	if err := run([]string{"gen", "-profile", "gremlin", "-duration", "1200"},
+		strings.NewReader(""), &trace); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(trace.String(), "t,value\n") {
+		t.Fatalf("missing CSV header: %q", trace.String()[:20])
+	}
+}
+
+func TestAnalyzeRejectsShortOrBadInput(t *testing.T) {
+	if err := run([]string{"analyze"}, strings.NewReader("t,value\n1,0.5\n"), &bytes.Buffer{}); err == nil {
+		t.Fatal("short trace accepted")
+	}
+	if err := run([]string{"analyze"}, strings.NewReader("garbage"), &bytes.Buffer{}); err == nil {
+		t.Fatal("bad CSV accepted")
+	}
+	if err := run([]string{"forecast"}, strings.NewReader("garbage"), &bytes.Buffer{}); err == nil {
+		t.Fatal("bad CSV accepted by forecast")
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	var trace bytes.Buffer
+	if err := run([]string{"gen", "-fgn", "0.7", "-n", "256", "-mean", "0.8", "-scale", "0.05"},
+		strings.NewReader(""), &trace); err != nil {
+		t.Fatal(err)
+	}
+	var replayed bytes.Buffer
+	if err := run([]string{"replay"}, strings.NewReader(trace.String()), &replayed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(replayed.String(), "t,value\n") {
+		t.Fatal("replay output is not a CSV trace")
+	}
+	if strings.Count(replayed.String(), "\n") < 100 {
+		t.Fatalf("replay output too short:\n%s", replayed.String()[:200])
+	}
+	if err := run([]string{"replay"}, strings.NewReader("garbage"), &bytes.Buffer{}); err == nil {
+		t.Fatal("bad CSV accepted by replay")
+	}
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"nwscpu/internal/nwsnet"
+)
+
+// dashboard is the HTTP handler pulling from the NWS backends per request.
+type dashboard struct {
+	memory     string
+	forecaster string
+	client     *nwsnet.Client
+	mux        *http.ServeMux
+}
+
+func newDashboard(memory, forecaster string) *dashboard {
+	d := &dashboard{
+		memory:     memory,
+		forecaster: forecaster,
+		client:     nwsnet.NewClient(5 * time.Second),
+		mux:        http.NewServeMux(),
+	}
+	d.mux.HandleFunc("/", d.handleIndex)
+	d.mux.HandleFunc("/api/series", d.handleSeriesList)
+	d.mux.HandleFunc("/api/series/", d.handleSeriesGet)
+	d.mux.HandleFunc("/api/forecast/", d.handleForecast)
+	return d
+}
+
+// ServeHTTP implements http.Handler.
+func (d *dashboard) ServeHTTP(w http.ResponseWriter, r *http.Request) { d.mux.ServeHTTP(w, r) }
+
+func (d *dashboard) handleSeriesList(w http.ResponseWriter, r *http.Request) {
+	names, err := d.client.Series(d.memory)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, names)
+}
+
+func (d *dashboard) handleSeriesGet(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/api/series/")
+	if key == "" {
+		http.Error(w, "missing series key", http.StatusBadRequest)
+		return
+	}
+	max := 0
+	if ms := r.URL.Query().Get("max"); ms != "" {
+		var err error
+		if max, err = strconv.Atoi(ms); err != nil || max < 0 {
+			http.Error(w, "bad max", http.StatusBadRequest)
+			return
+		}
+	}
+	pts, err := d.client.Fetch(d.memory, key, 0, 0, max)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, pts)
+}
+
+func (d *dashboard) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if d.forecaster == "" {
+		http.Error(w, "no forecaster configured", http.StatusNotImplemented)
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/api/forecast/")
+	if key == "" {
+		http.Error(w, "missing series key", http.StatusBadRequest)
+		return
+	}
+	fc, err := d.client.Forecast(d.forecaster, key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, fc)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do.
+		return
+	}
+}
+
+// indexSeries is one dashboard row.
+type indexSeries struct {
+	Key      string
+	Last     string
+	N        int
+	Spark    template.HTML
+	Forecast string
+}
+
+func (d *dashboard) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	names, err := d.client.Series(d.memory)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	var rows []indexSeries
+	for _, key := range names {
+		pts, err := d.client.Fetch(d.memory, key, 0, 0, 120)
+		if err != nil || len(pts) == 0 {
+			continue
+		}
+		row := indexSeries{
+			Key:   key,
+			Last:  fmt.Sprintf("%.4g", pts[len(pts)-1][1]),
+			N:     len(pts),
+			Spark: sparkline(pts),
+		}
+		if d.forecaster != "" {
+			if fc, err := d.client.Forecast(d.forecaster, key); err == nil {
+				row.Forecast = fmt.Sprintf("%.4g (%s)", fc.Value, fc.Method)
+			}
+		}
+		rows = append(rows, row)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTemplate.Execute(w, rows); err != nil {
+		return
+	}
+}
+
+// sparkline renders up to 120 recent points as a tiny inline SVG.
+func sparkline(pts [][2]float64) template.HTML {
+	const w, h = 240, 36
+	lo, hi := pts[0][1], pts[0][1]
+	for _, p := range pts {
+		if p[1] < lo {
+			lo = p[1]
+		}
+		if p[1] > hi {
+			hi = p[1]
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" viewBox="0 0 %d %d"><polyline fill="none" stroke="#1f77b4" stroke-width="1" points="`, w, h, w, h)
+	for i, p := range pts {
+		x := float64(i) / float64(len(pts)-1+min(1, len(pts)-1)) * (w - 2)
+		if len(pts) == 1 {
+			x = w / 2
+		}
+		y := (1-(p[1]-lo)/(hi-lo))*(h-4) + 2
+		fmt.Fprintf(&b, "%.1f,%.1f ", x+1, y)
+	}
+	b.WriteString(`"/></svg>`)
+	return template.HTML(b.String())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var indexTemplate = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>NWS dashboard</title>
+<meta http-equiv="refresh" content="10">
+<style>
+ body { font-family: sans-serif; max-width: 860px; margin: 2em auto; }
+ table { border-collapse: collapse; width: 100%; }
+ th, td { border-bottom: 1px solid #ddd; padding: 6px 10px; text-align: left; }
+</style></head>
+<body>
+<h1>Network Weather Service</h1>
+<table>
+<tr><th>Series</th><th>Recent</th><th>Last</th><th>Forecast</th></tr>
+{{range .}}<tr><td><code>{{.Key}}</code> <small>({{.N}} pts)</small></td><td>{{.Spark}}</td><td>{{.Last}}</td><td>{{.Forecast}}</td></tr>
+{{else}}<tr><td colspan="4">no series yet</td></tr>
+{{end}}
+</table>
+</body></html>
+`))

@@ -1,0 +1,36 @@
+// Command nwsweb serves a live dashboard over a running NWS deployment: it
+// pulls series from a memory server and forecasts from a forecaster service
+// and renders them as an HTML page with SVG sparkline charts, plus a JSON
+// API for programmatic access.
+//
+//	nwsweb -listen :8080 -memory localhost:8091 [-forecaster localhost:8092]
+//
+// Endpoints:
+//
+//	GET /                    HTML dashboard of all series
+//	GET /api/series          JSON list of series keys
+//	GET /api/series/{key}    JSON points of one series (?max=N)
+//	GET /api/forecast/{key}  JSON forecast for one series
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+	memory := flag.String("memory", "", "memory server address (required)")
+	forecaster := flag.String("forecaster", "", "forecaster service address (optional)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "nwsweb: ", log.LstdFlags)
+	if *memory == "" {
+		logger.Fatal("-memory is required")
+	}
+	srv := newDashboard(*memory, *forecaster)
+	logger.Printf("dashboard on http://%s/ (memory %s)", *listen, *memory)
+	logger.Fatal(http.ListenAndServe(*listen, srv))
+}

@@ -1,0 +1,72 @@
+// Livehost monitors the machine it runs on: it reads /proc/loadavg and
+// /proc/stat, runs real spinning probe processes, and prints the three
+// availability estimates plus an NWS forecast every few seconds — the
+// paper's sensor suite pointed at your own computer.
+//
+//	go run ./examples/livehost [-n measurements] [-period duration]
+//
+// On non-Linux systems (no /proc) it falls back to a simulated host so the
+// example is runnable everywhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"nwscpu/internal/forecast"
+	"nwscpu/internal/prochost"
+	"nwscpu/internal/sensors"
+	"nwscpu/internal/simos"
+	"nwscpu/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 12, "number of measurements to take")
+	period := flag.Duration("period", 2*time.Second, "measurement period")
+	flag.Parse()
+
+	var host sensors.Host
+	var sim *simos.Host
+	if ph, err := prochost.New(); err == nil {
+		host = ph
+		fmt.Println("monitoring the local machine via /proc")
+	} else {
+		sim = simos.New(simos.DefaultConfig())
+		workload.Submit(sim, workload.Thing1().Generate(86400))
+		host = sensors.SimHost{H: sim}
+		fmt.Printf("no /proc (%v); monitoring a simulated thing1 instead\n", err)
+	}
+
+	la := sensors.NewLoadAvgSensor(host)
+	vm := sensors.NewVmstatSensor(host, 0)
+	hyCfg := sensors.DefaultHybridConfig()
+	hyCfg.ProbeEvery = 3
+	hyCfg.ProbeLen = 0.5 // gentler probe for an interactive demo
+	hy := sensors.NewHybridSensor(host, hyCfg)
+	eng := forecast.NewDefaultEngine()
+
+	fmt.Printf("\n%-8s %-10s %-10s %-10s %-22s\n",
+		"t", "loadavg", "vmstat", "hybrid", "forecast (method)")
+	for i := 0; i < *n; i++ {
+		if sim != nil {
+			sim.RunUntil(sim.Now() + period.Seconds())
+		} else {
+			time.Sleep(*period)
+		}
+		laV, vmV, hyV := la.Measure(), vm.Measure(), hy.Measure()
+		eng.Update(hyV)
+		line := fmt.Sprintf("%-8.0f %-10s %-10s %-10s",
+			host.Now(), pct(laV), pct(vmV), pct(hyV))
+		if pred, ok := eng.Forecast(); ok {
+			line += fmt.Sprintf(" %-7s (%s)", pct(pred.Value), pred.Method)
+		}
+		fmt.Println(line)
+	}
+
+	fmt.Println("\nhybrid sensor state:")
+	fmt.Printf("  selected passive method: %s\n", hy.SelectedMethod())
+	fmt.Printf("  probe bias:              %+.1f%%\n", hy.Bias()*100)
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

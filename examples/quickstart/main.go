@@ -1,0 +1,63 @@
+// Quickstart: feed a CPU-availability trace into the NWS forecasting engine
+// and make one-step-ahead predictions.
+//
+//	go run ./examples/quickstart
+//
+// The trace here is synthetic (a slowly drifting availability signal with
+// occasional level shifts, like a workstation whose owner comes and goes);
+// in a real deployment the measurements come from the sensors (see
+// examples/livehost) or from a memory server (see package nwsnet).
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nwscpu/internal/forecast"
+)
+
+func main() {
+	// Build a synthetic availability trace: 2 hours at 10-second cadence.
+	rng := rand.New(rand.NewSource(42))
+	level := 0.8
+	trace := make([]float64, 720)
+	for i := range trace {
+		if rng.Float64() < 0.01 { // someone starts or stops working
+			level = 0.2 + 0.7*rng.Float64()
+		}
+		v := level + rng.NormFloat64()*0.04
+		trace[i] = math.Max(0, math.Min(1, v))
+	}
+
+	// The engine runs the full NWS forecaster bank and always forwards the
+	// member that has been most accurate so far.
+	eng := forecast.NewDefaultEngine()
+	for _, v := range trace {
+		eng.Update(v)
+	}
+
+	pred, ok := eng.Forecast()
+	if !ok {
+		panic("no forecast available")
+	}
+	fmt.Printf("measurements seen:     %d\n", eng.N())
+	fmt.Printf("next-step forecast:    %.1f%% CPU available\n", pred.Value*100)
+	fmt.Printf("chosen method:         %s\n", pred.Method)
+	fmt.Printf("its cumulative MAE:    %.2f%%\n", pred.MAE*100)
+
+	// A scheduler uses the forecast as an expansion factor: a job needing
+	// 60 CPU-seconds is expected to take 60/avail wall seconds.
+	const demand = 60.0
+	fmt.Printf("\na %0.f CPU-second job should take about %.0f wall seconds here\n",
+		demand, demand/pred.Value)
+
+	// The per-method report shows how the bank ranked on this series.
+	fmt.Println("\ntop five forecasters on this trace:")
+	for i, m := range eng.Report() {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-14s MAE %.2f%%\n", m.Name, m.MAE*100)
+	}
+}

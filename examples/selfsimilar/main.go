@@ -1,0 +1,81 @@
+// Selfsimilar reproduces the paper's statistical analysis (Section 3.1) on
+// a freshly generated trace: it simulates a host under heavy-tailed load,
+// records the availability series, and then
+//
+//   - estimates the Hurst parameter by R/S analysis (pox plot) and by the
+//     variance-time method,
+//   - prints the head of the autocorrelation function, and
+//   - shows how slowly the variance decays under aggregation, the signature
+//     of self-similarity that distinguishes this series from white noise.
+//
+// go run ./examples/selfsimilar [-hours n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"nwscpu/internal/sensors"
+	"nwscpu/internal/simos"
+	"nwscpu/internal/stats"
+	"nwscpu/internal/workload"
+)
+
+func main() {
+	hours := flag.Float64("hours", 24, "virtual hours of load to simulate")
+	flag.Parse()
+	duration := *hours * 3600
+
+	fmt.Printf("simulating %.0f hours of heavy-tailed load on one host...\n", *hours)
+	host := simos.New(simos.DefaultConfig())
+	workload.Submit(host, workload.Thing2().Generate(duration+600))
+	sh := sensors.SimHost{H: host}
+	la := sensors.NewLoadAvgSensor(sh)
+
+	var avail []float64
+	for t := 10.0; t <= duration; t += 10 {
+		host.RunUntil(t)
+		avail = append(avail, la.Measure())
+	}
+
+	h, fit, err := stats.HurstRS(avail, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nR/S (pox plot) Hurst estimate:      H = %.2f (fit R2 %.2f)\n", h, fit.R2)
+
+	hv, _, err := stats.HurstVarianceTime(avail, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("variance-time Hurst estimate:       H = %.2f\n", hv)
+
+	// Contrast with white noise of the same length.
+	rng := rand.New(rand.NewSource(1))
+	noise := make([]float64, len(avail))
+	for i := range noise {
+		noise[i] = rng.Float64()
+	}
+	hn, _, err := stats.HurstRS(noise, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("white-noise control:                H = %.2f (should be ~0.5)\n", hn)
+
+	fmt.Println("\nautocorrelation of the availability series:")
+	acf := stats.ACF(avail, 360)
+	for _, lag := range []int{1, 6, 30, 60, 180, 360} {
+		fmt.Printf("  lag %4d (%5.0fs): %+.3f\n", lag, float64(lag)*10, acf[lag])
+	}
+
+	fmt.Println("\nvariance under aggregation (slow decay = self-similarity):")
+	v0 := stats.Variance(avail)
+	for _, m := range []int{1, 6, 30, 120} {
+		agg := stats.BlockMeans(avail, m)
+		v := stats.Variance(agg)
+		fmt.Printf("  m=%4d: var %.5f (x%.2f of original; white noise would be x%.3f)\n",
+			m, v, v/v0, 1/float64(m))
+	}
+}

@@ -1,0 +1,3 @@
+module nwscpu
+
+go 1.22

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"nwscpu/internal/forecast"
+	"nwscpu/internal/series"
+)
+
+// ErrNoData is returned by analyses with no usable observations.
+var ErrNoData = errors.New("core: no usable observations")
+
+// MeasurementError computes Equation 3: the mean absolute difference between
+// each test-process observation and the measurement taken most immediately
+// before (or in the same sensing epoch as) the test. Values are fractions in
+// [0, 1]; multiply by 100 for the paper's percentages.
+func MeasurementError(meas, tests *series.Series) (float64, error) {
+	var sum float64
+	n := 0
+	for _, tp := range tests.Points {
+		mp, ok := meas.LatestAtOrBefore(tp.T)
+		if !ok {
+			continue
+		}
+		sum += math.Abs(mp.V - tp.V)
+		n++
+	}
+	if n == 0 {
+		return 0, ErrNoData
+	}
+	return sum / float64(n), nil
+}
+
+// MeasurementResiduals returns the signed per-test residuals
+// (measurement - test observation) behind Equation 3, for distributional
+// analysis of the errors.
+func MeasurementResiduals(meas, tests *series.Series) ([]float64, error) {
+	var out []float64
+	for _, tp := range tests.Points {
+		mp, ok := meas.LatestAtOrBefore(tp.T)
+		if !ok {
+			continue
+		}
+		out = append(out, mp.V-tp.V)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoData
+	}
+	return out, nil
+}
+
+// ForecastResiduals returns the signed per-test residuals
+// (forecast - test observation) behind Equation 4.
+func ForecastResiduals(meas, tests *series.Series) ([]float64, error) {
+	eng := forecast.NewDefaultEngine()
+	i := 0
+	var out []float64
+	for _, tp := range tests.Points {
+		for i < meas.Len() && meas.At(i).T <= tp.T {
+			eng.Update(meas.At(i).V)
+			i++
+		}
+		pred, ok := eng.Forecast()
+		if !ok {
+			continue
+		}
+		out = append(out, pred.Value-tp.V)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoData
+	}
+	return out, nil
+}
+
+// OneStepError computes Equation 5 for the NWS forecasting engine over a
+// measurement series: the mean absolute difference between each measurement
+// and the forecast issued for it one step earlier.
+func OneStepError(meas *series.Series) (float64, error) {
+	res, _, err := forecast.EvaluateEngine(forecast.NewDefaultEngine, meas.Values())
+	if err != nil {
+		return 0, err
+	}
+	if res.N == 0 {
+		return 0, ErrNoData
+	}
+	return res.MAE, nil
+}
+
+// TrueForecastError computes Equation 4: the mean absolute difference
+// between each test-process observation and the NWS forecast generated from
+// all measurements up to (and including) the sensing epoch immediately
+// before the test ran.
+func TrueForecastError(meas, tests *series.Series) (float64, error) {
+	eng := forecast.NewDefaultEngine()
+	i := 0 // next measurement to feed
+	var sum float64
+	n := 0
+	for _, tp := range tests.Points {
+		for i < meas.Len() && meas.At(i).T <= tp.T {
+			eng.Update(meas.At(i).V)
+			i++
+		}
+		pred, ok := eng.Forecast()
+		if !ok {
+			continue
+		}
+		sum += math.Abs(pred.Value - tp.V)
+		n++
+	}
+	if n == 0 {
+		return 0, ErrNoData
+	}
+	return sum / float64(n), nil
+}
+
+// AggregateBlocks is the number of 10-second measurements per 5-minute
+// block used throughout the medium-term analyses.
+const AggregateBlocks = 30
+
+// AggregatedOneStepError computes Equation 5 over the m-point aggregated
+// series X^(m) (Table 5 uses m = 30, i.e. 5-minute averages of 10-second
+// measurements).
+func AggregatedOneStepError(meas *series.Series, m int) (float64, error) {
+	agg, err := meas.AggregateCount(m)
+	if err != nil {
+		return 0, err
+	}
+	if agg.Len() < 2 {
+		return 0, ErrNoData
+	}
+	return OneStepError(agg)
+}
+
+// AggregatedTrueForecastError computes the medium-term Equation 4 of
+// Table 6: the NWS engine forecasts the next m-point block average, and each
+// forecast is compared with the observation of a test process that runs for
+// the block length. Tests must have been produced by a MediumTermConfig run
+// (5-minute test processes).
+func AggregatedTrueForecastError(meas, tests *series.Series, m int) (float64, error) {
+	agg, err := meas.AggregateCount(m)
+	if err != nil {
+		return 0, err
+	}
+	return TrueForecastError(agg, tests)
+}
+
+// VarianceComparison reports the variance of a measurement series and of its
+// m-point aggregated version (Table 4's "orig." and "300s" columns).
+func VarianceComparison(meas *series.Series, m int) (orig, aggregated float64, err error) {
+	agg, err := meas.AggregateCount(m)
+	if err != nil {
+		return 0, 0, err
+	}
+	if meas.Len() < 2 || agg.Len() < 2 {
+		return 0, 0, ErrNoData
+	}
+	return varOf(meas.Values()), varOf(agg.Values()), nil
+}
+
+func varOf(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}

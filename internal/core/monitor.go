@@ -1,0 +1,190 @@
+// Package core ties the substrates together into the system the paper
+// evaluates: a Monitor that samples all three CPU-availability sensors at a
+// fixed cadence on a host while periodically running ground-truth test
+// processes, and the error analyses of Section 2 and 3 — measurement error
+// (Equation 3), true forecasting error (Equation 4), and one-step-ahead
+// prediction error (Equation 5) — for both raw 10-second series and
+// 5-minute aggregated series.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nwscpu/internal/sensors"
+	"nwscpu/internal/series"
+)
+
+// Sensor names used as series keys.
+const (
+	MethodLoadAvg = "load_average"
+	MethodVmstat  = "vmstat"
+	MethodHybrid  = "nws_hybrid"
+)
+
+// Methods lists the three measurement methods in the paper's column order.
+var Methods = []string{MethodLoadAvg, MethodVmstat, MethodHybrid}
+
+// MonitorConfig configures a monitoring run.
+type MonitorConfig struct {
+	// MeasurePeriod is the sensing cadence in seconds (10 in the paper).
+	MeasurePeriod float64
+	// TestPeriod is the interval between ground-truth test processes in
+	// seconds; 0 disables test processes. The paper uses 600 (10 minutes)
+	// for the 10-second tests and 3600 for the 5-minute tests.
+	TestPeriod float64
+	// TestLen is the test process wall duration in seconds (10 or 300).
+	TestLen float64
+	// Hybrid configures the NWS hybrid sensor.
+	Hybrid sensors.HybridConfig
+}
+
+// ShortTermConfig is the paper's short-term setup: 10 s sensing, a 10 s test
+// process every 10 minutes, 1.5 s probes once per minute.
+func ShortTermConfig() MonitorConfig {
+	return MonitorConfig{
+		MeasurePeriod: 10,
+		TestPeriod:    600,
+		TestLen:       10,
+		Hybrid:        sensors.DefaultHybridConfig(),
+	}
+}
+
+// MediumTermConfig is the paper's medium-term setup: 10 s sensing and a
+// 5-minute test process every 60 minutes (run sparsely to avoid driving
+// away the contention being measured, as the paper notes).
+func MediumTermConfig() MonitorConfig {
+	return MonitorConfig{
+		MeasurePeriod: 10,
+		TestPeriod:    3600,
+		TestLen:       300,
+		Hybrid:        sensors.DefaultHybridConfig(),
+	}
+}
+
+// Monitor drives the three sensors over a host and records every series.
+type Monitor struct {
+	host sensors.Host
+	cfg  MonitorConfig
+
+	la *sensors.LoadAvgSensor
+	vm *sensors.VmstatSensor
+	hy *sensors.HybridSensor
+
+	// Measurements maps method name to its availability series.
+	Measurements map[string]*series.Series
+	// Tests records the ground-truth test-process observations; each point
+	// is stamped with the test's start time.
+	Tests *series.Series
+}
+
+// NewMonitor creates a Monitor over h. It panics on a non-positive
+// MeasurePeriod or on TestPeriod set without TestLen.
+func NewMonitor(h sensors.Host, cfg MonitorConfig) *Monitor {
+	if cfg.MeasurePeriod <= 0 {
+		panic("core: MeasurePeriod must be positive")
+	}
+	if cfg.TestPeriod > 0 && cfg.TestLen <= 0 {
+		panic("core: TestPeriod set without TestLen")
+	}
+	if cfg.Hybrid.ProbeEvery == 0 {
+		cfg.Hybrid = sensors.DefaultHybridConfig()
+	}
+	m := &Monitor{
+		host:         h,
+		cfg:          cfg,
+		la:           sensors.NewLoadAvgSensor(h),
+		vm:           sensors.NewVmstatSensor(h, 0),
+		hy:           sensors.NewHybridSensor(h, cfg.Hybrid),
+		Measurements: make(map[string]*series.Series, 3),
+		Tests:        series.New("test_process", "fraction"),
+	}
+	for _, name := range Methods {
+		m.Measurements[name] = series.New(name, "fraction")
+	}
+	return m
+}
+
+// MonitorFromSeries builds an analysis-only Monitor around previously
+// recorded series (e.g. re-imported from exported CSV traces). The returned
+// Monitor cannot Run — it has no host — but every error analysis accepts it.
+func MonitorFromSeries(measurements map[string]*series.Series, tests *series.Series) *Monitor {
+	m := &Monitor{
+		Measurements: make(map[string]*series.Series, len(Methods)),
+		Tests:        tests,
+	}
+	if m.Tests == nil {
+		m.Tests = series.New("test_process", "fraction")
+	}
+	for _, name := range Methods {
+		if s := measurements[name]; s != nil {
+			m.Measurements[name] = s
+		} else {
+			m.Measurements[name] = series.New(name, "fraction")
+		}
+	}
+	return m
+}
+
+// advanceTo moves the host clock to time t: a simulated host advances its
+// virtual clock; a live host's clock is wall time, so the monitor sleeps
+// until the epoch arrives (without this, Run would spin hot between live
+// measurements).
+func (m *Monitor) advanceTo(t float64) {
+	if sh, ok := m.host.(sensors.SimHost); ok {
+		sh.H.RunUntil(t)
+		return
+	}
+	if wait := t - m.host.Now(); wait > 0 {
+		time.Sleep(time.Duration(wait * float64(time.Second)))
+	}
+}
+
+// Run monitors for the given duration (host-clock seconds), taking
+// measurements at every MeasurePeriod boundary and running a test process
+// every TestPeriod. The first test runs one TestPeriod in, so every test has
+// measurement history before it.
+func (m *Monitor) Run(duration float64) error {
+	start := m.host.Now()
+	end := start + duration
+	nextTest := start + m.cfg.TestPeriod
+	if m.cfg.TestPeriod <= 0 {
+		nextTest = end + 1 // never
+	}
+	for epoch := start + m.cfg.MeasurePeriod; epoch <= end; {
+		m.advanceTo(epoch)
+		if err := m.measureAll(epoch); err != nil {
+			return err
+		}
+		if m.host.Now() >= nextTest-m.cfg.MeasurePeriod/2 {
+			testStart := m.host.Now()
+			frac := sensors.RunTest(m.host, m.cfg.TestLen)
+			if err := m.Tests.Append(testStart, frac); err != nil {
+				return err
+			}
+			nextTest += m.cfg.TestPeriod
+		}
+		// Next epoch on the measurement grid strictly after Now (probes and
+		// tests may have consumed several grid slots).
+		now := m.host.Now()
+		k := int((now-start)/m.cfg.MeasurePeriod) + 1
+		epoch = start + float64(k)*m.cfg.MeasurePeriod
+	}
+	return nil
+}
+
+// measureAll samples the three sensors, recording all values at the epoch
+// timestamp. The passive sensors are read first; the hybrid last, because
+// its probe advances host time.
+func (m *Monitor) measureAll(epoch float64) error {
+	if err := m.Measurements[MethodLoadAvg].Append(epoch, m.la.Measure()); err != nil {
+		return fmt.Errorf("core: load average series: %w", err)
+	}
+	if err := m.Measurements[MethodVmstat].Append(epoch, m.vm.Measure()); err != nil {
+		return fmt.Errorf("core: vmstat series: %w", err)
+	}
+	if err := m.Measurements[MethodHybrid].Append(epoch, m.hy.Measure()); err != nil {
+		return fmt.Errorf("core: hybrid series: %w", err)
+	}
+	return nil
+}

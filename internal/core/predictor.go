@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nwscpu/internal/forecast"
+	"nwscpu/internal/sensors"
+	"nwscpu/internal/series"
+)
+
+// Predictor is the deployable face of the system: it owns a hybrid sensor
+// on a host and two forecasting engines — one over the raw measurement
+// series for short-term (next measurement) predictions, one over m-point
+// block means for medium-term (interval average) predictions, mirroring the
+// paper's 10-second and 5-minute horizons.
+//
+// Drive it by calling Step at the sensing cadence; on a simulated host,
+// advance the simulation first.
+type Predictor struct {
+	host   sensors.Host
+	sensor sensors.Sensor
+	m      int
+
+	raw       *forecast.Engine
+	agg       *forecast.Engine
+	blockSum  float64
+	blockLen  int
+	series    *series.Series
+	aggSeries *series.Series
+}
+
+// PredictorConfig configures a Predictor.
+type PredictorConfig struct {
+	// Hybrid configures the underlying NWS hybrid sensor.
+	Hybrid sensors.HybridConfig
+	// AggregateBlocks is the medium-term block size in measurements
+	// (default AggregateBlocks = 30, i.e. 5 minutes at 10-second cadence).
+	AggregateBlocks int
+	// NewEngine constructs the forecasting engines (default
+	// forecast.NewDefaultEngine). Two independent engines are created.
+	NewEngine func() *forecast.Engine
+}
+
+// NewPredictor builds a Predictor over h.
+func NewPredictor(h sensors.Host, cfg PredictorConfig) *Predictor {
+	if cfg.Hybrid.ProbeEvery == 0 {
+		cfg.Hybrid = sensors.DefaultHybridConfig()
+	}
+	if cfg.AggregateBlocks <= 0 {
+		cfg.AggregateBlocks = AggregateBlocks
+	}
+	if cfg.NewEngine == nil {
+		cfg.NewEngine = forecast.NewDefaultEngine
+	}
+	return &Predictor{
+		host:      h,
+		sensor:    sensors.NewHybridSensor(h, cfg.Hybrid),
+		m:         cfg.AggregateBlocks,
+		raw:       cfg.NewEngine(),
+		agg:       cfg.NewEngine(),
+		series:    series.New("availability", "fraction"),
+		aggSeries: series.New("availability_agg", "fraction"),
+	}
+}
+
+// Step takes one measurement, feeds both engines, and returns the measured
+// value.
+func (p *Predictor) Step() (float64, error) {
+	t := p.host.Now()
+	v := p.sensor.Measure()
+	if err := p.series.Append(t, v); err != nil {
+		return 0, fmt.Errorf("core: predictor series: %w", err)
+	}
+	p.raw.Update(v)
+	p.blockSum += v
+	p.blockLen++
+	if p.blockLen == p.m {
+		avg := p.blockSum / float64(p.m)
+		p.agg.Update(avg)
+		if err := p.aggSeries.Append(t, avg); err != nil {
+			return 0, fmt.Errorf("core: predictor aggregated series: %w", err)
+		}
+		p.blockSum, p.blockLen = 0, 0
+	}
+	return v, nil
+}
+
+// ErrNotReady is returned by predictions that lack sufficient history.
+var ErrNotReady = errors.New("core: predictor has insufficient history")
+
+// Next predicts the next measurement (the paper's short-term horizon).
+func (p *Predictor) Next() (forecast.Prediction, error) {
+	pred, ok := p.raw.Forecast()
+	if !ok {
+		return forecast.Prediction{}, ErrNotReady
+	}
+	return pred, nil
+}
+
+// NextInterval predicts the average availability over the next aggregation
+// block (the paper's medium-term horizon: 5 minutes at default settings).
+func (p *Predictor) NextInterval() (forecast.Prediction, error) {
+	pred, ok := p.agg.Forecast()
+	if !ok {
+		return forecast.Prediction{}, ErrNotReady
+	}
+	return pred, nil
+}
+
+// NextWithBand predicts the next measurement with an empirical uncertainty
+// interval of the given coverage.
+func (p *Predictor) NextWithBand(coverage float64) (forecast.Interval, error) {
+	iv, ok := p.raw.ForecastInterval(coverage)
+	if !ok {
+		return forecast.Interval{}, ErrNotReady
+	}
+	return iv, nil
+}
+
+// ExpectedRuntime converts a predicted availability into a wall-clock
+// estimate for a task needing cpuSeconds of CPU — the expansion-factor use
+// the paper's schedulers make of these forecasts. It uses the medium-term
+// prediction when available, else the short-term one.
+func (p *Predictor) ExpectedRuntime(cpuSeconds float64) (float64, error) {
+	if cpuSeconds < 0 {
+		return 0, errors.New("core: negative CPU demand")
+	}
+	pred, err := p.NextInterval()
+	if err != nil {
+		if pred, err = p.Next(); err != nil {
+			return 0, err
+		}
+	}
+	avail := pred.Value
+	if avail < 0.01 {
+		avail = 0.01
+	}
+	return cpuSeconds / avail, nil
+}
+
+// History returns the recorded measurement series (not a copy; do not
+// modify).
+func (p *Predictor) History() *series.Series { return p.series }
+
+// AggregatedHistory returns the recorded block-mean series.
+func (p *Predictor) AggregatedHistory() *series.Series { return p.aggSeries }

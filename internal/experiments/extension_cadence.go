@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nwscpu/internal/core"
+	"nwscpu/internal/sensors"
+	"nwscpu/internal/simos"
+	"nwscpu/internal/workload"
+)
+
+// CadenceRow reports the measurement and prediction quality of one sensing
+// period on one host.
+type CadenceRow struct {
+	Host       string
+	Period     float64 // sensing period in seconds
+	MeasErr    float64 // load-average measurement error (Eq. 3)
+	OneStepErr float64 // one-step prediction error (Eq. 5)
+	Points     int     // measurements collected
+	ProbeShare float64 // fraction of wall time consumed by hybrid probes
+}
+
+// ExtensionCadence sweeps the sensing period on one host: the paper fixes
+// 10-second measurements, and this experiment shows the trade-off that
+// choice sits on — slower cadences are cheaper (fewer probes) but each
+// measurement is staler when the test process arrives, and the one-step
+// horizon covers more change.
+func (s *Suite) ExtensionCadence(host string, periods []float64) ([]CadenceRow, error) {
+	rows := make([]CadenceRow, 0, len(periods))
+	for _, period := range periods {
+		if period <= 0 {
+			return nil, fmt.Errorf("experiments: invalid sensing period %v", period)
+		}
+		p, err := profileFor(host, s.cfg.Duration)
+		if err != nil {
+			return nil, err
+		}
+		h := simos.New(simos.DefaultConfig())
+		workload.Submit(h, p.Generate(s.cfg.Duration+600))
+
+		mcfg := scaleMonitorCfg(core.ShortTermConfig(), s.cfg.Duration)
+		mcfg.MeasurePeriod = period
+		// Keep one probe per minute regardless of cadence, as the NWS does.
+		probeEvery := int(60 / period)
+		if probeEvery < 1 {
+			probeEvery = 1
+		}
+		mcfg.Hybrid = sensors.DefaultHybridConfig()
+		mcfg.Hybrid.ProbeEvery = probeEvery
+
+		m := core.NewMonitor(sensors.SimHost{H: h}, mcfg)
+		if err := m.Run(s.cfg.Duration); err != nil {
+			return nil, err
+		}
+		meas := m.Measurements[core.MethodLoadAvg]
+		me, err := core.MeasurementError(meas, m.Tests)
+		if err != nil {
+			return nil, err
+		}
+		ose, err := core.OneStepError(meas)
+		if err != nil {
+			return nil, err
+		}
+		probes := float64(meas.Len()) / float64(probeEvery)
+		rows = append(rows, CadenceRow{
+			Host:       host,
+			Period:     period,
+			MeasErr:    me,
+			OneStepErr: ose,
+			Points:     meas.Len(),
+			ProbeShare: probes * mcfg.Hybrid.ProbeLen / s.cfg.Duration,
+		})
+	}
+	return rows, nil
+}
+
+// FormatCadence renders the cadence sweep.
+func FormatCadence(rows []CadenceRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: sensing-period sweep (load-average method)\n")
+	fmt.Fprintf(&b, "%-12s %-10s %-12s %-14s %-8s %-10s\n",
+		"Host", "period", "meas err", "one-step err", "points", "probe cost")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-10s %-12s %-14s %-8d %.2f%%\n",
+			r.Host,
+			fmt.Sprintf("%.0fs", r.Period),
+			fmt.Sprintf("%.1f%%", r.MeasErr*100),
+			fmt.Sprintf("%.2f%%", r.OneStepErr*100),
+			r.Points,
+			r.ProbeShare*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nwscpu/internal/forecast"
+)
+
+// ForecasterExtRow compares the paper's forecaster bank with the extended
+// bank (AR fits plus a daily-cycle seasonal predictor) on one host's
+// week-long availability trace.
+type ForecasterExtRow struct {
+	Host        string
+	DefaultMAE  float64
+	ExtendedMAE float64
+	BestDefault string // best single member of the default bank
+	BestExt     string // best single member of the extended bank
+}
+
+// ExtensionForecasters evaluates the beyond-the-paper forecaster bank over
+// the week traces of the given hosts. The seasonal period is one day in
+// samples when the trace spans at least three days, else a quarter of the
+// trace (so the predictor still sees multiple periods at test scale).
+func (s *Suite) ExtensionForecasters(hosts []string) ([]ForecasterExtRow, error) {
+	const samplePeriod = 10.0
+	day := int(86400 / samplePeriod)
+	rows := make([]ForecasterExtRow, 0, len(hosts))
+	for _, host := range hosts {
+		week, err := s.Week(host)
+		if err != nil {
+			return nil, err
+		}
+		vals := week.Values()
+		period := day
+		if len(vals) < 3*day {
+			period = len(vals) / 4
+		}
+		if period < 2 {
+			return nil, fmt.Errorf("experiments: trace for %s too short for seasonal analysis", host)
+		}
+
+		defRes, defReport, err := forecast.EvaluateEngine(forecast.NewDefaultEngine, vals)
+		if err != nil {
+			return nil, err
+		}
+		extRes, extReport, err := forecast.EvaluateEngine(func() *forecast.Engine {
+			return forecast.NewExtendedEngine(period)
+		}, vals)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ForecasterExtRow{
+			Host:        host,
+			DefaultMAE:  defRes.MAE,
+			ExtendedMAE: extRes.MAE,
+			BestDefault: defReport[0].Name,
+			BestExt:     extReport[0].Name,
+		})
+	}
+	return rows, nil
+}
+
+// FormatForecasterExt renders the extension comparison.
+func FormatForecasterExt(rows []ForecasterExtRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: default vs extended (AR + seasonal) forecaster bank, week traces\n")
+	fmt.Fprintf(&b, "%-12s %-14s %-14s %-16s %-16s\n",
+		"Host", "default MAE", "extended MAE", "best (default)", "best (extended)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-14s %-14s %-16s %-16s\n",
+			r.Host,
+			fmt.Sprintf("%.2f%%", r.DefaultMAE*100),
+			fmt.Sprintf("%.2f%%", r.ExtendedMAE*100),
+			r.BestDefault, r.BestExt)
+	}
+	return b.String()
+}

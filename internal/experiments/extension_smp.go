@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nwscpu/internal/sensors"
+	"nwscpu/internal/simos"
+	"nwscpu/internal/workload"
+)
+
+// SMPRow holds the measurement errors on one multiprocessor configuration:
+// the naive Equation 1 (which assumes one CPU) versus the SMP-corrected
+// variant avail = min(1, N/(load+1)).
+type SMPRow struct {
+	CPUs      int
+	NaiveErr  float64 // Eq. 1 measurement error
+	SMPErr    float64 // SMP-corrected measurement error
+	MeanAvail float64 // mean availability the test processes observed
+}
+
+// ExtensionSMP runs the paper's stated future work: CPU availability
+// measurement on shared-memory multiprocessors. One beowulf-class workload
+// is scaled by the CPU count and run on 1-, 2- and 4-way hosts; a 10-second
+// test process provides ground truth. On N = 1 the two sensors coincide;
+// as N grows, naive Equation 1 increasingly under-reports availability
+// (load 2 on a 4-way machine still leaves idle processors) while the
+// corrected form stays accurate.
+func (s *Suite) ExtensionSMP(cpuCounts []int) ([]SMPRow, error) {
+	rows := make([]SMPRow, 0, len(cpuCounts))
+	for _, n := range cpuCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("experiments: invalid CPU count %d", n)
+		}
+		cfg := simos.DefaultConfig()
+		cfg.NumCPUs = n
+		h := simos.New(cfg)
+
+		// Scale the job stream with the CPU count so utilization per CPU
+		// stays comparable.
+		p := workload.Beowulf()
+		p.JobRate *= float64(n)
+		workload.Submit(h, p.Generate(s.cfg.Duration+600))
+
+		sh := sensors.SimHost{H: h}
+		naive := sensors.NewLoadAvgSensor(sh)
+		smp := sensors.NewSMPLoadAvgSensor(sh)
+
+		var naiveSum, smpSum, availSum float64
+		tests := 0
+		testEvery := s.cfg.Duration / 40 // 40 ground-truth points per config
+		if testEvery < 30 {
+			testEvery = 30
+		}
+		for t := testEvery; t <= s.cfg.Duration; t += testEvery {
+			h.RunUntil(t)
+			nv := naive.Measure()
+			sv := smp.Measure()
+			truth := sensors.RunTest(sh, 10)
+			naiveSum += abs(nv - truth)
+			smpSum += abs(sv - truth)
+			availSum += truth
+			tests++
+		}
+		if tests == 0 {
+			return nil, fmt.Errorf("experiments: SMP run too short for any tests")
+		}
+		rows = append(rows, SMPRow{
+			CPUs:      n,
+			NaiveErr:  naiveSum / float64(tests),
+			SMPErr:    smpSum / float64(tests),
+			MeanAvail: availSum / float64(tests),
+		})
+	}
+	return rows, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// FormatSMP renders the SMP extension table.
+func FormatSMP(rows []SMPRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: CPU availability measurement on shared-memory multiprocessors\n")
+	fmt.Fprintf(&b, "%-6s %-18s %-18s %-12s\n", "CPUs", "Eq.1 (naive) err", "SMP-corrected err", "mean avail")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %-18s %-18s %.1f%%\n",
+			r.CPUs,
+			fmt.Sprintf("%.1f%%", r.NaiveErr*100),
+			fmt.Sprintf("%.1f%%", r.SMPErr*100),
+			r.MeanAvail*100)
+	}
+	return b.String()
+}

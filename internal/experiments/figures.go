@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nwscpu/internal/core"
+	"nwscpu/internal/series"
+	"nwscpu/internal/stats"
+)
+
+// FigureHosts are the two hosts whose traces the paper plots.
+var FigureHosts = []string{"thing1", "thing2"}
+
+// Figure1 returns the 24-hour CPU availability measurement series (Unix load
+// average method) for thing1 and thing2 — the paper's Figure 1.
+func (s *Suite) Figure1() (map[string]*series.Series, error) {
+	out := make(map[string]*series.Series, len(FigureHosts))
+	for _, host := range FigureHosts {
+		m, err := s.Short(host)
+		if err != nil {
+			return nil, err
+		}
+		out[host] = m.Measurements[core.MethodLoadAvg]
+	}
+	return out, nil
+}
+
+// ACFLags is the number of autocorrelation lags Figure 2 plots (one hour of
+// 10-second lags).
+const ACFLags = 360
+
+// Figure2 returns the first 360 autocorrelations of the Figure 1 series for
+// thing1 and thing2 — the paper's Figure 2.
+func (s *Suite) Figure2() (map[string][]float64, error) {
+	f1, err := s.Figure1()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]float64, len(f1))
+	for host, trace := range f1 {
+		out[host] = stats.ACF(trace.Values(), ACFLags)
+	}
+	return out, nil
+}
+
+// PoxResult is one host's Figure 3 content: the pox-plot point cloud of the
+// one-week load-average availability trace, plus the fitted Hurst line.
+type PoxResult struct {
+	Host   string
+	Points []stats.PoxPoint
+	Hurst  float64
+	Fit    stats.LinFit
+}
+
+// Figure3 returns the pox plots and Hurst fits for thing1 and thing2 over
+// their one-week traces — the paper's Figure 3.
+func (s *Suite) Figure3() ([]PoxResult, error) {
+	out := make([]PoxResult, 0, len(FigureHosts))
+	for _, host := range FigureHosts {
+		week, err := s.Week(host)
+		if err != nil {
+			return nil, err
+		}
+		vals := week.Values()
+		h, fit, err := stats.HurstRS(vals, 16)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Figure 3 for %s: %w", host, err)
+		}
+		out = append(out, PoxResult{
+			Host:   host,
+			Points: stats.PoxPlot(vals, 16),
+			Hurst:  h,
+			Fit:    fit,
+		})
+	}
+	return out, nil
+}
+
+// Figure4 returns the 5-minute aggregated availability series (load-average
+// method) from the medium-term runs whose hourly 5-minute test processes
+// stamp the periodic signature the paper remarks on — the paper's Figure 4.
+func (s *Suite) Figure4() (map[string]*series.Series, error) {
+	out := make(map[string]*series.Series, len(FigureHosts))
+	for _, host := range FigureHosts {
+		m, err := s.Medium(host)
+		if err != nil {
+			return nil, err
+		}
+		agg, err := m.Measurements[core.MethodLoadAvg].AggregateCount(core.AggregateBlocks)
+		if err != nil {
+			return nil, err
+		}
+		out[host] = agg
+	}
+	return out, nil
+}
+
+// AsciiPlot renders a series as a width x height ASCII chart with the value
+// range [lo, hi]. Each column shows the mean of its time bucket.
+func AsciiPlot(s *series.Series, width, height int, lo, hi float64) string {
+	if s.Len() == 0 || width < 1 || height < 1 || hi <= lo {
+		return "(empty)\n"
+	}
+	vals := s.Values()
+	cols := make([]float64, width)
+	for c := 0; c < width; c++ {
+		a := c * len(vals) / width
+		b := (c + 1) * len(vals) / width
+		if b <= a {
+			b = a + 1
+		}
+		if b > len(vals) {
+			b = len(vals)
+		}
+		cols[c] = stats.Mean(vals[a:b])
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c, v := range cols {
+		r := int(float64(height-1) * (hi - v) / (hi - lo))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		grid[r][c] = '*'
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		yVal := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%6.1f |%s|\n", yVal*100, string(row))
+	}
+	fmt.Fprintf(&b, "        %s\n", strings.Repeat("-", width))
+	return b.String()
+}
+
+// FormatACF renders an autocorrelation function as one "lag value" pair per
+// line, decimated by the given stride for readability.
+func FormatACF(acf []float64, stride int) string {
+	if stride < 1 {
+		stride = 1
+	}
+	var b strings.Builder
+	for k := 0; k < len(acf); k += stride {
+		bar := int(acf[k] * 40)
+		if bar < 0 {
+			bar = 0
+		}
+		fmt.Fprintf(&b, "lag %4d  %+.3f |%s\n", k, acf[k], strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// FormatPox renders a pox plot result as data lines ("logd logrs") followed
+// by the fitted Hurst summary, mirroring the figure's axes.
+func FormatPox(r PoxResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# pox plot for %s: H = %.2f (fit R2 %.3f, %d points)\n",
+		r.Host, r.Hurst, r.Fit.R2, len(r.Points))
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%.4f %.4f\n", p.LogD, p.LogRS)
+	}
+	return b.String()
+}

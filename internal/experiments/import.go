@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nwscpu/internal/core"
+	"nwscpu/internal/series"
+)
+
+// Preload populates the suite's caches from a directory written by Export,
+// so tables and figures can be regenerated from archived traces without
+// re-running the simulations. Hosts with a complete set of files for a run
+// kind (all three methods plus the tests series) are loaded; partial sets
+// are skipped silently. Week traces load from <host>_week.csv. It returns
+// the number of runs loaded.
+func (s *Suite) Preload(dir string) (int, error) {
+	loaded := 0
+	readSeries := func(name string) (*series.Series, error) {
+		f, err := os.Open(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return series.ReadCSV(f, name)
+	}
+
+	for _, host := range HostNames {
+		for _, kind := range []string{"short", "medium"} {
+			meas := make(map[string]*series.Series, len(core.Methods))
+			complete := true
+			for _, method := range core.Methods {
+				sr, err := readSeries(fmt.Sprintf("%s_%s_%s", host, kind, method))
+				if err != nil {
+					complete = false
+					break
+				}
+				meas[method] = sr
+			}
+			if !complete {
+				continue
+			}
+			tests, err := readSeries(fmt.Sprintf("%s_%s_tests", host, kind))
+			if err != nil {
+				continue
+			}
+			m := core.MonitorFromSeries(meas, tests)
+			s.mu.Lock()
+			if kind == "short" {
+				s.short[host] = m
+			} else {
+				s.medium[host] = m
+			}
+			s.mu.Unlock()
+			loaded++
+		}
+		if w, err := readSeries(host + "_week"); err == nil {
+			s.mu.Lock()
+			s.week[host] = w
+			s.mu.Unlock()
+			loaded++
+		}
+	}
+	return loaded, nil
+}

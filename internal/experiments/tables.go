@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nwscpu/internal/core"
+	"nwscpu/internal/stats"
+)
+
+// MethodTriple holds one value per measurement method, in the paper's
+// column order (load average, vmstat, NWS hybrid).
+type MethodTriple struct {
+	LoadAvg float64
+	Vmstat  float64
+	Hybrid  float64
+}
+
+// Get returns the value for a method name.
+func (m MethodTriple) Get(method string) float64 {
+	switch method {
+	case core.MethodLoadAvg:
+		return m.LoadAvg
+	case core.MethodVmstat:
+		return m.Vmstat
+	case core.MethodHybrid:
+		return m.Hybrid
+	default:
+		panic(fmt.Sprintf("experiments: unknown method %q", method))
+	}
+}
+
+func (m *MethodTriple) set(method string, v float64) {
+	switch method {
+	case core.MethodLoadAvg:
+		m.LoadAvg = v
+	case core.MethodVmstat:
+		m.Vmstat = v
+	case core.MethodHybrid:
+		m.Hybrid = v
+	}
+}
+
+// ErrorTable is the shape shared by Tables 1, 2, 3, 5 and 6: one row per
+// host, one error value per method, optionally a parenthesized reference
+// value (Table 2 shows measurement error, Table 5 the unaggregated error).
+type ErrorTable struct {
+	Title string
+	Hosts []string
+	Main  map[string]MethodTriple // fractional errors, keyed by host
+	Paren map[string]MethodTriple // optional reference values
+}
+
+// String renders the table in the paper's layout with percentages.
+func (t *ErrorTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-12s %-18s %-18s %-18s\n", "Host", "Load Average", "vmstat", "NWS Hybrid")
+	cell := func(host, method string) string {
+		main := t.Main[host].Get(method)
+		if t.Paren != nil {
+			return fmt.Sprintf("%.1f%% (%.1f%%)", main*100, t.Paren[host].Get(method)*100)
+		}
+		return fmt.Sprintf("%.1f%%", main*100)
+	}
+	for _, host := range t.Hosts {
+		fmt.Fprintf(&b, "%-12s %-18s %-18s %-18s\n",
+			host, cell(host, core.MethodLoadAvg), cell(host, core.MethodVmstat), cell(host, core.MethodHybrid))
+	}
+	return b.String()
+}
+
+// errorTable runs fn for every host and method over the suite's runs.
+func (s *Suite) errorTable(title string, kind string,
+	fn func(m *core.Monitor, method string) (float64, error)) (*ErrorTable, error) {
+
+	t := &ErrorTable{Title: title, Hosts: HostNames, Main: make(map[string]MethodTriple)}
+	for _, host := range HostNames {
+		var m *core.Monitor
+		var err error
+		if kind == "medium" {
+			m, err = s.Medium(host)
+		} else {
+			m, err = s.Short(host)
+		}
+		if err != nil {
+			return nil, err
+		}
+		var row MethodTriple
+		for _, method := range core.Methods {
+			v, err := fn(m, method)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s / %s / %s: %w", title, host, method, err)
+			}
+			row.set(method, v)
+		}
+		t.Main[host] = row
+	}
+	return t, nil
+}
+
+// Table1 reproduces "Mean Absolute Measurement Errors during a 24-hour,
+// mid-week period" (Equation 3).
+func (s *Suite) Table1() (*ErrorTable, error) {
+	return s.errorTable(
+		"Table 1: Mean absolute measurement error (|measurement - test process|)",
+		"short",
+		func(m *core.Monitor, method string) (float64, error) {
+			return core.MeasurementError(m.Measurements[method], m.Tests)
+		})
+}
+
+// Table2 reproduces "Mean True Forecasting Errors and Corresponding
+// Measurement Errors" (Equation 4, with Equation 3 in parentheses).
+func (s *Suite) Table2() (*ErrorTable, error) {
+	t, err := s.errorTable(
+		"Table 2: Mean true forecasting error (measurement error in parentheses)",
+		"short",
+		func(m *core.Monitor, method string) (float64, error) {
+			return core.TrueForecastError(m.Measurements[method], m.Tests)
+		})
+	if err != nil {
+		return nil, err
+	}
+	ref, err := s.Table1()
+	if err != nil {
+		return nil, err
+	}
+	t.Paren = ref.Main
+	return t, nil
+}
+
+// Table3 reproduces "Mean Absolute One-step-ahead Prediction Errors"
+// (Equation 5) for the raw 10-second series.
+func (s *Suite) Table3() (*ErrorTable, error) {
+	return s.errorTable(
+		"Table 3: Mean absolute one-step-ahead prediction error",
+		"short",
+		func(m *core.Monitor, method string) (float64, error) {
+			return core.OneStepError(m.Measurements[method])
+		})
+}
+
+// Table4Row holds one host's self-similarity numbers: the R/S Hurst
+// estimate from the one-week trace and, per method, the variance of the
+// original 24-hour series and of its 5-minute aggregation.
+type Table4Row struct {
+	Host  string
+	Hurst float64
+	Orig  MethodTriple // variance of the 10-second series
+	Agg   MethodTriple // variance of the 5-minute (m=30) aggregated series
+}
+
+// Table4 reproduces "Variance of Original Series and 5 Minute Averages"
+// together with the Hurst parameter estimates.
+func (s *Suite) Table4() ([]Table4Row, error) {
+	rows := make([]Table4Row, 0, len(HostNames))
+	for _, host := range HostNames {
+		week, err := s.Week(host)
+		if err != nil {
+			return nil, err
+		}
+		hurst, _, err := stats.HurstRS(week.Values(), 16)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Hurst for %s: %w", host, err)
+		}
+		m, err := s.Short(host)
+		if err != nil {
+			return nil, err
+		}
+		row := Table4Row{Host: host, Hurst: hurst}
+		for _, method := range core.Methods {
+			orig, agg, err := core.VarianceComparison(m.Measurements[method], core.AggregateBlocks)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: variance for %s/%s: %w", host, method, err)
+			}
+			row.Orig.set(method, orig)
+			row.Agg.set(method, agg)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders Table 4 in the paper's layout.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString("Table 4: Hurst estimate; variance of original series and 5-minute averages\n")
+	fmt.Fprintf(&b, "%-12s %-6s %-19s %-19s %-19s\n", "Host", "H", "Load Avg (orig/300s)", "vmstat (orig/300s)", "Hybrid (orig/300s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-6.2f %.4f/%.4f      %.4f/%.4f      %.4f/%.4f\n",
+			r.Host, r.Hurst,
+			r.Orig.LoadAvg, r.Agg.LoadAvg,
+			r.Orig.Vmstat, r.Agg.Vmstat,
+			r.Orig.Hybrid, r.Agg.Hybrid)
+	}
+	return b.String()
+}
+
+// Table5 reproduces "Mean Absolute One-step-ahead Prediction Errors for 5
+// Minutes Aggregated" (Equation 5 over X^(30), with the unaggregated error
+// of Table 3 in parentheses).
+func (s *Suite) Table5() (*ErrorTable, error) {
+	t, err := s.errorTable(
+		"Table 5: One-step-ahead prediction error of 5-minute aggregated series (unaggregated in parentheses)",
+		"short",
+		func(m *core.Monitor, method string) (float64, error) {
+			return core.AggregatedOneStepError(m.Measurements[method], core.AggregateBlocks)
+		})
+	if err != nil {
+		return nil, err
+	}
+	ref, err := s.Table3()
+	if err != nil {
+		return nil, err
+	}
+	t.Paren = ref.Main
+	return t, nil
+}
+
+// Table6 reproduces "Mean True Forecasting Errors for 5 Minute Average CPU
+// Availability": the engine forecasts the next 5-minute block average and is
+// scored against the 5-minute test process run once per hour.
+func (s *Suite) Table6() (*ErrorTable, error) {
+	return s.errorTable(
+		"Table 6: Mean true forecasting error for 5-minute average availability",
+		"medium",
+		func(m *core.Monitor, method string) (float64, error) {
+			return core.AggregatedTrueForecastError(m.Measurements[method], m.Tests, core.AggregateBlocks)
+		})
+}

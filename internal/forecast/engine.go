@@ -1,0 +1,299 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nwscpu/internal/series"
+)
+
+// SelectBy chooses the criterion the engine uses to rank its forecasters.
+type SelectBy int
+
+const (
+	// ByMAE ranks forecasters by cumulative mean absolute error (the NWS
+	// default and the error metric reported throughout the paper).
+	ByMAE SelectBy = iota
+	// ByMSE ranks forecasters by cumulative mean squared error.
+	ByMSE
+)
+
+// tracker pairs a Forecaster with its running one-step-ahead error record.
+// With a selection window configured it also keeps the recent absolute and
+// squared errors in rings so the selector can rank by recent accuracy, as
+// the paper describes ("most accurate over the recent set of measurements").
+type tracker struct {
+	f          Forecaster
+	pending    float64 // forecast issued for the next value
+	hasPending bool
+	sumAbs     float64
+	sumSq      float64
+	n          int
+
+	winAbs *series.Ring // nil = cumulative selection
+	winSq  *series.Ring
+}
+
+func (t *tracker) record(absErr, sqErr float64) {
+	t.sumAbs += absErr
+	t.sumSq += sqErr
+	t.n++
+	if t.winAbs != nil {
+		t.winAbs.Push(absErr)
+		t.winSq.Push(sqErr)
+	}
+}
+
+// score returns the selection criterion value: windowed recent error when a
+// window is configured, else the cumulative error.
+func (t *tracker) score(by SelectBy) float64 {
+	if t.winAbs != nil && t.winAbs.Len() > 0 {
+		ring := t.winAbs
+		if by == ByMSE {
+			ring = t.winSq
+		}
+		var sum float64
+		for i := 0; i < ring.Len(); i++ {
+			sum += ring.At(i)
+		}
+		return sum / float64(ring.Len())
+	}
+	if by == ByMSE {
+		return t.mse()
+	}
+	return t.mae()
+}
+
+func (t *tracker) mae() float64 {
+	if t.n == 0 {
+		return math.Inf(1)
+	}
+	return t.sumAbs / float64(t.n)
+}
+
+func (t *tracker) mse() float64 {
+	if t.n == 0 {
+		return math.Inf(1)
+	}
+	return t.sumSq / float64(t.n)
+}
+
+// Prediction is the engine's one-step-ahead output.
+type Prediction struct {
+	Value  float64 // predicted next measurement
+	Method string  // name of the forecaster that produced it
+	MAE    float64 // that forecaster's cumulative mean absolute error
+	MSE    float64 // that forecaster's cumulative mean squared error
+}
+
+// Engine is the NWS dynamic forecaster: it runs a bank of Forecasters in
+// parallel over the same series, scores each one's one-step-ahead forecasts
+// against the measurements that subsequently arrive, and forwards the
+// prediction of the member with the lowest cumulative error. Wolski showed
+// this choice tracks, and sometimes beats, the best single member.
+//
+// Engine is not safe for concurrent use; wrap it in a mutex if shared.
+type Engine struct {
+	trackers []*tracker
+	selectBy SelectBy
+	n        int // measurements seen
+
+	// The engine's own forwarded-forecast residuals, backing the empirical
+	// prediction intervals of ForecastInterval.
+	ownForecast float64
+	ownPending  bool
+	ownErrs     *series.Ring
+
+	// selections counts how often each member was the one the engine
+	// forwarded (the NWS selection dynamics).
+	selections map[string]int
+}
+
+// NewEngine builds an engine over the given forecasters with cumulative
+// selection. It panics if the bank is empty or contains duplicate names
+// (names key the reports).
+func NewEngine(selectBy SelectBy, bank ...Forecaster) *Engine {
+	return NewWindowedEngine(selectBy, 0, bank...)
+}
+
+// NewWindowedEngine builds an engine that ranks its members by their error
+// over the most recent selectWindow scored forecasts (0 = entire history).
+// A short window lets the selection react when the series' character
+// changes; a long one resists noise.
+func NewWindowedEngine(selectBy SelectBy, selectWindow int, bank ...Forecaster) *Engine {
+	if len(bank) == 0 {
+		panic("forecast: NewEngine needs at least one forecaster")
+	}
+	if selectWindow < 0 {
+		panic("forecast: selection window must be >= 0")
+	}
+	seen := make(map[string]bool, len(bank))
+	ts := make([]*tracker, len(bank))
+	for i, f := range bank {
+		if seen[f.Name()] {
+			panic(fmt.Sprintf("forecast: duplicate forecaster name %q", f.Name()))
+		}
+		seen[f.Name()] = true
+		ts[i] = &tracker{f: f}
+		if selectWindow > 0 {
+			ts[i].winAbs = series.NewRing(selectWindow)
+			ts[i].winSq = series.NewRing(selectWindow)
+		}
+	}
+	return &Engine{trackers: ts, selectBy: selectBy, selections: make(map[string]int)}
+}
+
+// DefaultBank returns the standard NWS-style forecaster complement: last
+// value, running mean, sliding means and medians over several windows,
+// trimmed means, exponential smoothing over several gains, adaptive-gain
+// smoothing, adaptive windows, and a damped trend.
+func DefaultBank() []Forecaster {
+	return []Forecaster{
+		NewLastValue(),
+		NewRunningMean(),
+		NewSlidingMean(5),
+		NewSlidingMean(10),
+		NewSlidingMean(20),
+		NewSlidingMean(30),
+		NewSlidingMean(50),
+		NewSlidingMedian(5),
+		NewSlidingMedian(10),
+		NewSlidingMedian(20),
+		NewSlidingMedian(30),
+		NewSlidingMedian(50),
+		NewTrimmedMean(30, 0.3),
+		NewTrimmedMean(50, 0.2),
+		NewExpSmooth("exp_05", 0.05),
+		NewExpSmooth("exp_10", 0.10),
+		NewExpSmooth("exp_20", 0.20),
+		NewExpSmooth("exp_30", 0.30),
+		NewExpSmooth("exp_50", 0.50),
+		NewExpSmooth("exp_75", 0.75),
+		NewExpSmooth("exp_90", 0.90),
+		NewTriggLeach(0.2),
+		NewAdaptiveWindowMean(5, 10, 20, 50),
+		NewAdaptiveWindowMedian(5, 10, 20, 50),
+		NewTrend(0.5),
+	}
+}
+
+// NewDefaultEngine returns an Engine over DefaultBank selecting by MAE —
+// the configuration evaluated in the paper.
+func NewDefaultEngine() *Engine { return NewEngine(ByMAE, DefaultBank()...) }
+
+// ExtendedBank is DefaultBank plus the model-based forecasters added beyond
+// the paper: Yule-Walker AR(p) fits and a daily-cycle seasonal predictor
+// (period in samples; 8640 is 24 hours of 10-second measurements).
+func ExtendedBank(seasonalPeriod int) []Forecaster {
+	bank := DefaultBank()
+	bank = append(bank,
+		NewAR(2, 120, 25),
+		NewAR(8, 240, 25),
+		NewHolt("holt_30_10", 0.3, 0.1),
+	)
+	if seasonalPeriod >= 2 {
+		bank = append(bank, NewSeasonal(seasonalPeriod, 7))
+	}
+	return bank
+}
+
+// NewExtendedEngine returns an Engine over ExtendedBank selecting by MAE.
+func NewExtendedEngine(seasonalPeriod int) *Engine {
+	return NewEngine(ByMAE, ExtendedBank(seasonalPeriod)...)
+}
+
+// Update feeds the next measurement: every member's outstanding forecast is
+// scored against v, then every member absorbs v.
+func (e *Engine) Update(v float64) {
+	e.recordOwnError(v)
+	for _, t := range e.trackers {
+		if t.hasPending {
+			d := t.pending - v
+			t.record(math.Abs(d), d*d)
+		}
+		t.f.Update(v)
+		t.pending, t.hasPending = t.f.Forecast()
+	}
+	e.n++
+	e.noteOwnForecast()
+}
+
+// N returns the number of measurements seen.
+func (e *Engine) N() int { return e.n }
+
+// Forecast returns the prediction of the currently best-scoring member.
+// ok is false until at least one member can forecast.
+func (e *Engine) Forecast() (Prediction, bool) {
+	best := -1
+	bestScore := math.Inf(1)
+	for i, t := range e.trackers {
+		if !t.hasPending {
+			continue
+		}
+		score := t.score(e.selectBy)
+		// Members with no scored forecasts yet (score == +Inf) still beat
+		// "no forecast at all": fall back to the first pending one.
+		if best == -1 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best == -1 {
+		return Prediction{}, false
+	}
+	t := e.trackers[best]
+	return Prediction{Value: t.pending, Method: t.f.Name(), MAE: t.mae(), MSE: t.mse()}, true
+}
+
+// MethodError summarizes one bank member's accuracy.
+type MethodError struct {
+	Name string
+	MAE  float64
+	MSE  float64
+	N    int
+}
+
+// Report returns the per-member error summary sorted by ascending MAE.
+// Members that have not yet been scored report MAE and MSE of +Inf.
+func (e *Engine) Report() []MethodError {
+	out := make([]MethodError, len(e.trackers))
+	for i, t := range e.trackers {
+		out[i] = MethodError{Name: t.f.Name(), MAE: t.mae(), MSE: t.mse(), N: t.n}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MAE < out[j].MAE })
+	return out
+}
+
+// SelectionCounts returns how many times each member was the engine's
+// forwarded choice, sorted by descending count — the selection dynamics the
+// NWS papers report (one method rarely dominates; the lead changes as the
+// series' character shifts).
+func (e *Engine) SelectionCounts() []MethodCount {
+	out := make([]MethodCount, 0, len(e.selections))
+	for name, n := range e.selections {
+		out = append(out, MethodCount{Name: name, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// MethodCount pairs a forecaster name with its selection count.
+type MethodCount struct {
+	Name  string
+	Count int
+}
+
+// BestMethod returns the name of the member the engine would forward right
+// now, or "" if none has forecast yet.
+func (e *Engine) BestMethod() string {
+	p, ok := e.Forecast()
+	if !ok {
+		return ""
+	}
+	return p.Method
+}

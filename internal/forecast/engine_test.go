@@ -1,0 +1,315 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEngineEmptyBankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty bank accepted")
+		}
+	}()
+	NewEngine(ByMAE)
+}
+
+func TestEngineDuplicateNamesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate names accepted")
+		}
+	}()
+	NewEngine(ByMAE, NewLastValue(), NewLastValue())
+}
+
+func TestEngineNoForecastBeforeData(t *testing.T) {
+	e := NewDefaultEngine()
+	if _, ok := e.Forecast(); ok {
+		t.Fatal("engine forecast before any data")
+	}
+	if e.BestMethod() != "" {
+		t.Fatal("BestMethod before data should be empty")
+	}
+	e.Update(0.5)
+	if _, ok := e.Forecast(); !ok {
+		t.Fatal("engine should forecast after one value")
+	}
+	if e.N() != 1 {
+		t.Fatalf("N = %d", e.N())
+	}
+}
+
+func TestEngineConstantSeries(t *testing.T) {
+	e := NewDefaultEngine()
+	for i := 0; i < 200; i++ {
+		e.Update(0.42)
+	}
+	p, ok := e.Forecast()
+	if !ok {
+		t.Fatal("no forecast")
+	}
+	if math.Abs(p.Value-0.42) > 1e-9 {
+		t.Fatalf("forecast = %v, want 0.42", p.Value)
+	}
+	if p.MAE > 1e-9 {
+		t.Fatalf("MAE on constant series = %v, want 0", p.MAE)
+	}
+}
+
+func TestEnginePicksLastValueOnRandomWalk(t *testing.T) {
+	// On a random walk, last-value is the optimal one-step predictor among
+	// the bank; the selector must find it.
+	rng := rand.New(rand.NewSource(23))
+	e := NewEngine(ByMAE, NewLastValue(), NewRunningMean(), NewSlidingMean(50))
+	x := 0.0
+	for i := 0; i < 5000; i++ {
+		x += rng.NormFloat64()
+		e.Update(x)
+	}
+	if got := e.BestMethod(); got != "last_value" {
+		t.Fatalf("BestMethod = %q, want last_value", got)
+	}
+}
+
+func TestEnginePicksMeanOnWhiteNoise(t *testing.T) {
+	// On i.i.d. noise around a fixed level, the long mean beats last-value.
+	rng := rand.New(rand.NewSource(24))
+	e := NewEngine(ByMAE, NewLastValue(), NewRunningMean())
+	for i := 0; i < 5000; i++ {
+		e.Update(10 + rng.NormFloat64())
+	}
+	if got := e.BestMethod(); got != "run_mean" {
+		t.Fatalf("BestMethod = %q, want run_mean", got)
+	}
+}
+
+func TestEngineMixtureNearBestMember(t *testing.T) {
+	// The NWS claim: the dynamic selection is about as accurate as the best
+	// individual member. Allow 15% slack for switching cost.
+	rng := rand.New(rand.NewSource(25))
+	vals := make([]float64, 4000)
+	level := 0.5
+	for i := range vals {
+		if rng.Float64() < 0.01 {
+			level = rng.Float64()
+		}
+		vals[i] = level + rng.NormFloat64()*0.05
+	}
+	engRes, report, err := EvaluateEngine(NewDefaultEngine, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestMAE := report[0].MAE
+	if engRes.MAE > bestMAE*1.15 {
+		t.Fatalf("engine MAE %v much worse than best member %v (%s)",
+			engRes.MAE, bestMAE, report[0].Name)
+	}
+}
+
+func TestEngineMSESelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	e := NewEngine(ByMSE, NewLastValue(), NewRunningMean())
+	for i := 0; i < 3000; i++ {
+		e.Update(rng.NormFloat64())
+	}
+	p, ok := e.Forecast()
+	if !ok {
+		t.Fatal("no forecast")
+	}
+	if p.Method != "run_mean" {
+		t.Fatalf("MSE selector chose %q, want run_mean", p.Method)
+	}
+	if p.MSE <= 0 {
+		t.Fatalf("MSE = %v", p.MSE)
+	}
+}
+
+func TestEngineReportSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	e := NewDefaultEngine()
+	for i := 0; i < 500; i++ {
+		e.Update(rng.Float64())
+	}
+	rep := e.Report()
+	if len(rep) != len(DefaultBank()) {
+		t.Fatalf("report size = %d", len(rep))
+	}
+	for i := 1; i < len(rep); i++ {
+		if rep[i-1].MAE > rep[i].MAE {
+			t.Fatalf("report not sorted at %d: %v > %v", i, rep[i-1].MAE, rep[i].MAE)
+		}
+	}
+	for _, m := range rep {
+		if m.N == 0 {
+			t.Fatalf("method %s never scored", m.Name)
+		}
+	}
+}
+
+func TestEvaluateMatchesManualMAE(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	res, err := Evaluate(NewLastValue(), vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forecasts: NaN, 1, 2, 3 -> errors 1,1,1 -> MAE 1.
+	if res.N != 3 || math.Abs(res.MAE-1) > 1e-12 {
+		t.Fatalf("res = %+v", res)
+	}
+	if !math.IsNaN(res.Forecasts[0]) || res.Forecasts[1] != 1 {
+		t.Fatalf("forecasts = %v", res.Forecasts)
+	}
+	if math.Abs(res.RMSE-1) > 1e-12 {
+		t.Fatalf("RMSE = %v", res.RMSE)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	if _, err := Evaluate(NewLastValue(), nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, _, err := EvaluateEngine(NewDefaultEngine, nil); err == nil {
+		t.Fatal("empty series accepted by EvaluateEngine")
+	}
+}
+
+func TestEvaluateEngineForecastsAligned(t *testing.T) {
+	vals := []float64{5, 5, 5, 5, 5}
+	res, _, err := EvaluateEngine(NewDefaultEngine, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Forecasts) != len(vals) {
+		t.Fatalf("forecast length %d", len(res.Forecasts))
+	}
+	for i := 1; i < len(vals); i++ {
+		if res.Forecasts[i] != 5 {
+			t.Fatalf("forecast[%d] = %v", i, res.Forecasts[i])
+		}
+	}
+}
+
+func BenchmarkEngineUpdate(b *testing.B) {
+	e := NewDefaultEngine()
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Update(vals[i%len(vals)])
+	}
+}
+
+func BenchmarkEngineForecast(b *testing.B) {
+	e := NewDefaultEngine()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		e.Update(rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.Forecast(); !ok {
+			b.Fatal("no forecast")
+		}
+	}
+}
+
+func TestSelectionCounts(t *testing.T) {
+	e := NewDefaultEngine()
+	if len(e.SelectionCounts()) != 0 {
+		t.Fatal("selections before data")
+	}
+	rng := rand.New(rand.NewSource(31))
+	level := 0.5
+	n := 2000
+	for i := 0; i < n; i++ {
+		if i%400 == 0 {
+			level = rng.Float64()
+		}
+		e.Update(level + rng.NormFloat64()*0.05)
+	}
+	counts := e.SelectionCounts()
+	if len(counts) == 0 {
+		t.Fatal("no selections recorded")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c.Count
+		if c.Count <= 0 {
+			t.Fatalf("non-positive count: %+v", c)
+		}
+	}
+	if total != n {
+		t.Fatalf("selection total = %d, want %d", total, n)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i-1].Count < counts[i].Count {
+			t.Fatalf("counts not sorted: %v", counts)
+		}
+	}
+}
+
+func TestWindowedEngineValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative window accepted")
+		}
+	}()
+	NewWindowedEngine(ByMAE, -1, NewLastValue())
+}
+
+func TestWindowedSelectionAdaptsFaster(t *testing.T) {
+	// Phase 1: white noise around a level (running mean wins). Phase 2:
+	// random walk (last value wins). A short selection window must switch
+	// to last_value faster than the cumulative selector.
+	mkVals := func() []float64 {
+		rng := rand.New(rand.NewSource(41))
+		vals := make([]float64, 0, 4000)
+		for i := 0; i < 2000; i++ {
+			vals = append(vals, 10+rng.NormFloat64()*0.1)
+		}
+		x := 10.0
+		for i := 0; i < 2000; i++ {
+			x += rng.NormFloat64()
+			vals = append(vals, x)
+		}
+		return vals
+	}
+	switchPoint := func(newEng func() *Engine) int {
+		e := newEng()
+		vals := mkVals()
+		for i, v := range vals {
+			e.Update(v)
+			if i > 2000 && e.BestMethod() == "last_value" {
+				return i - 2000
+			}
+		}
+		return len(vals)
+	}
+	bank := func() []Forecaster { return []Forecaster{NewLastValue(), NewRunningMean()} }
+	cumulative := switchPoint(func() *Engine { return NewEngine(ByMAE, bank()...) })
+	windowed := switchPoint(func() *Engine { return NewWindowedEngine(ByMAE, 50, bank()...) })
+	if windowed >= cumulative {
+		t.Fatalf("windowed selection (%d steps) not faster than cumulative (%d)", windowed, cumulative)
+	}
+	if windowed > 200 {
+		t.Fatalf("windowed selection too slow: %d steps", windowed)
+	}
+}
+
+func TestWindowedEngineConstantSeries(t *testing.T) {
+	e := NewWindowedEngine(ByMAE, 20, DefaultBank()...)
+	for i := 0; i < 100; i++ {
+		e.Update(0.3)
+	}
+	p, ok := e.Forecast()
+	if !ok || math.Abs(p.Value-0.3) > 1e-9 {
+		t.Fatalf("windowed engine on constant series: %v %v", p.Value, ok)
+	}
+}

@@ -1,0 +1,50 @@
+package forecast_test
+
+import (
+	"fmt"
+
+	"nwscpu/internal/forecast"
+)
+
+// The basic usage: feed measurements, read one-step-ahead predictions.
+func ExampleEngine() {
+	eng := forecast.NewDefaultEngine()
+	for _, v := range []float64{0.9, 0.9, 0.9, 0.9, 0.9} {
+		eng.Update(v)
+	}
+	pred, _ := eng.Forecast()
+	fmt.Printf("next availability: %.0f%%\n", pred.Value*100)
+	// Output: next availability: 90%
+}
+
+// Prediction intervals quantify forecast uncertainty from the engine's own
+// recent residuals.
+func ExampleEngine_ForecastInterval() {
+	eng := forecast.NewDefaultEngine()
+	for i := 0; i < 100; i++ {
+		eng.Update(0.5)
+	}
+	iv, _ := eng.ForecastInterval(0.9)
+	fmt.Printf("%.2f in [%.2f, %.2f]\n", iv.Value, iv.Lo, iv.Hi)
+	// Output: 0.50 in [0.50, 0.50]
+}
+
+// Evaluate replays a whole series through a forecaster, computing the
+// paper's one-step-ahead prediction error (Equation 5).
+func ExampleEvaluate() {
+	res, _ := forecast.Evaluate(forecast.NewLastValue(), []float64{1, 2, 3, 4})
+	fmt.Printf("MAE %.1f over %d forecasts\n", res.MAE, res.N)
+	// Output: MAE 1.0 over 3 forecasts
+}
+
+// Individual forecasters satisfy a one-method-pair interface and can be
+// used standalone.
+func ExampleSlidingMean() {
+	f := forecast.NewSlidingMean(3)
+	for _, v := range []float64{1, 2, 3, 4} {
+		f.Update(v)
+	}
+	pred, _ := f.Forecast()
+	fmt.Println(pred)
+	// Output: 3
+}

@@ -1,0 +1,303 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func feed(f Forecaster, vs ...float64) {
+	for _, v := range vs {
+		f.Update(v)
+	}
+}
+
+func mustForecast(t *testing.T, f Forecaster) float64 {
+	t.Helper()
+	v, ok := f.Forecast()
+	if !ok {
+		t.Fatalf("%s: Forecast not ready", f.Name())
+	}
+	return v
+}
+
+func TestLastValue(t *testing.T) {
+	f := NewLastValue()
+	if _, ok := f.Forecast(); ok {
+		t.Fatal("empty LastValue should not forecast")
+	}
+	feed(f, 1, 2, 7)
+	if got := mustForecast(t, f); got != 7 {
+		t.Fatalf("LastValue = %v, want 7", got)
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	f := NewRunningMean()
+	if _, ok := f.Forecast(); ok {
+		t.Fatal("empty RunningMean should not forecast")
+	}
+	feed(f, 1, 2, 3, 4)
+	if got := mustForecast(t, f); got != 2.5 {
+		t.Fatalf("RunningMean = %v, want 2.5", got)
+	}
+}
+
+func TestExpSmooth(t *testing.T) {
+	f := NewExpSmooth("exp", 0.5)
+	feed(f, 10)
+	if got := mustForecast(t, f); got != 10 {
+		t.Fatalf("first value should seed the state, got %v", got)
+	}
+	feed(f, 20)
+	if got := mustForecast(t, f); got != 15 {
+		t.Fatalf("ExpSmooth = %v, want 15", got)
+	}
+}
+
+func TestExpSmoothPanics(t *testing.T) {
+	for _, g := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("gain %v accepted", g)
+				}
+			}()
+			NewExpSmooth("x", g)
+		}()
+	}
+}
+
+func TestTriggLeachTracksLevelShift(t *testing.T) {
+	f := NewTriggLeach(0.2)
+	for i := 0; i < 50; i++ {
+		f.Update(1)
+	}
+	if got := mustForecast(t, f); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("steady state = %v, want 1", got)
+	}
+	// Level shift: the adaptive gain should converge quickly.
+	for i := 0; i < 10; i++ {
+		f.Update(5)
+	}
+	if got := mustForecast(t, f); math.Abs(got-5) > 0.2 {
+		t.Fatalf("after shift = %v, want near 5", got)
+	}
+}
+
+func TestTriggLeachPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("phi 0 accepted")
+		}
+	}()
+	NewTriggLeach(0)
+}
+
+func TestTrend(t *testing.T) {
+	f := NewTrend(0.5)
+	if _, ok := f.Forecast(); ok {
+		t.Fatal("empty Trend should not forecast")
+	}
+	feed(f, 10)
+	if got := mustForecast(t, f); got != 10 {
+		t.Fatalf("one-sample Trend = %v", got)
+	}
+	feed(f, 14)
+	if got := mustForecast(t, f); got != 16 {
+		t.Fatalf("Trend = %v, want 16 (= 14 + 0.5*4)", got)
+	}
+}
+
+func TestTrendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("damping 0 accepted")
+		}
+	}()
+	NewTrend(0)
+}
+
+func TestSlidingMean(t *testing.T) {
+	f := NewSlidingMean(3)
+	feed(f, 1, 2, 3, 4) // window holds 2,3,4
+	if got := mustForecast(t, f); got != 3 {
+		t.Fatalf("SlidingMean = %v, want 3", got)
+	}
+	if f.Name() != "sw_mean_3" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+}
+
+func TestSlidingMeanPartialWindow(t *testing.T) {
+	f := NewSlidingMean(10)
+	feed(f, 2, 4)
+	if got := mustForecast(t, f); got != 3 {
+		t.Fatalf("partial-window mean = %v, want 3", got)
+	}
+}
+
+func TestSlidingMeanStaysAccurate(t *testing.T) {
+	// Long run: incremental sum must not drift away from the exact mean.
+	f := NewSlidingMean(7)
+	rng := rand.New(rand.NewSource(4))
+	var last []float64
+	for i := 0; i < 100000; i++ {
+		v := rng.Float64()
+		f.Update(v)
+		last = append(last, v)
+		if len(last) > 7 {
+			last = last[1:]
+		}
+	}
+	var sum float64
+	for _, v := range last {
+		sum += v
+	}
+	want := sum / float64(len(last))
+	if got := mustForecast(t, f); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("drift: got %v, want %v", got, want)
+	}
+}
+
+func TestSlidingMedian(t *testing.T) {
+	f := NewSlidingMedian(3)
+	feed(f, 100, 1, 2, 9) // window 1,2,9
+	if got := mustForecast(t, f); got != 2 {
+		t.Fatalf("SlidingMedian = %v, want 2", got)
+	}
+	if _, ok := NewSlidingMedian(5).Forecast(); ok {
+		t.Fatal("empty median should not forecast")
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	f := NewTrimmedMean(5, 0.2)
+	feed(f, 100, 1, 2, 3, -50) // sorted: -50,1,2,3,100; trim 1 each side -> mean(1,2,3)=2
+	if got := mustForecast(t, f); got != 2 {
+		t.Fatalf("TrimmedMean = %v, want 2", got)
+	}
+}
+
+func TestTrimmedMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("trim 0.5 accepted")
+		}
+	}()
+	NewTrimmedMean(5, 0.5)
+}
+
+func TestAdaptiveWindowPrefersShortOnShifts(t *testing.T) {
+	f := NewAdaptiveWindowMean(2, 50)
+	// A series with frequent level shifts favors the short window.
+	rng := rand.New(rand.NewSource(17))
+	level := 0.0
+	for i := 0; i < 500; i++ {
+		if i%10 == 0 {
+			level = rng.Float64() * 100
+		}
+		f.Update(level + rng.NormFloat64()*0.01)
+	}
+	if got := f.BestLength(); got != 2 {
+		t.Fatalf("BestLength = %d, want 2 on shifting series", got)
+	}
+}
+
+func TestAdaptiveWindowPrefersLongOnNoise(t *testing.T) {
+	f := NewAdaptiveWindowMedian(2, 50)
+	rng := rand.New(rand.NewSource(18))
+	for i := 0; i < 2000; i++ {
+		f.Update(5 + rng.NormFloat64())
+	}
+	if got := f.BestLength(); got != 50 {
+		t.Fatalf("BestLength = %d, want 50 on stationary noise", got)
+	}
+}
+
+func TestAdaptiveWindowPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewAdaptiveWindowMean() },
+		func() { NewAdaptiveWindowMean(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: every forecaster in the default bank, fed a constant series,
+// predicts that constant.
+func TestBankConstantSeries(t *testing.T) {
+	for _, f := range DefaultBank() {
+		for i := 0; i < 100; i++ {
+			f.Update(0.75)
+		}
+		v, ok := f.Forecast()
+		if !ok {
+			t.Errorf("%s: no forecast after 100 updates", f.Name())
+			continue
+		}
+		if math.Abs(v-0.75) > 1e-9 {
+			t.Errorf("%s: constant series forecast = %v, want 0.75", f.Name(), v)
+		}
+	}
+}
+
+// Property: forecasts always lie within [min, max] of the values seen so far
+// for every non-extrapolating bank member (Trend extrapolates by design).
+func TestBankForecastsBounded(t *testing.T) {
+	prop := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e50 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		for _, f := range DefaultBank() {
+			if f.Name() == "trend" {
+				continue
+			}
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, v := range vals {
+				f.Update(v)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+				p, ok := f.Forecast()
+				if !ok {
+					return false
+				}
+				if p < lo-1e-6 || p > hi+1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range DefaultBank() {
+		if seen[f.Name()] {
+			t.Fatalf("duplicate forecaster name %q", f.Name())
+		}
+		seen[f.Name()] = true
+	}
+}

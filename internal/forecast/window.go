@@ -1,0 +1,209 @@
+package forecast
+
+import (
+	"fmt"
+
+	"nwscpu/internal/series"
+	"nwscpu/internal/stats"
+)
+
+// SlidingMean predicts the mean of the last w measurements. The running sum
+// is maintained incrementally so Update and Forecast are O(1).
+type SlidingMean struct {
+	name string
+	ring *series.Ring
+	sum  float64
+}
+
+// NewSlidingMean returns a sliding-window mean over windows of w values.
+// It panics if w < 1.
+func NewSlidingMean(w int) *SlidingMean {
+	return &SlidingMean{name: fmt.Sprintf("sw_mean_%d", w), ring: series.NewRing(w)}
+}
+
+// Name implements Forecaster.
+func (f *SlidingMean) Name() string { return f.name }
+
+// Update implements Forecaster.
+func (f *SlidingMean) Update(v float64) {
+	if f.ring.Full() {
+		f.sum -= f.ring.At(0)
+	}
+	f.ring.Push(v)
+	f.sum += v
+}
+
+// Forecast implements Forecaster.
+func (f *SlidingMean) Forecast() (float64, bool) {
+	n := f.ring.Len()
+	if n == 0 {
+		return 0, false
+	}
+	return f.sum / float64(n), true
+}
+
+// SlidingMedian predicts the median of the last w measurements.
+type SlidingMedian struct {
+	name string
+	win  ringWindow
+}
+
+// NewSlidingMedian returns a sliding-window median over windows of w values.
+// It panics if w < 1.
+func NewSlidingMedian(w int) *SlidingMedian {
+	return &SlidingMedian{name: fmt.Sprintf("sw_median_%d", w), win: newRingWindow(w)}
+}
+
+// Name implements Forecaster.
+func (f *SlidingMedian) Name() string { return f.name }
+
+// Update implements Forecaster.
+func (f *SlidingMedian) Update(v float64) { f.win.ring.Push(v) }
+
+// Forecast implements Forecaster.
+func (f *SlidingMedian) Forecast() (float64, bool) {
+	if f.win.ring.Len() == 0 {
+		return 0, false
+	}
+	f.win.scratch = f.win.ring.Values(f.win.scratch)
+	return stats.Median(f.win.scratch), true
+}
+
+// TrimmedMean predicts the alpha-trimmed mean of the last w measurements:
+// the window is sorted and the lowest and highest trim fraction discarded
+// before averaging. This is the NWS "trimmed" family, robust to the spikes a
+// briefly scheduled interactive job injects into an availability series.
+type TrimmedMean struct {
+	name string
+	trim float64
+	win  ringWindow
+}
+
+// NewTrimmedMean returns an alpha-trimmed sliding mean. It panics if w < 1
+// or trim is outside [0, 0.5).
+func NewTrimmedMean(w int, trim float64) *TrimmedMean {
+	if trim < 0 || trim >= 0.5 {
+		panic("forecast: TrimmedMean trim must be in [0,0.5)")
+	}
+	return &TrimmedMean{
+		name: fmt.Sprintf("sw_trim_%d_%02.0f", w, trim*100),
+		trim: trim,
+		win:  newRingWindow(w),
+	}
+}
+
+// Name implements Forecaster.
+func (f *TrimmedMean) Name() string { return f.name }
+
+// Update implements Forecaster.
+func (f *TrimmedMean) Update(v float64) { f.win.ring.Push(v) }
+
+// Forecast implements Forecaster.
+func (f *TrimmedMean) Forecast() (float64, bool) {
+	if f.win.ring.Len() == 0 {
+		return 0, false
+	}
+	f.win.scratch = f.win.ring.Values(f.win.scratch)
+	return stats.TrimmedMean(f.win.scratch, f.trim), true
+}
+
+// AdaptiveWindow predicts the mean (or median) of a window whose length
+// adapts to the series: after each measurement it scores every candidate
+// window length against the value just seen and uses the cumulatively best
+// length for the next forecast. This mirrors the NWS adaptive-window
+// predictors.
+type AdaptiveWindow struct {
+	name      string
+	useMedian bool
+	lengths   []int
+	errs      []float64 // cumulative absolute error per candidate length
+	win       ringWindow
+}
+
+// NewAdaptiveWindowMean returns an adaptive-window mean predictor choosing
+// among the given window lengths. It panics if lengths is empty or contains
+// a non-positive length.
+func NewAdaptiveWindowMean(lengths ...int) *AdaptiveWindow {
+	return newAdaptiveWindow("adapt_mean", false, lengths)
+}
+
+// NewAdaptiveWindowMedian returns an adaptive-window median predictor.
+func NewAdaptiveWindowMedian(lengths ...int) *AdaptiveWindow {
+	return newAdaptiveWindow("adapt_median", true, lengths)
+}
+
+func newAdaptiveWindow(name string, useMedian bool, lengths []int) *AdaptiveWindow {
+	if len(lengths) == 0 {
+		panic("forecast: AdaptiveWindow needs at least one length")
+	}
+	maxLen := 0
+	for _, l := range lengths {
+		if l < 1 {
+			panic("forecast: AdaptiveWindow lengths must be positive")
+		}
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	return &AdaptiveWindow{
+		name:      name,
+		useMedian: useMedian,
+		lengths:   append([]int(nil), lengths...),
+		errs:      make([]float64, len(lengths)),
+		win:       newRingWindow(maxLen),
+	}
+}
+
+// Name implements Forecaster.
+func (f *AdaptiveWindow) Name() string { return f.name }
+
+// Update implements Forecaster.
+func (f *AdaptiveWindow) Update(v float64) {
+	// Score each candidate length's forecast against the arriving value,
+	// then absorb the value into the window.
+	if f.win.ring.Len() > 0 {
+		for i, l := range f.lengths {
+			p := f.predictWith(l)
+			d := p - v
+			if d < 0 {
+				d = -d
+			}
+			f.errs[i] += d
+		}
+	}
+	f.win.ring.Push(v)
+}
+
+// Forecast implements Forecaster.
+func (f *AdaptiveWindow) Forecast() (float64, bool) {
+	if f.win.ring.Len() == 0 {
+		return 0, false
+	}
+	best := 0
+	for i := range f.lengths {
+		if f.errs[i] < f.errs[best] {
+			best = i
+		}
+	}
+	return f.predictWith(f.lengths[best]), true
+}
+
+// BestLength returns the currently selected window length (for diagnostics
+// and ablation reporting).
+func (f *AdaptiveWindow) BestLength() int {
+	best := 0
+	for i := range f.lengths {
+		if f.errs[i] < f.errs[best] {
+			best = i
+		}
+	}
+	return f.lengths[best]
+}
+
+func (f *AdaptiveWindow) predictWith(l int) float64 {
+	f.win.scratch = f.win.ring.Tail(l, f.win.scratch)
+	if f.useMedian {
+		return stats.Median(f.win.scratch)
+	}
+	return stats.Mean(f.win.scratch)
+}

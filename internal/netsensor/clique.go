@@ -1,0 +1,102 @@
+package netsensor
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Clique measures the full pairwise network performance among a set of
+// endpoints, the (simplified) role of the NWS clique protocol: every member
+// runs a Reflector, and one coordinator walks the pairs taking latency and
+// bandwidth samples. The real NWS token-passes so only one probe runs at a
+// time clique-wide; a single-coordinator walk has the same property within
+// one process.
+type Clique struct {
+	names []string
+	addrs []string
+	lat   []*LatencySensor
+	bw    []*BandwidthSensor
+}
+
+// NewClique returns a coordinator probing the named reflector endpoints.
+// names and addrs must be parallel, non-empty slices. probeBytes configures
+// the bandwidth probes (see NewBandwidthSensor).
+func NewClique(names, addrs []string, probeBytes int, timeout time.Duration) (*Clique, error) {
+	if len(names) == 0 || len(names) != len(addrs) {
+		return nil, errors.New("netsensor: clique needs parallel, non-empty names and addrs")
+	}
+	c := &Clique{names: names, addrs: addrs}
+	for _, a := range addrs {
+		c.lat = append(c.lat, NewLatencySensor(a, 4, timeout))
+		c.bw = append(c.bw, NewBandwidthSensor(a, probeBytes, timeout))
+	}
+	return c, nil
+}
+
+// Matrix holds one round of pairwise measurements. Entry [i] describes the
+// path coordinator -> member i. Failed probes leave NaN-free zero entries
+// with Err set.
+type Matrix struct {
+	Names     []string
+	Latency   []float64 // seconds
+	Bandwidth []float64 // bytes/second
+	Errs      []error
+}
+
+// Measure walks all members once, serially (one probe in flight at a time,
+// as in the NWS clique token protocol).
+func (c *Clique) Measure() Matrix {
+	m := Matrix{
+		Names:     c.names,
+		Latency:   make([]float64, len(c.names)),
+		Bandwidth: make([]float64, len(c.names)),
+		Errs:      make([]error, len(c.names)),
+	}
+	for i := range c.names {
+		rtt, err := c.lat[i].Measure()
+		if err != nil {
+			m.Errs[i] = err
+			continue
+		}
+		bw, err := c.bw[i].Measure()
+		if err != nil {
+			m.Errs[i] = err
+			continue
+		}
+		m.Latency[i] = rtt
+		m.Bandwidth[i] = bw
+	}
+	return m
+}
+
+// Close releases every member connection.
+func (c *Clique) Close() error {
+	var first error
+	for i := range c.lat {
+		if err := c.lat[i].Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := c.bw[i].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// String renders the matrix as a small table.
+func (m Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-12s %-14s %s\n", "member", "latency", "bandwidth", "status")
+	for i, name := range m.Names {
+		if m.Errs[i] != nil {
+			fmt.Fprintf(&b, "%-16s %-12s %-14s %v\n", name, "-", "-", m.Errs[i])
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %-12s %-14s ok\n", name,
+			fmt.Sprintf("%.2fms", m.Latency[i]*1000),
+			fmt.Sprintf("%.1fMB/s", m.Bandwidth[i]/(1<<20)))
+	}
+	return b.String()
+}

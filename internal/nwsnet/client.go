@@ -1,0 +1,106 @@
+package nwsnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Client performs protocol calls against nwsnet servers. The zero value is
+// not usable; create clients with NewClient.
+type Client struct {
+	timeout time.Duration
+}
+
+// NewClient returns a client whose calls time out after the given duration
+// (0 selects 5 s).
+func NewClient(timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &Client{timeout: timeout}
+}
+
+// do performs a call and converts protocol-level errors to Go errors.
+func (c *Client) do(addr string, req Request) (Response, error) {
+	resp, err := call(addr, c.timeout, req)
+	if err != nil {
+		return Response{}, err
+	}
+	if resp.Error != "" {
+		return Response{}, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping checks a component is alive.
+func (c *Client) Ping(addr string) error {
+	_, err := c.do(addr, Request{Op: OpPing})
+	return err
+}
+
+// Register announces a component to the name server at nsAddr.
+func (c *Client) Register(nsAddr string, reg Registration) error {
+	_, err := c.do(nsAddr, Request{Op: OpRegister, Reg: reg})
+	return err
+}
+
+// Lookup resolves a component name at the name server.
+func (c *Client) Lookup(nsAddr, name string) (Registration, error) {
+	resp, err := c.do(nsAddr, Request{Op: OpLookup, Reg: Registration{Name: name}})
+	if err != nil {
+		return Registration{}, err
+	}
+	if len(resp.Entries) != 1 {
+		return Registration{}, fmt.Errorf("nwsnet: lookup %q returned %d entries", name, len(resp.Entries))
+	}
+	return resp.Entries[0], nil
+}
+
+// List enumerates components of the given kind ("" for all).
+func (c *Client) List(nsAddr string, kind Kind) ([]Registration, error) {
+	resp, err := c.do(nsAddr, Request{Op: OpList, Reg: Registration{Kind: kind}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// Store appends points ([t, v] pairs) to a series on the memory server.
+func (c *Client) Store(memAddr, key string, points [][2]float64) error {
+	_, err := c.do(memAddr, Request{Op: OpStore, Series: key, Points: points})
+	return err
+}
+
+// Fetch reads back points of a series with t in [from, to) (to == 0 means
+// "through the latest point"), limited to the most recent max points when
+// max > 0.
+func (c *Client) Fetch(memAddr, key string, from, to float64, max int) ([][2]float64, error) {
+	resp, err := c.do(memAddr, Request{Op: OpFetch, Series: key, From: from, To: to, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Points, nil
+}
+
+// Series lists the series keys a memory server holds.
+func (c *Client) Series(memAddr string) ([]string, error) {
+	resp, err := c.do(memAddr, Request{Op: OpSeries})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// Forecast asks a forecaster service for the one-step-ahead prediction of a
+// series.
+func (c *Client) Forecast(fcAddr, key string) (ForecastResult, error) {
+	resp, err := c.do(fcAddr, Request{Op: OpForecast, Series: key})
+	if err != nil {
+		return ForecastResult{}, err
+	}
+	if resp.Forecast == nil {
+		return ForecastResult{}, errors.New("nwsnet: forecaster returned no forecast")
+	}
+	return *resp.Forecast, nil
+}

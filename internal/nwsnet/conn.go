@@ -1,0 +1,120 @@
+package nwsnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is a persistent protocol connection: unlike Client, which dials a
+// fresh TCP connection per call, a Conn keeps one connection open and
+// pipelines request/response pairs over it — what a sensor daemon pushing a
+// measurement every ten seconds for weeks should use.
+//
+// Conn is safe for concurrent use; calls are serialized. A transport error
+// poisons the connection: subsequent calls redial transparently.
+type Conn struct {
+	addr    string
+	timeout time.Duration
+
+	mu sync.Mutex
+	c  net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+}
+
+// NewConn returns a lazy persistent connection to addr (dialed on first
+// use). timeout bounds each round trip (0 selects 5 s).
+func NewConn(addr string, timeout time.Duration) *Conn {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &Conn{addr: addr, timeout: timeout}
+}
+
+func (pc *Conn) ensureLocked() error {
+	if pc.c != nil {
+		return nil
+	}
+	c, err := net.DialTimeout("tcp", pc.addr, pc.timeout)
+	if err != nil {
+		return fmt.Errorf("nwsnet: dial %s: %w", pc.addr, err)
+	}
+	pc.c = c
+	pc.r = bufio.NewReaderSize(c, 64<<10)
+	pc.w = bufio.NewWriter(c)
+	return nil
+}
+
+func (pc *Conn) resetLocked() {
+	if pc.c != nil {
+		pc.c.Close()
+	}
+	pc.c, pc.r, pc.w = nil, nil, nil
+}
+
+// Do performs one request/response exchange. On a transport error the
+// connection is dropped and one transparent retry on a fresh connection is
+// attempted before reporting failure. Protocol-level errors (Response.Error)
+// are returned without killing the connection.
+func (pc *Conn) Do(req Request) (Response, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	resp, err := pc.doLocked(req)
+	if err != nil {
+		pc.resetLocked()
+		resp, err = pc.doLocked(req)
+		if err != nil {
+			pc.resetLocked()
+			return Response{}, err
+		}
+	}
+	if resp.Error != "" {
+		return Response{}, fmt.Errorf("nwsnet: %s: %s", pc.addr, resp.Error)
+	}
+	return resp, nil
+}
+
+func (pc *Conn) doLocked(req Request) (Response, error) {
+	if err := pc.ensureLocked(); err != nil {
+		return Response{}, err
+	}
+	if err := pc.c.SetDeadline(time.Now().Add(pc.timeout)); err != nil {
+		return Response{}, err
+	}
+	if err := writeMsg(pc.w, req); err != nil {
+		return Response{}, fmt.Errorf("nwsnet: send to %s: %w", pc.addr, err)
+	}
+	var resp Response
+	if err := readMsg(pc.r, &resp); err != nil {
+		return Response{}, fmt.Errorf("nwsnet: receive from %s: %w", pc.addr, err)
+	}
+	return resp, nil
+}
+
+// Store appends points to a series over the persistent connection.
+func (pc *Conn) Store(key string, points [][2]float64) error {
+	_, err := pc.Do(Request{Op: OpStore, Series: key, Points: points})
+	return err
+}
+
+// Ping checks liveness over the persistent connection.
+func (pc *Conn) Ping() error {
+	_, err := pc.Do(Request{Op: OpPing})
+	return err
+}
+
+// Close shuts the underlying connection; the Conn may be reused afterwards
+// (it will redial).
+func (pc *Conn) Close() error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	var err error
+	if pc.c != nil {
+		err = pc.c.Close()
+	}
+	pc.c, pc.r, pc.w = nil, nil, nil
+	return err
+}

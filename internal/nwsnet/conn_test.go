@@ -1,0 +1,159 @@
+package nwsnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConnPipelinesRequests(t *testing.T) {
+	m := NewMemory(0)
+	addr := startServer(t, m)
+	pc := NewConn(addr, time.Second)
+	defer pc.Close()
+
+	for i := 0; i < 50; i++ {
+		if err := pc.Store("k", [][2]float64{{float64(i), 0.5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len("k") != 50 {
+		t.Fatalf("stored %d points, want 50", m.Len("k"))
+	}
+	if err := pc.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnProtocolErrorKeepsConnection(t *testing.T) {
+	addr := startServer(t, NewMemory(0))
+	pc := NewConn(addr, time.Second)
+	defer pc.Close()
+	if err := pc.Store("", nil); err == nil {
+		t.Fatal("invalid store accepted")
+	}
+	// The connection must still work after a protocol-level error.
+	if err := pc.Store("k", [][2]float64{{1, 1}}); err != nil {
+		t.Fatalf("connection poisoned by protocol error: %v", err)
+	}
+}
+
+func TestConnRedialsAfterServerRestart(t *testing.T) {
+	m := NewMemory(0)
+	srv := NewServer(m, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewConn(addr, time.Second)
+	defer pc.Close()
+	if err := pc.Store("k", [][2]float64{{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the server on the same address.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(m, nil)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	// The old connection is dead; Do must transparently redial.
+	if err := pc.Store("k", [][2]float64{{2, 1}}); err != nil {
+		t.Fatalf("redial failed: %v", err)
+	}
+	if m.Len("k") != 2 {
+		t.Fatalf("points = %d, want 2", m.Len("k"))
+	}
+}
+
+func TestConnUnreachable(t *testing.T) {
+	pc := NewConn("127.0.0.1:1", 200*time.Millisecond)
+	defer pc.Close()
+	if err := pc.Ping(); err == nil {
+		t.Fatal("ping to nowhere succeeded")
+	}
+}
+
+func TestConnConcurrentUse(t *testing.T) {
+	m := NewMemory(0)
+	addr := startServer(t, m)
+	pc := NewConn(addr, 2*time.Second)
+	defer pc.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for g := 0; g < 20; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Distinct series per goroutine to avoid ordering conflicts.
+			key := SeriesKey("host", string(rune('a'+g)))
+			for i := 0; i < 20; i++ {
+				if err := pc.Store(key, [][2]float64{{float64(i), 0.1}}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for g := 0; g < 20; g++ {
+		key := SeriesKey("host", string(rune('a'+g)))
+		if m.Len(key) != 20 {
+			t.Fatalf("series %s has %d points, want 20", key, m.Len(key))
+		}
+	}
+}
+
+func TestConnCloseThenReuse(t *testing.T) {
+	addr := startServer(t, NewMemory(0))
+	pc := NewConn(addr, time.Second)
+	if err := pc.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is not terminal: the next call redials.
+	if err := pc.Ping(); err != nil {
+		t.Fatalf("reuse after Close failed: %v", err)
+	}
+	pc.Close()
+	if err := pc.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestServerHandlesManyConcurrentClients(t *testing.T) {
+	m := NewMemory(0)
+	addr := startServer(t, m)
+	var wg sync.WaitGroup
+	errs := make(chan error, 30)
+	for g := 0; g < 30; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := NewClient(2 * time.Second)
+			key := SeriesKey("stress", string(rune('a'+g)))
+			for i := 0; i < 10; i++ {
+				if err := c.Store(addr, key, [][2]float64{{float64(i), 1}}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

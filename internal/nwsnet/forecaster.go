@@ -1,0 +1,107 @@
+package nwsnet
+
+import (
+	"sync"
+	"time"
+
+	"nwscpu/internal/forecast"
+)
+
+// ForecasterService answers forecast queries: for each requested series it
+// keeps an incremental forecasting engine fed from the memory server, so
+// repeated queries only transfer the new points.
+type ForecasterService struct {
+	memoryAddr string
+	timeout    time.Duration
+
+	mu      sync.Mutex
+	engines map[string]*engineState
+}
+
+type engineState struct {
+	eng   *forecast.Engine
+	lastT float64
+}
+
+// NewForecasterService returns a forecaster pulling from the memory server
+// at memoryAddr. timeout bounds each memory call (0 selects 5 s).
+func NewForecasterService(memoryAddr string, timeout time.Duration) *ForecasterService {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &ForecasterService{
+		memoryAddr: memoryAddr,
+		timeout:    timeout,
+		engines:    make(map[string]*engineState),
+	}
+}
+
+// Handle implements Handler.
+func (f *ForecasterService) Handle(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{}
+	case OpForecast:
+		if req.Series == "" {
+			return errResp("forecast requires a series key")
+		}
+		return f.handleForecast(req.Series)
+	default:
+		return errResp("forecaster: unsupported op %q", req.Op)
+	}
+}
+
+func (f *ForecasterService) handleForecast(key string) Response {
+	f.mu.Lock()
+	st := f.engines[key]
+	if st == nil {
+		st = &engineState{eng: forecast.NewDefaultEngine(), lastT: -1}
+		f.engines[key] = st
+	}
+	f.mu.Unlock()
+
+	// Pull only points newer than what the engine has consumed.
+	resp, err := call(f.memoryAddr, f.timeout, Request{
+		Op:     OpFetch,
+		Series: key,
+		From:   nextAfter(st.lastT),
+	})
+	if err != nil {
+		return errResp("forecast: memory fetch: %v", err)
+	}
+	if resp.Error != "" {
+		return errResp("forecast: memory: %s", resp.Error)
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, tv := range resp.Points {
+		if tv[0] <= st.lastT {
+			continue
+		}
+		st.eng.Update(tv[1])
+		st.lastT = tv[0]
+	}
+	pred, ok := st.eng.Forecast()
+	if !ok {
+		return errResp("forecast: no measurements for %q", key)
+	}
+	return Response{Forecast: &ForecastResult{
+		Value:  pred.Value,
+		Method: pred.Method,
+		MAE:    pred.MAE,
+		N:      st.eng.N(),
+	}}
+}
+
+// nextAfter returns the smallest fetch lower bound excluding t. Memory range
+// queries are [from, to), so any value strictly greater than t works; the
+// measurement cadence is seconds, so a microsecond is far below it.
+func nextAfter(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return t + 1e-6
+}
+
+var _ Handler = (*ForecasterService)(nil)

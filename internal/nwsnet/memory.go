@@ -1,0 +1,118 @@
+package nwsnet
+
+import (
+	"sort"
+	"sync"
+
+	"nwscpu/internal/series"
+)
+
+// Memory is the NWS persistent-state server: it stores bounded measurement
+// series by key and serves range queries over them. Each series keeps at
+// most its configured capacity of most-recent points, like the circular
+// files of the real NWS memory.
+type Memory struct {
+	capacity int
+	mu       sync.Mutex
+	store    map[string]*series.Series
+}
+
+// NewMemory returns a Memory keeping up to capacity points per series
+// (<= 0 selects the default of 100000, about 11 days at 10-second cadence).
+func NewMemory(capacity int) *Memory {
+	if capacity <= 0 {
+		capacity = 100000
+	}
+	return &Memory{capacity: capacity, store: make(map[string]*series.Series)}
+}
+
+// Handle implements Handler.
+func (m *Memory) Handle(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{}
+	case OpStore:
+		return m.handleStore(req)
+	case OpFetch:
+		return m.handleFetch(req)
+	case OpSeries:
+		m.mu.Lock()
+		names := make([]string, 0, len(m.store))
+		for k := range m.store {
+			names = append(names, k)
+		}
+		m.mu.Unlock()
+		sort.Strings(names)
+		return Response{Names: names}
+	default:
+		return errResp("memory: unsupported op %q", req.Op)
+	}
+}
+
+func (m *Memory) handleStore(req Request) Response {
+	if req.Series == "" {
+		return errResp("store requires a series key")
+	}
+	if len(req.Points) == 0 {
+		return errResp("store requires points")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.store[req.Series]
+	if s == nil {
+		s = series.New(req.Series, "fraction")
+		m.store[req.Series] = s
+	}
+	for _, tv := range req.Points {
+		if err := s.Append(tv[0], tv[1]); err != nil {
+			return errResp("store: %v", err)
+		}
+	}
+	// Enforce the circular bound.
+	if extra := s.Len() - m.capacity; extra > 0 {
+		s.Points = append(s.Points[:0:0], s.Points[extra:]...)
+	}
+	return Response{}
+}
+
+func (m *Memory) handleFetch(req Request) Response {
+	if req.Series == "" {
+		return errResp("fetch requires a series key")
+	}
+	m.mu.Lock()
+	s := m.store[req.Series]
+	m.mu.Unlock()
+	if s == nil {
+		return errResp("unknown series %q", req.Series)
+	}
+	to := req.To
+	if to == 0 {
+		if last, ok := s.Last(); ok {
+			to = last.T + 1
+		}
+	}
+	m.mu.Lock()
+	sub := s.Slice(req.From, to)
+	m.mu.Unlock()
+	pts := sub.Points
+	if req.Max > 0 && len(pts) > req.Max {
+		pts = pts[len(pts)-req.Max:]
+	}
+	out := make([][2]float64, len(pts))
+	for i, p := range pts {
+		out[i] = [2]float64{p.T, p.V}
+	}
+	return Response{Points: out}
+}
+
+// Len reports the number of stored points for a series key (0 if absent).
+func (m *Memory) Len(key string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s := m.store[key]; s != nil {
+		return s.Len()
+	}
+	return 0
+}
+
+var _ Handler = (*Memory)(nil)

@@ -1,0 +1,86 @@
+package nwsnet
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// NameServer is the NWS directory: components register (name, kind, addr)
+// triples; clients look them up. Registrations are overwritten on re-register
+// so restarting components self-heal; with a TTL configured, entries that
+// have not re-registered recently expire from lookups and listings (periodic
+// re-registration doubles as the heartbeat, as in the real NWS).
+type NameServer struct {
+	ttl time.Duration    // 0 = entries never expire
+	now func() time.Time // injected for tests
+
+	mu      sync.Mutex
+	entries map[string]nsEntry
+}
+
+type nsEntry struct {
+	reg  Registration
+	seen time.Time
+}
+
+// NewNameServer returns a registry whose entries never expire.
+func NewNameServer() *NameServer {
+	return NewNameServerTTL(0)
+}
+
+// NewNameServerTTL returns a registry whose entries expire ttl after their
+// most recent registration (0 disables expiry).
+func NewNameServerTTL(ttl time.Duration) *NameServer {
+	return &NameServer{ttl: ttl, now: time.Now, entries: make(map[string]nsEntry)}
+}
+
+// alive reports whether e is still fresh.
+func (ns *NameServer) alive(e nsEntry) bool {
+	return ns.ttl <= 0 || ns.now().Sub(e.seen) < ns.ttl
+}
+
+// Handle implements Handler.
+func (ns *NameServer) Handle(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{}
+	case OpRegister:
+		if req.Reg.Name == "" || req.Reg.Addr == "" || req.Reg.Kind == "" {
+			return errResp("register requires name, kind and addr")
+		}
+		ns.mu.Lock()
+		ns.entries[req.Reg.Name] = nsEntry{reg: req.Reg, seen: ns.now()}
+		ns.mu.Unlock()
+		return Response{}
+	case OpLookup:
+		if req.Reg.Name == "" {
+			return errResp("lookup requires a name")
+		}
+		ns.mu.Lock()
+		e, ok := ns.entries[req.Reg.Name]
+		ns.mu.Unlock()
+		if !ok || !ns.alive(e) {
+			return errResp("unknown component %q", req.Reg.Name)
+		}
+		return Response{Entries: []Registration{e.reg}}
+	case OpList:
+		ns.mu.Lock()
+		out := make([]Registration, 0, len(ns.entries))
+		for _, e := range ns.entries {
+			if !ns.alive(e) {
+				continue
+			}
+			if req.Reg.Kind == "" || e.reg.Kind == req.Reg.Kind {
+				out = append(out, e.reg)
+			}
+		}
+		ns.mu.Unlock()
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		return Response{Entries: out}
+	default:
+		return errResp("name server: unsupported op %q", req.Op)
+	}
+}
+
+var _ Handler = (*NameServer)(nil)

@@ -1,0 +1,203 @@
+package nwsnet
+
+import (
+	"bufio"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// PersistentMemory is a Memory whose series survive restarts: every stored
+// point is appended to a per-series log file under a directory, and the logs
+// are replayed on startup — the role of the circular state files in the real
+// NWS memory process.
+type PersistentMemory struct {
+	*Memory
+	dir string
+
+	mu    sync.Mutex
+	files map[string]*bufio.Writer
+	fds   map[string]*os.File
+}
+
+// NewPersistentMemory opens (creating if needed) a memory rooted at dir with
+// the given per-series capacity, replaying any existing logs.
+func NewPersistentMemory(capacity int, dir string) (*PersistentMemory, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("nwsnet: memory dir: %w", err)
+	}
+	pm := &PersistentMemory{
+		Memory: NewMemory(capacity),
+		dir:    dir,
+		files:  make(map[string]*bufio.Writer),
+		fds:    make(map[string]*os.File),
+	}
+	if err := pm.replay(); err != nil {
+		return nil, err
+	}
+	return pm, nil
+}
+
+// logPath maps a series key (which contains slashes) to its log file.
+func (pm *PersistentMemory) logPath(key string) string {
+	return filepath.Join(pm.dir, url.PathEscape(key)+".log")
+}
+
+func (pm *PersistentMemory) replay() error {
+	entries, err := os.ReadDir(pm.dir)
+	if err != nil {
+		return fmt.Errorf("nwsnet: reading memory dir: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		key, err := url.PathUnescape(strings.TrimSuffix(name, ".log"))
+		if err != nil {
+			return fmt.Errorf("nwsnet: undecodable log name %q: %w", name, err)
+		}
+		pts, err := readLog(filepath.Join(pm.dir, name))
+		if err != nil {
+			return err
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		resp := pm.Memory.Handle(Request{Op: OpStore, Series: key, Points: pts})
+		if resp.Error != "" {
+			return fmt.Errorf("nwsnet: replaying %q: %s", key, resp.Error)
+		}
+	}
+	return nil
+}
+
+func readLog(path string) ([][2]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nwsnet: opening log: %w", err)
+	}
+	defer f.Close()
+	var pts [][2]float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, ",", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("nwsnet: malformed log line %q in %s", line, path)
+		}
+		t, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("nwsnet: bad log timestamp in %s: %w", path, err)
+		}
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("nwsnet: bad log value in %s: %w", path, err)
+		}
+		pts = append(pts, [2]float64{t, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("nwsnet: reading log %s: %w", path, err)
+	}
+	return pts, nil
+}
+
+// Handle implements Handler: stores are applied to the in-memory series
+// first (validating them) and then appended to the log.
+func (pm *PersistentMemory) Handle(req Request) Response {
+	resp := pm.Memory.Handle(req)
+	if req.Op != OpStore || resp.Error != "" {
+		return resp
+	}
+	if err := pm.append(req.Series, req.Points); err != nil {
+		return errResp("store: persistence: %v", err)
+	}
+	return resp
+}
+
+func (pm *PersistentMemory) append(key string, pts [][2]float64) error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	w := pm.files[key]
+	if w == nil {
+		f, err := os.OpenFile(pm.logPath(key), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		pm.fds[key] = f
+		w = bufio.NewWriter(f)
+		pm.files[key] = w
+	}
+	for _, tv := range pts {
+		if _, err := fmt.Fprintf(w, "%s,%s\n",
+			strconv.FormatFloat(tv[0], 'g', -1, 64),
+			strconv.FormatFloat(tv[1], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Close flushes and closes all log files.
+func (pm *PersistentMemory) Close() error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	var first error
+	for key, w := range pm.files {
+		if err := w.Flush(); err != nil && first == nil {
+			first = err
+		}
+		if err := pm.fds[key].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	pm.files = make(map[string]*bufio.Writer)
+	pm.fds = make(map[string]*os.File)
+	return first
+}
+
+// Compact rewrites a series' log to contain only the currently retained
+// points (the in-memory circular bound discards old ones; the log otherwise
+// grows without limit).
+func (pm *PersistentMemory) Compact(key string) error {
+	resp := pm.Memory.Handle(Request{Op: OpFetch, Series: key})
+	if resp.Error != "" {
+		return fmt.Errorf("nwsnet: compact: %s", resp.Error)
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if w := pm.files[key]; w != nil {
+		w.Flush()
+		pm.fds[key].Close()
+		delete(pm.files, key)
+		delete(pm.fds, key)
+	}
+	tmp := pm.logPath(key) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, tv := range resp.Points {
+		fmt.Fprintf(w, "%s,%s\n",
+			strconv.FormatFloat(tv[0], 'g', -1, 64),
+			strconv.FormatFloat(tv[1], 'g', -1, 64))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, pm.logPath(key))
+}
+
+var _ Handler = (*PersistentMemory)(nil)

@@ -1,0 +1,189 @@
+package nwsnet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestPersistentMemoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pm, err := NewPersistentMemory(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, pm)
+	c := NewClient(time.Second)
+	pts := [][2]float64{{10, 0.9}, {20, 0.85}, {30, 0.8}}
+	if err := c.Store(addr, "thing1/cpu/nws_hybrid", pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the series must come back from the log.
+	pm2, err := NewPersistentMemory(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pm2.Close()
+	addr2 := startServer(t, pm2)
+	got, err := c.Fetch(addr2, "thing1/cpu/nws_hybrid", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != pts[0] || got[2] != pts[2] {
+		t.Fatalf("replayed points = %v", got)
+	}
+	// Appending after replay must continue the series.
+	if err := c.Store(addr2, "thing1/cpu/nws_hybrid", [][2]float64{{40, 0.7}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Fetch(addr2, "thing1/cpu/nws_hybrid", 0, 0, 0)
+	if err != nil || len(got) != 4 {
+		t.Fatalf("after append: %v, %v", got, err)
+	}
+}
+
+func TestPersistentMemoryValidationStillApplies(t *testing.T) {
+	pm, err := NewPersistentMemory(0, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pm.Close()
+	resp := pm.Handle(Request{Op: OpStore, Series: "k", Points: [][2]float64{{5, 1}}})
+	if resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+	resp = pm.Handle(Request{Op: OpStore, Series: "k", Points: [][2]float64{{1, 1}}})
+	if resp.Error == "" {
+		t.Fatal("out-of-order store accepted")
+	}
+	// The rejected point must not be in the log.
+	pm.Close()
+	pm2, err := NewPersistentMemory(0, pm.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pm2.Close()
+	if pm2.Len("k") != 1 {
+		t.Fatalf("log contains %d points, want 1", pm2.Len("k"))
+	}
+}
+
+func TestPersistentMemoryMalformedLog(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "k.log"), []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPersistentMemory(0, dir); err == nil {
+		t.Fatal("malformed log accepted")
+	}
+	for _, content := range []string{"x,1\n", "1,x\n"} {
+		if err := os.WriteFile(filepath.Join(dir, "k.log"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewPersistentMemory(0, dir); err == nil {
+			t.Fatalf("log %q accepted", content)
+		}
+	}
+}
+
+func TestPersistentMemoryCompact(t *testing.T) {
+	dir := t.TempDir()
+	pm, err := NewPersistentMemory(3, dir) // keep only 3 points
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pm.Close()
+	for i := 0; i < 10; i++ {
+		resp := pm.Handle(Request{Op: OpStore, Series: "k",
+			Points: [][2]float64{{float64(i), float64(i)}}})
+		if resp.Error != "" {
+			t.Fatal(resp.Error)
+		}
+	}
+	if err := pm.Compact("k"); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := readLog(pm.logPath("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || pts[0][0] != 7 {
+		t.Fatalf("compacted log = %v, want the last 3 points", pts)
+	}
+	if err := pm.Compact("missing"); err == nil {
+		t.Fatal("compact of unknown series accepted")
+	}
+	// The memory must still serve and append after compaction.
+	resp := pm.Handle(Request{Op: OpStore, Series: "k", Points: [][2]float64{{10, 10}}})
+	if resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+}
+
+func TestPersistentMemoryKeyEscaping(t *testing.T) {
+	dir := t.TempDir()
+	pm, err := NewPersistentMemory(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "host.with/weird:chars/cpu/vmstat"
+	resp := pm.Handle(Request{Op: OpStore, Series: key, Points: [][2]float64{{1, 0.5}}})
+	if resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+	pm.Close()
+	pm2, err := NewPersistentMemory(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pm2.Close()
+	if pm2.Len(key) != 1 {
+		t.Fatalf("escaped key not replayed: %d points", pm2.Len(key))
+	}
+}
+
+func TestNameServerTTLExpiry(t *testing.T) {
+	ns := NewNameServerTTL(time.Minute)
+	now := time.Unix(1000, 0)
+	ns.now = func() time.Time { return now }
+
+	reg := Registration{Name: "s1", Kind: KindSensor, Addr: "a:1"}
+	if resp := ns.Handle(Request{Op: OpRegister, Reg: reg}); resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+	if resp := ns.Handle(Request{Op: OpLookup, Reg: Registration{Name: "s1"}}); resp.Error != "" {
+		t.Fatalf("fresh entry not found: %s", resp.Error)
+	}
+
+	now = now.Add(2 * time.Minute)
+	if resp := ns.Handle(Request{Op: OpLookup, Reg: Registration{Name: "s1"}}); resp.Error == "" {
+		t.Fatal("stale entry still resolvable")
+	}
+	if resp := ns.Handle(Request{Op: OpList}); len(resp.Entries) != 0 {
+		t.Fatalf("stale entry listed: %v", resp.Entries)
+	}
+
+	// Re-registration (the heartbeat) revives it.
+	if resp := ns.Handle(Request{Op: OpRegister, Reg: reg}); resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+	if resp := ns.Handle(Request{Op: OpLookup, Reg: Registration{Name: "s1"}}); resp.Error != "" {
+		t.Fatal("heartbeat did not revive entry")
+	}
+}
+
+func TestNameServerZeroTTLNeverExpires(t *testing.T) {
+	ns := NewNameServer()
+	now := time.Unix(0, 0)
+	ns.now = func() time.Time { return now }
+	ns.Handle(Request{Op: OpRegister, Reg: Registration{Name: "x", Kind: KindMemory, Addr: "a:1"}})
+	now = now.Add(1000 * time.Hour)
+	if resp := ns.Handle(Request{Op: OpLookup, Reg: Registration{Name: "x"}}); resp.Error != "" {
+		t.Fatal("entry expired with zero TTL")
+	}
+}

@@ -1,0 +1,148 @@
+// Package nwsnet implements the distributed architecture of the Network
+// Weather Service that served the paper's forecasts: persistent sensors push
+// measurements to a memory server, a name server tracks where everything
+// runs, and a forecaster service answers prediction queries by pulling
+// recent history from the memory and running the forecasting engine.
+//
+// The wire protocol is one JSON object per line over TCP — deliberately
+// simple, debuggable with netcat, and implemented entirely with the standard
+// library.
+package nwsnet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Kind labels a registered component.
+type Kind string
+
+// Component kinds known to the name server.
+const (
+	KindSensor     Kind = "sensor"
+	KindMemory     Kind = "memory"
+	KindForecaster Kind = "forecaster"
+)
+
+// Op identifies a request type.
+type Op string
+
+// Protocol operations.
+const (
+	OpPing     Op = "ping"
+	OpRegister Op = "register" // name server: announce a component
+	OpLookup   Op = "lookup"   // name server: find a component by name
+	OpList     Op = "list"     // name server: enumerate components
+	OpStore    Op = "store"    // memory: append points to a series
+	OpFetch    Op = "fetch"    // memory: read back a series range
+	OpSeries   Op = "series"   // memory: list stored series keys
+	OpForecast Op = "forecast" // forecaster: predict the next measurement
+)
+
+// Registration describes one component known to the name server.
+type Registration struct {
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	Addr string `json:"addr"`
+}
+
+// Request is the client-to-server message.
+type Request struct {
+	Op Op `json:"op"`
+
+	// Register / Lookup fields.
+	Reg Registration `json:"reg,omitempty"`
+
+	// Series operations.
+	Series string       `json:"series,omitempty"`
+	Points [][2]float64 `json:"points,omitempty"` // [t, v] pairs
+	From   float64      `json:"from,omitempty"`
+	To     float64      `json:"to,omitempty"`
+	Max    int          `json:"max,omitempty"` // fetch: most recent N (0 = all in range)
+}
+
+// ForecastResult carries a forecaster answer.
+type ForecastResult struct {
+	Value  float64 `json:"value"`
+	Method string  `json:"method"`
+	MAE    float64 `json:"mae"`
+	N      int     `json:"n"` // measurements behind the forecast
+}
+
+// Response is the server-to-client message.
+type Response struct {
+	OK       bool            `json:"ok"`
+	Error    string          `json:"error,omitempty"`
+	Entries  []Registration  `json:"entries,omitempty"`
+	Points   [][2]float64    `json:"points,omitempty"`
+	Names    []string        `json:"names,omitempty"`
+	Forecast *ForecastResult `json:"forecast,omitempty"`
+}
+
+// errResp builds an error response.
+func errResp(format string, args ...any) Response {
+	return Response{Error: fmt.Sprintf(format, args...)}
+}
+
+// maxLineBytes bounds a single protocol line; a fetch of 100k points fits
+// comfortably.
+const maxLineBytes = 8 << 20
+
+// writeMsg writes one JSON value and a newline.
+func writeMsg(w *bufio.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	if err := w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readMsg reads one newline-terminated JSON value of at most maxLineBytes.
+func readMsg(r *bufio.Reader, v any) error {
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if err == nil {
+			break
+		}
+		if err != bufio.ErrBufferFull {
+			return err
+		}
+		if len(line) > maxLineBytes {
+			return fmt.Errorf("nwsnet: protocol line exceeds %d bytes", maxLineBytes)
+		}
+	}
+	return json.Unmarshal(line, v)
+}
+
+// call performs one request/response round trip on a fresh connection.
+func call(addr string, timeout time.Duration, req Request) (Response, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return Response{}, fmt.Errorf("nwsnet: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return Response{}, err
+	}
+	bw := bufio.NewWriter(conn)
+	if err := writeMsg(bw, req); err != nil {
+		return Response{}, fmt.Errorf("nwsnet: send to %s: %w", addr, err)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var resp Response
+	if err := readMsg(br, &resp); err != nil {
+		return Response{}, fmt.Errorf("nwsnet: receive from %s: %w", addr, err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,165 @@
+package nwsnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nwscpu/internal/sensors"
+)
+
+// SeriesKey builds the memory key for a host's availability series measured
+// by one method, e.g. "thing1/cpu/nws_hybrid".
+func SeriesKey(host, method string) string {
+	return fmt.Sprintf("%s/cpu/%s", host, method)
+}
+
+// SensorDaemon measures one host with the three sensors and pushes every
+// measurement to a memory server — the persistent NWS CPU sensor process.
+//
+// For simulated hosts the caller advances virtual time and calls Step; for
+// live hosts Start runs a wall-clock loop.
+type SensorDaemon struct {
+	hostName string
+	host     sensors.Host
+	memAddr  string
+	client   *Client
+	conn     *Conn
+	sensors  []sensors.Sensor
+
+	// Store-and-forward: measurements that could not be delivered are
+	// buffered per series (bounded) and retried on the next Step, so a
+	// memory-server outage loses no data shorter than the buffer.
+	backlog    map[string][][2]float64
+	backlogCap int
+
+	mu     sync.Mutex
+	stopCh chan struct{}
+	doneCh chan struct{}
+}
+
+// backlogDefaultCap bounds the per-series store-and-forward buffer
+// (an hour of 10-second measurements).
+const backlogDefaultCap = 360
+
+// NewSensorDaemon builds a daemon for the named host, pushing to the memory
+// server at memAddr.
+func NewSensorDaemon(hostName string, h sensors.Host, memAddr string, hybrid sensors.HybridConfig) *SensorDaemon {
+	if hybrid.ProbeEvery == 0 {
+		hybrid = sensors.DefaultHybridConfig()
+	}
+	return &SensorDaemon{
+		hostName:   hostName,
+		host:       h,
+		memAddr:    memAddr,
+		client:     NewClient(0),
+		conn:       NewConn(memAddr, 0),
+		backlog:    make(map[string][][2]float64),
+		backlogCap: backlogDefaultCap,
+		sensors: []sensors.Sensor{
+			sensors.NewLoadAvgSensor(h),
+			sensors.NewVmstatSensor(h, 0),
+			sensors.NewHybridSensor(h, hybrid),
+		},
+	}
+}
+
+// Register announces this sensor to a name server. addr is where queries
+// about this daemon should go (informational; the daemon itself only pushes).
+func (d *SensorDaemon) Register(nsAddr, addr string) error {
+	return d.client.Register(nsAddr, Registration{
+		Name: d.hostName + "/cpu",
+		Kind: KindSensor,
+		Addr: addr,
+	})
+}
+
+// Step takes one measurement with every sensor and stores the results,
+// together with any backlog from previous failed deliveries. Undeliverable
+// measurements are buffered (bounded; oldest dropped first) and the error
+// reported — the daemon keeps measuring through memory-server outages and
+// backfills when the server returns.
+func (d *SensorDaemon) Step() error {
+	t := d.host.Now()
+	var firstErr error
+	for _, s := range d.sensors {
+		v := s.Measure()
+		key := SeriesKey(d.hostName, s.Name())
+		batch := append(d.backlog[key], [2]float64{t, v})
+		if err := d.conn.Store(key, batch); err != nil {
+			if len(batch) > d.backlogCap {
+				batch = batch[len(batch)-d.backlogCap:]
+			}
+			d.backlog[key] = batch
+			if firstErr == nil {
+				firstErr = fmt.Errorf("nwsnet: sensor %s: %w", key, err)
+			}
+			continue
+		}
+		delete(d.backlog, key)
+	}
+	return firstErr
+}
+
+// Backlogged reports how many undelivered measurements are buffered.
+func (d *SensorDaemon) Backlogged() int {
+	n := 0
+	for _, b := range d.backlog {
+		n += len(b)
+	}
+	return n
+}
+
+// Start launches a background wall-clock measurement loop with the given
+// period. Errors are delivered on the returned channel (buffered; the loop
+// keeps running after errors). Stop terminates the loop.
+func (d *SensorDaemon) Start(period time.Duration) <-chan error {
+	errs := make(chan error, 16)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopCh != nil {
+		errs <- fmt.Errorf("nwsnet: sensor daemon already started")
+		close(errs)
+		return errs
+	}
+	d.stopCh = make(chan struct{})
+	d.doneCh = make(chan struct{})
+	stop, done := d.stopCh, d.doneCh
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if err := d.Step(); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	return errs
+}
+
+// Close releases the daemon's persistent memory connection. Call after the
+// final Step or Stop.
+func (d *SensorDaemon) Close() error { return d.conn.Close() }
+
+// Stop terminates a Start loop and waits for it to exit. It is safe to call
+// without a prior Start.
+func (d *SensorDaemon) Stop() {
+	d.mu.Lock()
+	stop, done := d.stopCh, d.doneCh
+	d.stopCh, d.doneCh = nil, nil
+	d.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,129 @@
+package nwsnet
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+)
+
+// Handler processes one protocol request.
+type Handler interface {
+	Handle(req Request) Response
+}
+
+// Server accepts JSON-line connections and dispatches them to a Handler.
+// A connection may carry any number of request/response exchanges.
+type Server struct {
+	handler Handler
+	logger  *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps handler. logger may be nil to disable logging.
+func NewServer(handler Handler, logger *log.Logger) *Server {
+	return &Server{
+		handler: handler,
+		logger:  logger,
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen binds addr ("host:port"; ":0" for an ephemeral port) and starts
+// serving in background goroutines. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return "", errors.New("nwsnet: server already closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	reader := bufio.NewReaderSize(conn, 64<<10)
+	writer := bufio.NewWriter(conn)
+	for {
+		var req Request
+		if err := readMsg(reader, &req); err != nil {
+			if err != io.EOF && s.logger != nil {
+				s.logger.Printf("nwsnet: read: %v", err)
+			}
+			return
+		}
+		resp := s.handler.Handle(req)
+		resp.OK = resp.Error == ""
+		if err := writeMsg(writer, resp); err != nil {
+			if s.logger != nil {
+				s.logger.Printf("nwsnet: write: %v", err)
+			}
+			return
+		}
+	}
+}
+
+// Close stops the listener, closes live connections, and waits for all
+// serving goroutines to exit. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,54 @@
+package prochost
+
+import "testing"
+
+// Fuzzing the /proc parsers: they must never panic and must either return an
+// error or a well-formed result on arbitrary input. Run with
+// `go test -fuzz FuzzParseLoadAvg ./internal/prochost` for exploration; the
+// seed corpus below runs as part of the regular test suite.
+
+func FuzzParseLoadAvg(f *testing.F) {
+	for _, seed := range []string{
+		"0.52 0.58 0.59 2/345 12345",
+		"",
+		"1 2 3 4/5 6",
+		"a b c d/e f",
+		"0.5 0.5 0.5 12 3",
+		"9e999 0 0 1/1 1",
+		"0.1 0.1 0.1 -2/-5 0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, content string) {
+		li, err := ParseLoadAvg(content)
+		if err != nil {
+			return
+		}
+		if li.Load1 != li.Load1 { // NaN check without importing math
+			t.Fatalf("parsed NaN load from %q", content)
+		}
+	})
+}
+
+func FuzzParseStat(f *testing.F) {
+	for _, seed := range []string{
+		"cpu  74608 2520 24433 1117073 6176 4054 0 0 0 0\ncpu0 1 1 1 1\n",
+		"cpu 1 2 3 4",
+		"",
+		"cpu 1 2 3",
+		"cpu a b c d",
+		"intr 5\ncpu 1 2 3 4\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, content string) {
+		st, err := ParseStat(content)
+		if err != nil {
+			return
+		}
+		if st.Total() != st.Total() {
+			t.Fatalf("parsed NaN total from %q", content)
+		}
+		_ = CountCPUs(content)
+	})
+}

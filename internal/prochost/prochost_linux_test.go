@@ -1,0 +1,129 @@
+//go:build linux
+
+package prochost
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nwscpu/internal/sensors"
+)
+
+// fixtureDir builds a fake /proc tree.
+func fixtureDir(t *testing.T, loadavg, stat string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "loadavg"), []byte(loadavg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stat"), []byte(stat), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestNewAtFixture(t *testing.T) {
+	dir := fixtureDir(t, "1.25 0.80 0.50 3/200 999\n", "cpu 100 20 30 850 0 0 0\n")
+	h, err := NewAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.LoadAvg(); got != 1.25 {
+		t.Fatalf("LoadAvg = %v", got)
+	}
+	if got := h.RunQueue(); got != 2 { // 3 running minus ourselves
+		t.Fatalf("RunQueue = %v", got)
+	}
+	ct := h.CPUTimes()
+	if ct.User != 1.0 || ct.Nice != 0.2 || ct.Sys != 0.3 || ct.Idle != 8.5 {
+		t.Fatalf("CPUTimes = %+v", ct)
+	}
+	if ct.Total != 10 {
+		t.Fatalf("Total = %v", ct.Total)
+	}
+}
+
+func TestNewAtMissingFiles(t *testing.T) {
+	if _, err := NewAt(t.TempDir()); err == nil {
+		t.Fatal("missing fixture files accepted")
+	}
+}
+
+func TestRunQueueNeverNegative(t *testing.T) {
+	dir := fixtureDir(t, "0.0 0.0 0.0 0/100 1\n", "cpu 1 0 0 9\n")
+	h, err := NewAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.RunQueue(); got != 0 {
+		t.Fatalf("RunQueue = %v, want 0", got)
+	}
+}
+
+func TestRealProc(t *testing.T) {
+	h, err := New()
+	if err != nil {
+		t.Skipf("no /proc: %v", err)
+	}
+	if l := h.LoadAvg(); l < 0 {
+		t.Fatalf("LoadAvg = %v", l)
+	}
+	ct := h.CPUTimes()
+	if ct.Total <= 0 {
+		t.Fatalf("CPUTimes = %+v", ct)
+	}
+	if rq := h.RunQueue(); rq < 0 {
+		t.Fatalf("RunQueue = %v", rq)
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	h, err := New()
+	if err != nil {
+		t.Skipf("no /proc: %v", err)
+	}
+	t0 := h.Now()
+	time.Sleep(20 * time.Millisecond)
+	if h.Now() <= t0 {
+		t.Fatal("Now did not advance")
+	}
+}
+
+func TestRunSpinOnRealHost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins the CPU")
+	}
+	h, err := New()
+	if err != nil {
+		t.Skipf("no /proc: %v", err)
+	}
+	frac := h.RunSpin(0.2)
+	if frac < 0 || frac > 1 {
+		t.Fatalf("RunSpin fraction = %v", frac)
+	}
+	// On any functioning machine a 200ms spin should obtain some CPU.
+	if frac < 0.05 {
+		t.Fatalf("RunSpin fraction = %v, implausibly low", frac)
+	}
+	if got := h.RunSpin(0); got != 0 {
+		t.Fatalf("RunSpin(0) = %v", got)
+	}
+}
+
+func TestSensorsAgainstFixtures(t *testing.T) {
+	dir := fixtureDir(t, "1.0 1.0 1.0 1/10 5\n", "cpu 500 0 100 400 0\n")
+	h, err := NewAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := sensors.NewLoadAvgSensor(h)
+	if got := la.Measure(); got != 0.5 {
+		t.Fatalf("load-average availability = %v, want 0.5", got)
+	}
+	vm := sensors.NewVmstatSensor(h, 0)
+	if got := vm.Measure(); got < 0 || got > 1 {
+		t.Fatalf("vmstat first measurement = %v", got)
+	}
+}

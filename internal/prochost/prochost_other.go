@@ -1,0 +1,18 @@
+//go:build !linux
+
+package prochost
+
+import "errors"
+
+// Host is unavailable on non-Linux platforms; the simulator backend remains
+// fully functional everywhere.
+type Host struct{}
+
+// ErrUnsupported reports that live-host monitoring needs Linux /proc.
+var ErrUnsupported = errors.New("prochost: live host monitoring requires Linux")
+
+// New reports ErrUnsupported on non-Linux platforms.
+func New() (*Host, error) { return nil, ErrUnsupported }
+
+// NewAt reports ErrUnsupported on non-Linux platforms.
+func NewAt(string) (*Host, error) { return nil, ErrUnsupported }

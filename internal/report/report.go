@@ -1,0 +1,214 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"strings"
+
+	"nwscpu/internal/core"
+	"nwscpu/internal/experiments"
+)
+
+// Generate runs every table and figure of the suite and writes a
+// self-contained HTML report to w. The expensive simulations are the
+// suite's; cached runs are reused.
+func Generate(s *experiments.Suite, w io.Writer) error {
+	data := &pageData{Title: "Predicting CPU Availability of Time-shared Unix Systems — reproduction report"}
+
+	t1, err := s.Table1()
+	if err != nil {
+		return err
+	}
+	t2, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	t3, err := s.Table3()
+	if err != nil {
+		return err
+	}
+	t4, err := s.Table4()
+	if err != nil {
+		return err
+	}
+	t5, err := s.Table5()
+	if err != nil {
+		return err
+	}
+	t6, err := s.Table6()
+	if err != nil {
+		return err
+	}
+	data.Tables = append(data.Tables,
+		htmlErrorTable(t1), htmlErrorTable(t2), htmlErrorTable(t3),
+		htmlTable4(t4), htmlErrorTable(t5), htmlErrorTable(t6))
+
+	// Figure 1: availability traces.
+	f1, err := s.Figure1()
+	if err != nil {
+		return err
+	}
+	for _, host := range experiments.FigureHosts {
+		tr := f1[host]
+		ch := newChart(fmt.Sprintf("Figure 1 — CPU availability, %s (load average method)", host),
+			"time (s)", "available fraction",
+			tr.At(0).T, tr.At(tr.Len()-1).T, 0, 1)
+		ch.polyline(tr.Times(), tr.Values(), "#1f77b4", 1200)
+		data.Charts = append(data.Charts, template.HTML(ch.String()))
+	}
+
+	// Figure 2: autocorrelations.
+	f2, err := s.Figure2()
+	if err != nil {
+		return err
+	}
+	for _, host := range experiments.FigureHosts {
+		acf := f2[host]
+		xs := make([]float64, len(acf))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		ch := newChart(fmt.Sprintf("Figure 2 — first %d autocorrelations, %s", len(acf)-1, host),
+			"lag (10 s each)", "autocorrelation", 0, float64(len(acf)-1), 0, 1)
+		ch.polyline(xs, acf, "#d62728", 400)
+		data.Charts = append(data.Charts, template.HTML(ch.String()))
+	}
+
+	// Figure 3: pox plots with the Hurst fit and reference slopes.
+	f3, err := s.Figure3()
+	if err != nil {
+		return err
+	}
+	for _, pr := range f3 {
+		var xs, ys []float64
+		xMax, yMax := 0.0, 0.0
+		for _, p := range pr.Points {
+			xs = append(xs, p.LogD)
+			ys = append(ys, p.LogRS)
+			if p.LogD > xMax {
+				xMax = p.LogD
+			}
+			if p.LogRS > yMax {
+				yMax = p.LogRS
+			}
+		}
+		ch := newChart(fmt.Sprintf("Figure 3 — pox plot, %s (H = %.2f)", pr.Host, pr.Hurst),
+			"log10(d)", "log10(R(d)/S(d))", 0, xMax*1.05, 0, yMax*1.1)
+		ch.scatter(xs, ys, "#2ca02c", 1.6)
+		// Fitted line plus H = 0.5 and H = 1.0 references through the fit's
+		// intercept, as in the paper's dotted guides.
+		ch.line(0, pr.Fit.Intercept, xMax, pr.Fit.Intercept+pr.Fit.Slope*xMax, "#000", "")
+		ch.line(0, pr.Fit.Intercept, xMax, pr.Fit.Intercept+0.5*xMax, "#888", "4,3")
+		ch.line(0, pr.Fit.Intercept, xMax, pr.Fit.Intercept+1.0*xMax, "#888", "4,3")
+		data.Charts = append(data.Charts, template.HTML(ch.String()))
+	}
+
+	// Figure 4: aggregated series.
+	f4, err := s.Figure4()
+	if err != nil {
+		return err
+	}
+	for _, host := range experiments.FigureHosts {
+		tr := f4[host]
+		if tr.Len() == 0 {
+			continue
+		}
+		ch := newChart(fmt.Sprintf("Figure 4 — 5-minute aggregated availability, %s", host),
+			"time (s)", "available fraction",
+			tr.At(0).T, tr.At(tr.Len()-1).T, 0, 1)
+		ch.polyline(tr.Times(), tr.Values(), "#9467bd", 600)
+		data.Charts = append(data.Charts, template.HTML(ch.String()))
+	}
+
+	return pageTemplate.Execute(w, data)
+}
+
+type pageData struct {
+	Title  string
+	Tables []htmlTable
+	Charts []template.HTML
+}
+
+type htmlTable struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+func htmlErrorTable(t *experiments.ErrorTable) htmlTable {
+	out := htmlTable{
+		Title:  t.Title,
+		Header: []string{"Host", "Load Average", "vmstat", "NWS Hybrid"},
+	}
+	cell := func(host, method string) string {
+		v := fmt.Sprintf("%.1f%%", t.Main[host].Get(method)*100)
+		if t.Paren != nil {
+			v += fmt.Sprintf(" (%.1f%%)", t.Paren[host].Get(method)*100)
+		}
+		return v
+	}
+	for _, host := range t.Hosts {
+		out.Rows = append(out.Rows, []string{
+			host,
+			cell(host, core.MethodLoadAvg),
+			cell(host, core.MethodVmstat),
+			cell(host, core.MethodHybrid),
+		})
+	}
+	return out
+}
+
+func htmlTable4(rows []experiments.Table4Row) htmlTable {
+	out := htmlTable{
+		Title: "Table 4: Hurst estimate; variance of original series and 5-minute averages",
+		Header: []string{"Host", "H", "Load Avg (orig/300s)",
+			"vmstat (orig/300s)", "Hybrid (orig/300s)"},
+	}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, []string{
+			r.Host,
+			fmt.Sprintf("%.2f", r.Hurst),
+			fmt.Sprintf("%.4f / %.4f", r.Orig.LoadAvg, r.Agg.LoadAvg),
+			fmt.Sprintf("%.4f / %.4f", r.Orig.Vmstat, r.Agg.Vmstat),
+			fmt.Sprintf("%.4f / %.4f", r.Orig.Hybrid, r.Agg.Hybrid),
+		})
+	}
+	return out
+}
+
+var pageTemplate = template.Must(template.New("report").Parse(strings.TrimSpace(`
+<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+ body { font-family: Georgia, serif; max-width: 820px; margin: 2em auto; color: #222; }
+ h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+ table { border-collapse: collapse; margin: 0.8em 0; font-size: 0.92em; }
+ th, td { border: 1px solid #bbb; padding: 4px 10px; text-align: left; }
+ th { background: #f0f0f0; }
+ svg { margin: 0.8em 0; border: 1px solid #eee; }
+ p.note { color: #555; font-size: 0.9em; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p class="note">Wolski, Spring &amp; Hayes, HPDC 1999 — regenerated from the
+simulated testbed (see DESIGN.md for substitutions and EXPERIMENTS.md for
+paper-vs-measured commentary).</p>
+{{range .Tables}}
+<h2>{{.Title}}</h2>
+<table>
+<tr>{{range .Header}}<th>{{.}}</th>{{end}}</tr>
+{{range .Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>
+{{end}}
+</table>
+{{end}}
+{{range .Charts}}
+{{.}}
+{{end}}
+</body>
+</html>
+`)))

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nwscpu/internal/experiments"
+)
+
+func TestGenerateReport(t *testing.T) {
+	s := experiments.NewSuite(experiments.QuickConfig())
+	var buf bytes.Buffer
+	if err := Generate(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Table 1",
+		"Table 4",
+		"Table 6",
+		"conundrum",
+		"kongo",
+		"Figure 1",
+		"Figure 3",
+		"<svg",
+		"</html>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q (length %d)", want, len(out))
+		}
+	}
+	// 2 hosts x 4 figures = 8 charts.
+	if got := strings.Count(out, "<svg"); got != 8 {
+		t.Fatalf("chart count = %d, want 8", got)
+	}
+	// The SVG bodies must contain actual data marks.
+	if !strings.Contains(out, "<polyline") || !strings.Contains(out, "<circle") {
+		t.Fatal("charts contain no data marks")
+	}
+}
+
+func TestChartPrimitives(t *testing.T) {
+	ch := newChart("t", "x", "y", 0, 10, 0, 1)
+	ch.polyline([]float64{0, 5, 10}, []float64{0, 2, 0.5}, "#000", 100) // 2 clamps to 1
+	ch.scatter([]float64{1, 2}, []float64{0.1, 0.2}, "#111", 2)
+	ch.line(0, 0, 10, 1, "#222", "2,2")
+	out := ch.String()
+	for _, want := range []string{"<svg", "<polyline", "<circle", "stroke-dasharray", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Equal min/max must not divide by zero.
+	ch := newChart("t", "x", "y", 5, 5, 3, 3)
+	ch.polyline([]float64{5}, []float64{3}, "#000", 10)
+	if !strings.Contains(ch.String(), "<svg") {
+		t.Fatal("degenerate chart failed to render")
+	}
+}
+
+func TestChartDecimation(t *testing.T) {
+	n := 10000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 0.5
+	}
+	ch := newChart("t", "x", "y", 0, float64(n), 0, 1)
+	ch.polyline(xs, ys, "#000", 200)
+	pts := strings.Count(ch.String(), ",")
+	if pts > 600 { // ~200 points, each one comma, plus axis text commas
+		t.Fatalf("decimation ineffective: ~%d points", pts)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape("a<b>&c"); got != "a&lt;b&gt;&amp;c" {
+		t.Fatalf("escape = %q", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		200000: "200k",
+		150:    "150",
+		2.5:    "2.5",
+		0.25:   "0.25",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package report renders the reproduced evaluation as a self-contained HTML
+// document with inline SVG charts — the publishable artifact of a full
+// experiment run, built entirely with the standard library.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgChart accumulates an SVG line/scatter chart.
+type svgChart struct {
+	width, height                      int
+	marginL, marginB, marginT, marginR int
+	xMin, xMax                         float64
+	yMin, yMax                         float64
+	title                              string
+	xLabel, yLabel                     string
+	body                               strings.Builder
+}
+
+func newChart(title, xLabel, yLabel string, xMin, xMax, yMin, yMax float64) *svgChart {
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+	return &svgChart{
+		width: 720, height: 280,
+		marginL: 56, marginB: 36, marginT: 28, marginR: 16,
+		xMin: xMin, xMax: xMax, yMin: yMin, yMax: yMax,
+		title: title, xLabel: xLabel, yLabel: yLabel,
+	}
+}
+
+func (c *svgChart) plotW() float64 { return float64(c.width - c.marginL - c.marginR) }
+func (c *svgChart) plotH() float64 { return float64(c.height - c.marginT - c.marginB) }
+
+func (c *svgChart) x(v float64) float64 {
+	return float64(c.marginL) + (v-c.xMin)/(c.xMax-c.xMin)*c.plotW()
+}
+
+func (c *svgChart) y(v float64) float64 {
+	return float64(c.marginT) + (1-(v-c.yMin)/(c.yMax-c.yMin))*c.plotH()
+}
+
+// polyline adds a decimated line trace: at most maxPts points are kept so
+// the SVG stays small for day-long series.
+func (c *svgChart) polyline(xs, ys []float64, color string, maxPts int) {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return
+	}
+	if maxPts < 2 {
+		maxPts = 2
+	}
+	stride := 1
+	if n > maxPts {
+		stride = n / maxPts
+	}
+	var pts strings.Builder
+	for i := 0; i < n; i += stride {
+		fmt.Fprintf(&pts, "%.1f,%.1f ", c.x(xs[i]), c.y(clampRange(ys[i], c.yMin, c.yMax)))
+	}
+	fmt.Fprintf(&c.body, `<polyline fill="none" stroke="%s" stroke-width="1" points="%s"/>`+"\n",
+		color, strings.TrimSpace(pts.String()))
+}
+
+// scatter adds point markers.
+func (c *svgChart) scatter(xs, ys []float64, color string, r float64) {
+	for i := range xs {
+		if i >= len(ys) {
+			break
+		}
+		fmt.Fprintf(&c.body, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="0.5"/>`+"\n",
+			c.x(xs[i]), c.y(clampRange(ys[i], c.yMin, c.yMax)), r, color)
+	}
+}
+
+// line adds a straight reference line between two data-space points.
+func (c *svgChart) line(x1, y1, x2, y2 float64, color, dash string) {
+	extra := ""
+	if dash != "" {
+		extra = fmt.Sprintf(` stroke-dasharray="%s"`, dash)
+	}
+	fmt.Fprintf(&c.body, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"%s/>`+"\n",
+		c.x(x1), c.y(y1), c.x(x2), c.y(y2), color, extra)
+}
+
+func clampRange(v, lo, hi float64) float64 {
+	if math.IsNaN(v) {
+		return lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// String renders the complete SVG element with axes, ticks and labels.
+func (c *svgChart) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %d %d" width="%d" height="%d" xmlns="http://www.w3.org/2000/svg">`+"\n",
+		c.width, c.height, c.width, c.height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", c.width, c.height)
+	// Title.
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-family="sans-serif" font-size="13" font-weight="bold">%s</text>`+"\n",
+		c.marginL, escape(c.title))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		c.marginL, c.marginT, c.marginL, c.height-c.marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		c.marginL, c.height-c.marginB, c.width-c.marginR, c.height-c.marginB)
+	// Ticks: 5 on each axis.
+	for i := 0; i <= 4; i++ {
+		fy := c.yMin + (c.yMax-c.yMin)*float64(i)/4
+		py := c.y(fy)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			c.marginL, py, c.width-c.marginR, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			c.marginL-4, py+3, formatTick(fy))
+		fx := c.xMin + (c.xMax-c.xMin)*float64(i)/4
+		px := c.x(fx)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px, c.height-c.marginB+14, formatTick(fx))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		c.marginL+int(c.plotW()/2), c.height-6, escape(c.xLabel))
+	fmt.Fprintf(&b, `<text x="12" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 12 %d)">%s</text>`+"\n",
+		c.marginT+int(c.plotH()/2), c.marginT+int(c.plotH()/2), escape(c.yLabel))
+	b.WriteString(c.body.String())
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 100000:
+		return fmt.Sprintf("%.0fk", v/1000)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"errors"
+	"math"
+)
+
+// This file combines CPU and network forecasts into wide-area scheduling
+// estimates — the full AppLeS cost model: moving a task's input data to a
+// host costs latency + bytes/bandwidth, and running it costs
+// cpuSeconds/availability. The NWS serves all three forecasts (packages
+// sensors and netsensor); this is where a grid scheduler puts them together.
+
+// ResourceForecasts holds one host's predicted resources.
+type ResourceForecasts struct {
+	// Avail is the predicted CPU availability fraction in (0, 1].
+	Avail float64
+	// Bandwidth is the predicted transfer bandwidth to the host in
+	// bytes/second.
+	Bandwidth float64
+	// Latency is the predicted one-way message latency to the host in
+	// seconds.
+	Latency float64
+}
+
+// ErrBadForecast reports non-positive resource forecasts.
+var ErrBadForecast = errors.New("sched: resource forecasts must be positive")
+
+// TransferComputeETA estimates the wall time to ship dataBytes to a host and
+// run cpuSeconds of work there:
+//
+//	ETA = latency + dataBytes/bandwidth + cpuSeconds/avail
+func TransferComputeETA(dataBytes, cpuSeconds float64, f ResourceForecasts) (float64, error) {
+	if dataBytes < 0 || cpuSeconds < 0 {
+		return 0, errors.New("sched: negative work")
+	}
+	if f.Avail <= 0 || f.Avail > 1 || f.Latency < 0 {
+		return 0, ErrBadForecast
+	}
+	eta := f.Latency + cpuSeconds/f.Avail
+	if dataBytes > 0 {
+		if f.Bandwidth <= 0 {
+			return 0, ErrBadForecast
+		}
+		eta += dataBytes / f.Bandwidth
+	}
+	return eta, nil
+}
+
+// DataTask is a task with an input-data transfer cost.
+type DataTask struct {
+	ID        int
+	DataBytes float64
+	Demand    float64 // CPU seconds
+}
+
+// PlaceDataTasks assigns each task to the host with the smallest predicted
+// completion time, accounting for work already queued on the host (both its
+// transfer and compute time serialize on the host in this model). It
+// returns the placements and the per-host predicted finish times.
+func PlaceDataTasks(tasks []DataTask, hosts []ResourceForecasts) (placements []int, finish []float64, err error) {
+	if len(hosts) == 0 {
+		return nil, nil, errors.New("sched: no hosts")
+	}
+	placements = make([]int, len(tasks))
+	finish = make([]float64, len(hosts))
+	for ti, task := range tasks {
+		best := -1
+		bestETA := math.Inf(1)
+		for hi, f := range hosts {
+			eta, err := TransferComputeETA(task.DataBytes, task.Demand, f)
+			if err != nil {
+				return nil, nil, err
+			}
+			if finish[hi]+eta < bestETA {
+				best, bestETA = hi, finish[hi]+eta
+			}
+		}
+		placements[ti] = best
+		finish[best] = bestETA
+	}
+	return placements, finish, nil
+}

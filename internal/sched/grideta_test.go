@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransferComputeETA(t *testing.T) {
+	f := ResourceForecasts{Avail: 0.5, Bandwidth: 1 << 20, Latency: 0.01}
+	eta, err := TransferComputeETA(10<<20, 30, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.01 + 10s transfer + 60s compute.
+	if math.Abs(eta-70.01) > 1e-9 {
+		t.Fatalf("ETA = %v, want 70.01", eta)
+	}
+	// No data: no bandwidth needed.
+	eta, err = TransferComputeETA(0, 30, ResourceForecasts{Avail: 1})
+	if err != nil || eta != 30 {
+		t.Fatalf("compute-only ETA = %v, %v", eta, err)
+	}
+}
+
+func TestTransferComputeETAValidation(t *testing.T) {
+	good := ResourceForecasts{Avail: 0.5, Bandwidth: 1, Latency: 0}
+	cases := []struct {
+		data, cpu float64
+		f         ResourceForecasts
+	}{
+		{-1, 1, good},
+		{1, -1, good},
+		{1, 1, ResourceForecasts{Avail: 0, Bandwidth: 1}},
+		{1, 1, ResourceForecasts{Avail: 1.5, Bandwidth: 1}},
+		{1, 1, ResourceForecasts{Avail: 0.5, Bandwidth: 0}},
+		{1, 1, ResourceForecasts{Avail: 0.5, Bandwidth: 1, Latency: -1}},
+	}
+	for i, c := range cases {
+		if _, err := TransferComputeETA(c.data, c.cpu, c.f); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPlaceDataTasksPrefersNearbyHostForDataHeavyWork(t *testing.T) {
+	hosts := []ResourceForecasts{
+		{Avail: 1.0, Bandwidth: 1 << 20, Latency: 0.1},     // fast CPU, slow link
+		{Avail: 0.5, Bandwidth: 100 << 20, Latency: 0.001}, // slower CPU, fast link
+	}
+	// Data-heavy, compute-light task: the fast link wins.
+	dataHeavy := []DataTask{{ID: 0, DataBytes: 100 << 20, Demand: 5}}
+	p, _, err := PlaceDataTasks(dataHeavy, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 1 {
+		t.Fatalf("data-heavy task placed on %d, want the fast-link host", p[0])
+	}
+	// Compute-heavy, data-light task: the fast CPU wins.
+	computeHeavy := []DataTask{{ID: 0, DataBytes: 1 << 10, Demand: 600}}
+	p, _, err = PlaceDataTasks(computeHeavy, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0 {
+		t.Fatalf("compute-heavy task placed on %d, want the fast-CPU host", p[0])
+	}
+}
+
+func TestPlaceDataTasksBalancesQueues(t *testing.T) {
+	hosts := []ResourceForecasts{
+		{Avail: 1, Bandwidth: 1 << 30, Latency: 0},
+		{Avail: 1, Bandwidth: 1 << 30, Latency: 0},
+	}
+	tasks := make([]DataTask, 4)
+	for i := range tasks {
+		tasks[i] = DataTask{ID: i, Demand: 10}
+	}
+	p, finish, err := PlaceDataTasks(tasks, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, h := range p {
+		counts[h]++
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("placements %v, want an even split", p)
+	}
+	if math.Abs(finish[0]-20) > 1e-9 || math.Abs(finish[1]-20) > 1e-9 {
+		t.Fatalf("finish = %v, want [20 20]", finish)
+	}
+}
+
+func TestPlaceDataTasksValidation(t *testing.T) {
+	if _, _, err := PlaceDataTasks(nil, nil); err == nil {
+		t.Fatal("no hosts accepted")
+	}
+	if _, _, err := PlaceDataTasks([]DataTask{{Demand: 1}},
+		[]ResourceForecasts{{Avail: 0}}); err == nil {
+		t.Fatal("bad forecast accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"testing"
+
+	"nwscpu/internal/workload"
+)
+
+func TestRunDynamicValidation(t *testing.T) {
+	c := NewCluster([]workload.Profile{{Name: "a", Seed: 1}}, 1000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero quantum accepted")
+		}
+	}()
+	c.RunDynamic(MakeTasks(1, 10), PolicyForecast, 1, 0)
+}
+
+func TestRunDynamicCompletesAllTasks(t *testing.T) {
+	c := NewCluster([]workload.Profile{
+		{Name: "a", Seed: 1}, {Name: "b", Seed: 2},
+	}, 20000)
+	c.Warmup(120, 10)
+	tasks := MakeTasks(6, 20)
+	res := c.RunDynamic(tasks, PolicyForecast, 3, 10)
+
+	total := 0
+	for _, d := range res.Dispatches {
+		total += d
+	}
+	if total != len(tasks) {
+		t.Fatalf("dispatched %d tasks, want %d", total, len(tasks))
+	}
+	if res.Makespan <= 0 || res.MeanCompletion <= 0 || res.MeanCompletion > res.Makespan {
+		t.Fatalf("makespan %v mean %v", res.Makespan, res.MeanCompletion)
+	}
+	// 6 x 20 CPU-s over 2 idle hosts, one at a time per host: ~60 s + a few
+	// quanta of dispatch latency.
+	if res.Makespan < 50 || res.Makespan > 120 {
+		t.Fatalf("makespan = %v, want ~60-90", res.Makespan)
+	}
+	for i, p := range res.Placements {
+		if p < 0 || p > 1 {
+			t.Fatalf("placement %d = %d", i, p)
+		}
+	}
+}
+
+func TestRunDynamicAvoidsBusyHost(t *testing.T) {
+	horizon := 20000.0
+	profiles := testProfiles(horizon) // idle, busy (job churn), conundrum
+	c := NewCluster(profiles, horizon)
+	c.Warmup(600, 10)
+	res := c.RunDynamic(MakeTasks(9, 20), PolicyForecast, 4, 10)
+	// The idle host should execute at least as many tasks as the busy one:
+	// it finishes faster, so self-scheduling naturally feeds it more.
+	if res.Dispatches[0] < res.Dispatches[1] {
+		t.Fatalf("dispatches = %v; idle host should get at least as many as busy", res.Dispatches)
+	}
+}
+
+func TestDynamicExperimentEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	tasks := MakeTasks(6, 25)
+	res := DynamicExperiment(testProfiles(0), tasks, PolicyForecast, 300, 5)
+	if res.Makespan <= 0 {
+		t.Fatalf("degenerate result: %+v", res.Result)
+	}
+	// Self-scheduling should be competitive with static forecast placement.
+	static := Experiment(testProfiles(0), tasks, PolicyForecast, 300, 5)
+	if res.Makespan > static.Makespan*1.6 {
+		t.Fatalf("dynamic makespan %v much worse than static %v", res.Makespan, static.Makespan)
+	}
+}

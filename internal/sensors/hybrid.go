@@ -1,0 +1,126 @@
+package sensors
+
+import "math"
+
+// HybridConfig configures the NWS hybrid sensor.
+type HybridConfig struct {
+	// ProbeEvery is the number of Measure calls between probe runs; with
+	// the paper's 10-second measurement cadence, 6 gives one probe per
+	// minute.
+	ProbeEvery int
+	// ProbeLen is the probe's wall duration in seconds (1.5 in the paper —
+	// experimentally the shortest useful probe).
+	ProbeLen float64
+	// DisableBias turns off the probe-difference bias correction; used by
+	// the ablation benchmarks. The method selection still happens.
+	DisableBias bool
+	// BiasGain smooths the bias across probes: bias += gain*(newBias -
+	// bias). The paper's sensor uses the latest probe difference raw
+	// (gain 1.0); a single 1.5-second probe is a high-variance sample, so
+	// this implementation defaults to 0.3, which cuts the bias noise on
+	// bursty hosts while converging within ~10 probes on hosts with a
+	// persistent skew (conundrum). Set 1.0 for the paper's exact behaviour.
+	// Zero selects the default.
+	BiasGain float64
+}
+
+// DefaultHybridConfig returns the configuration evaluated in the paper.
+func DefaultHybridConfig() HybridConfig {
+	return HybridConfig{ProbeEvery: 6, ProbeLen: 1.5, BiasGain: 0.3}
+}
+
+// HybridSensor is the NWS CPU sensor: it computes the load-average and
+// vmstat availability estimates at every measurement epoch and, once per
+// ProbeEvery epochs, runs a short full-priority probe process. Whichever
+// passive method lands closest to the probe is used until the next probe,
+// and the probe-vs-method difference is applied as an additive bias — this
+// is what lets the hybrid see through nice-19 background load that the
+// passive methods mistake for real contention.
+type HybridSensor struct {
+	host Host
+	cfg  HybridConfig
+	la   *LoadAvgSensor
+	vm   *VmstatSensor
+
+	count      int
+	useLoadAvg bool
+	bias       float64
+}
+
+// NewHybridSensor returns a hybrid sensor for h. It panics if cfg.ProbeEvery
+// < 1 or cfg.ProbeLen <= 0.
+func NewHybridSensor(h Host, cfg HybridConfig) *HybridSensor {
+	if cfg.ProbeEvery < 1 {
+		panic("sensors: HybridConfig.ProbeEvery must be >= 1")
+	}
+	if cfg.ProbeLen <= 0 {
+		panic("sensors: HybridConfig.ProbeLen must be positive")
+	}
+	if cfg.BiasGain == 0 {
+		cfg.BiasGain = 0.3
+	}
+	if cfg.BiasGain < 0 || cfg.BiasGain > 1 {
+		panic("sensors: HybridConfig.BiasGain must be in (0,1]")
+	}
+	return &HybridSensor{
+		host: h,
+		cfg:  cfg,
+		la:   NewLoadAvgSensor(h),
+		vm:   NewVmstatSensor(h, 0),
+	}
+}
+
+// Name implements Sensor.
+func (s *HybridSensor) Name() string { return "nws_hybrid" }
+
+// Measure implements Sensor. On probe epochs it runs the probe process —
+// which blocks for ProbeLen of host time, exactly as intrusively as the real
+// NWS sensor — and returns the probe's own observation; on the remaining
+// epochs it returns the currently selected passive method plus bias.
+func (s *HybridSensor) Measure() float64 {
+	laV := s.la.Measure()
+	vmV := s.vm.Measure()
+	probeEpoch := s.count%s.cfg.ProbeEvery == 0
+	s.count++
+
+	if probeEpoch {
+		p := s.host.RunSpin(s.cfg.ProbeLen)
+		var newBias float64
+		if math.Abs(laV-p) <= math.Abs(vmV-p) {
+			s.useLoadAvg = true
+			newBias = p - laV
+		} else {
+			s.useLoadAvg = false
+			newBias = p - vmV
+		}
+		s.bias += s.cfg.BiasGain * (newBias - s.bias)
+		if s.cfg.DisableBias {
+			s.bias = 0
+		}
+		return clamp01(p)
+	}
+
+	v := vmV
+	if s.useLoadAvg {
+		v = laV
+	}
+	return clamp01(v + s.bias)
+}
+
+// SelectedMethod reports which passive method the last probe chose
+// ("load_average" or "vmstat").
+func (s *HybridSensor) SelectedMethod() string {
+	if s.useLoadAvg {
+		return "load_average"
+	}
+	return "vmstat"
+}
+
+// Bias reports the current additive bias.
+func (s *HybridSensor) Bias() float64 { return s.bias }
+
+var (
+	_ Sensor = (*LoadAvgSensor)(nil)
+	_ Sensor = (*VmstatSensor)(nil)
+	_ Sensor = (*HybridSensor)(nil)
+)

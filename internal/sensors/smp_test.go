@@ -1,0 +1,71 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"nwscpu/internal/simos"
+)
+
+func smpSimhost(n int) (SimHost, *simos.Host) {
+	cfg := simos.DefaultConfig()
+	cfg.NumCPUs = n
+	h := simos.New(cfg)
+	return SimHost{H: h}, h
+}
+
+func TestSMPSensorReducesToEq1OnUniprocessor(t *testing.T) {
+	sh, h := simhost()
+	h.Spawn(spin(3600))
+	h.RunUntil(600)
+	naive := NewLoadAvgSensor(sh).Measure()
+	smp := NewSMPLoadAvgSensor(sh).Measure()
+	if math.Abs(naive-smp) > 1e-12 {
+		t.Fatalf("N=1: naive %v != smp %v", naive, smp)
+	}
+}
+
+func TestSMPSensorSeesSpareCPUs(t *testing.T) {
+	// 4 CPUs, 2 spinners: load ~2, a new process gets a whole CPU.
+	sh, h := smpSimhost(4)
+	h.Spawn(spin(7200))
+	h.Spawn(spin(7200))
+	h.RunUntil(600)
+
+	naive := NewLoadAvgSensor(sh).Measure()
+	smp := NewSMPLoadAvgSensor(sh).Measure()
+	truth := RunTest(sh, 10)
+
+	if truth < 0.95 {
+		t.Fatalf("ground truth on spare CPU = %v, want ~1", truth)
+	}
+	if naive > 0.5 {
+		t.Fatalf("naive Eq.1 = %v, should under-report (~1/3)", naive)
+	}
+	if smp < 0.9 {
+		t.Fatalf("SMP-corrected = %v, want ~1", smp)
+	}
+}
+
+func TestSMPSensorSaturated(t *testing.T) {
+	// 2 CPUs, 5 spinners: load ~5, a new process gets ~2/6 of a CPU.
+	sh, h := smpSimhost(2)
+	for i := 0; i < 5; i++ {
+		h.Spawn(spin(7200))
+	}
+	h.RunUntil(600)
+	smp := NewSMPLoadAvgSensor(sh).Measure()
+	// A long test process: short ones carry the fresh-process priority
+	// bonus (the kongo ramp) that inflates their share above steady state.
+	truth := RunTest(sh, 60)
+	if math.Abs(smp-truth) > 0.12 {
+		t.Fatalf("saturated SMP estimate %v vs truth %v", smp, truth)
+	}
+}
+
+func TestSMPSensorName(t *testing.T) {
+	sh, _ := smpSimhost(2)
+	if got := NewSMPLoadAvgSensor(sh).Name(); got != "load_average_smp" {
+		t.Fatalf("Name = %q", got)
+	}
+}

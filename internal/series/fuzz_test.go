@@ -1,0 +1,34 @@
+package series
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the trace reader never panics and only returns ordered
+// series.
+func FuzzReadCSV(f *testing.F) {
+	for _, seed := range []string{
+		"t,value\n1,0.5\n2,0.6\n",
+		"t,value\n",
+		"",
+		"a,b\n1,2\n",
+		"t,value\n1,0.5\n0.5,0.6\n",
+		"t,value\nNaN,0.5\n",
+		"t,value\n1e309,0\n",
+		"t,value\n1,2,3\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, content string) {
+		s, err := ReadCSV(strings.NewReader(content), "fuzz")
+		if err != nil {
+			return
+		}
+		for i := 1; i < s.Len(); i++ {
+			if s.At(i).T < s.At(i-1).T {
+				t.Fatalf("unordered series accepted from %q", content)
+			}
+		}
+	})
+}

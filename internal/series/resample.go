@@ -1,0 +1,85 @@
+package series
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrBadResample reports invalid resampling parameters.
+var ErrBadResample = errors.New("series: resample parameters invalid")
+
+// Resample returns the series linearly interpolated onto a regular grid
+// t0, t0+dt, t0+2dt, ... covering [t0, tEnd]. Grid points before the first
+// or after the last original point take the nearest endpoint value
+// (constant extrapolation). Live monitoring produces slightly jittered
+// timestamps (probe and GC pauses); the analyses assume regular spacing, and
+// this is the bridge.
+//
+// The series must contain at least one point, dt must be positive, and
+// tEnd must be >= t0.
+func (s *Series) Resample(t0, dt, tEnd float64) (*Series, error) {
+	if dt <= 0 || math.IsNaN(dt) || tEnd < t0 || s.Len() == 0 {
+		return nil, ErrBadResample
+	}
+	out := New(s.Name, s.Unit)
+	n := int(math.Floor((tEnd-t0)/dt + 1e-9))
+	for i := 0; i <= n; i++ {
+		t := t0 + float64(i)*dt
+		if err := out.Append(t, s.interp(t)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// interp returns the linearly interpolated value at time t with constant
+// extrapolation beyond the endpoints.
+func (s *Series) interp(t float64) float64 {
+	pts := s.Points
+	if t <= pts[0].T {
+		return pts[0].V
+	}
+	last := pts[len(pts)-1]
+	if t >= last.T {
+		return last.V
+	}
+	// First point with T >= t.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].T >= t })
+	a, b := pts[i-1], pts[i]
+	if b.T == a.T {
+		return b.V
+	}
+	frac := (t - a.T) / (b.T - a.T)
+	return a.V + frac*(b.V-a.V)
+}
+
+// GapStats reports the spacing regularity of a series: the median interval,
+// the largest interval, and the number of gaps exceeding factor times the
+// median. It is the diagnostic a caller consults before trusting the
+// regular-grid analyses, and returns ok=false for series with fewer than
+// two points.
+func (s *Series) GapStats(factor float64) (median, max float64, gaps int, ok bool) {
+	if s.Len() < 2 {
+		return 0, 0, 0, false
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	deltas := make([]float64, s.Len()-1)
+	for i := 1; i < s.Len(); i++ {
+		deltas[i-1] = s.Points[i].T - s.Points[i-1].T
+	}
+	sorted := append([]float64(nil), deltas...)
+	sort.Float64s(sorted)
+	median = sorted[len(sorted)/2]
+	for _, d := range deltas {
+		if d > max {
+			max = d
+		}
+		if median > 0 && d > factor*median {
+			gaps++
+		}
+	}
+	return median, max, gaps, true
+}

@@ -1,0 +1,150 @@
+package series
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestResampleValidation(t *testing.T) {
+	s := FromValues("a", 0, 1, []float64{1, 2})
+	for _, c := range []struct{ t0, dt, tEnd float64 }{
+		{0, 0, 10},
+		{0, -1, 10},
+		{10, 1, 0},
+		{0, math.NaN(), 10},
+	} {
+		if _, err := s.Resample(c.t0, c.dt, c.tEnd); err == nil {
+			t.Errorf("Resample(%v) accepted", c)
+		}
+	}
+	empty := New("e", "")
+	if _, err := empty.Resample(0, 1, 10); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestResampleIdentityOnRegularGrid(t *testing.T) {
+	s := FromValues("a", 0, 10, []float64{1, 2, 3, 4})
+	r, err := s.Resample(0, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for i := range s.Points {
+		if math.Abs(r.Points[i].V-s.Points[i].V) > 1e-12 {
+			t.Fatalf("point %d: %v != %v", i, r.Points[i], s.Points[i])
+		}
+	}
+}
+
+func TestResampleInterpolates(t *testing.T) {
+	s := FromValues("a", 0, 10, []float64{0, 10})
+	r, err := s.Resample(0, 2.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	if r.Len() != len(want) {
+		t.Fatalf("len = %d, want %d", r.Len(), len(want))
+	}
+	for i, w := range want {
+		if math.Abs(r.Points[i].V-w) > 1e-12 {
+			t.Fatalf("r[%d] = %v, want %v", i, r.Points[i].V, w)
+		}
+	}
+}
+
+func TestResampleExtrapolatesConstant(t *testing.T) {
+	s := FromValues("a", 10, 10, []float64{5, 7})
+	r, err := s.Resample(0, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.At(0).V != 5 || r.At(1).V != 5 { // t=0, 5 before first point
+		t.Fatalf("left extrapolation: %v", r.Points)
+	}
+	if r.At(r.Len()-1).V != 7 { // t=30 after last point
+		t.Fatalf("right extrapolation: %v", r.Points)
+	}
+}
+
+func TestResampleDuplicateTimestamps(t *testing.T) {
+	s := New("a", "")
+	for _, p := range []Point{{0, 1}, {10, 2}, {10, 4}, {20, 6}} {
+		if err := s.Append(p.T, p.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := s.Resample(0, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the duplicated time the first matching point wins via search; any
+	// of the duplicated values is acceptable, but no NaN/Inf.
+	for _, p := range r.Points {
+		if math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+			t.Fatalf("degenerate interpolation: %v", r.Points)
+		}
+	}
+}
+
+// Property: resampled values always lie within [min, max] of the source.
+func TestResampleBounded(t *testing.T) {
+	prop := func(raw []float64, dtRaw uint8) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e50 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := FromValues("p", 0, 7, vals)
+		dt := float64(dtRaw%13) + 0.5
+		r, err := s.Resample(-10, dt, 7*float64(len(vals))+10)
+		if err != nil {
+			return false
+		}
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		for _, p := range r.Points {
+			if p.V < lo-1e-9 || p.V > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapStats(t *testing.T) {
+	s := New("a", "")
+	for _, p := range []Point{{0, 1}, {10, 1}, {20, 1}, {60, 1}, {70, 1}} {
+		if err := s.Append(p.T, p.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	median, max, gaps, ok := s.GapStats(2)
+	if !ok {
+		t.Fatal("GapStats not ok")
+	}
+	if median != 10 || max != 40 || gaps != 1 {
+		t.Fatalf("GapStats = %v %v %v", median, max, gaps)
+	}
+	// factor <= 1 defaults to 2.
+	if _, _, g, _ := s.GapStats(0); g != 1 {
+		t.Fatalf("default factor gaps = %d", g)
+	}
+	if _, _, _, ok := New("e", "").GapStats(2); ok {
+		t.Fatal("GapStats ok on empty series")
+	}
+}

@@ -1,0 +1,192 @@
+// Package series provides the time-series containers used by the sensors and
+// forecasters: timestamped measurement series, fixed-capacity ring buffers
+// for sliding windows, time-based aggregation (the X^(m) block means of the
+// paper's Section 3.2), and CSV/JSON persistence for traces.
+//
+// Timestamps are float64 seconds on whatever clock produced the series —
+// virtual seconds for the simulator, Unix seconds for live monitoring. The
+// package never interprets absolute time; only differences matter.
+package series
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one timestamped measurement.
+type Point struct {
+	T float64 // seconds
+	V float64 // measured value (e.g. fraction of CPU available, in [0,1])
+}
+
+// Series is an append-only sequence of Points ordered by time. The zero
+// value is an empty, usable series.
+type Series struct {
+	Name   string
+	Unit   string
+	Points []Point
+}
+
+// New returns an empty series with the given name and unit.
+func New(name, unit string) *Series {
+	return &Series{Name: name, Unit: unit}
+}
+
+// FromValues builds a series from evenly spaced values: point i carries time
+// t0 + i*dt.
+func FromValues(name string, t0, dt float64, values []float64) *Series {
+	s := New(name, "")
+	s.Points = make([]Point, len(values))
+	for i, v := range values {
+		s.Points[i] = Point{T: t0 + float64(i)*dt, V: v}
+	}
+	return s
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Append adds a point. It returns an error if t is earlier than the last
+// point's time (series are strictly time-ordered; equal times are allowed so
+// that instantaneous re-measurements are representable).
+func (s *Series) Append(t, v float64) error {
+	if n := len(s.Points); n > 0 && t < s.Points[n-1].T {
+		return fmt.Errorf("series: out-of-order append at t=%v (last %v)", t, s.Points[n-1].T)
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+	return nil
+}
+
+// Values returns the measurement values in time order as a fresh slice.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Times returns the timestamps in order as a fresh slice.
+func (s *Series) Times() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.T
+	}
+	return out
+}
+
+// Last returns the most recent point. ok is false for an empty series.
+func (s *Series) Last() (p Point, ok bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
+// At returns the i-th point (0-based). It panics if i is out of range, like
+// a slice index.
+func (s *Series) At(i int) Point { return s.Points[i] }
+
+// Slice returns a new Series holding the points with t in [from, to). The
+// underlying points are copied.
+func (s *Series) Slice(from, to float64) *Series {
+	lo := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= from })
+	hi := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= to })
+	out := New(s.Name, s.Unit)
+	out.Points = append([]Point(nil), s.Points[lo:hi]...)
+	return out
+}
+
+// LatestBefore returns the last point with time strictly before t, mirroring
+// the paper's rule of comparing the test process to "the measurement taken
+// most immediately before the test process executes". ok is false when no
+// such point exists.
+func (s *Series) LatestBefore(t float64) (Point, bool) {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= t })
+	if i == 0 {
+		return Point{}, false
+	}
+	return s.Points[i-1], true
+}
+
+// ErrBadAggregation reports an invalid aggregation parameter.
+var ErrBadAggregation = errors.New("series: aggregation parameters invalid")
+
+// AggregateCount returns the series of non-overlapping m-point block means
+// (the aggregated series X^(m) of Section 3.2). Each aggregated point is
+// stamped with the time of the last point of its block. A trailing partial
+// block is discarded. m must be >= 1.
+func (s *Series) AggregateCount(m int) (*Series, error) {
+	if m < 1 {
+		return nil, ErrBadAggregation
+	}
+	out := New(s.Name, s.Unit)
+	if m == 1 {
+		out.Points = append([]Point(nil), s.Points...)
+		return out, nil
+	}
+	nb := len(s.Points) / m
+	out.Points = make([]Point, nb)
+	for b := 0; b < nb; b++ {
+		var sum float64
+		for i := b * m; i < (b+1)*m; i++ {
+			sum += s.Points[i].V
+		}
+		out.Points[b] = Point{
+			T: s.Points[(b+1)*m-1].T,
+			V: sum / float64(m),
+		}
+	}
+	return out, nil
+}
+
+// AggregateWindow returns the series of means over fixed wall-clock windows
+// of the given width in seconds, anchored at the first point's time. Windows
+// containing no points are skipped. width must be positive.
+func (s *Series) AggregateWindow(width float64) (*Series, error) {
+	if width <= 0 || math.IsNaN(width) {
+		return nil, ErrBadAggregation
+	}
+	out := New(s.Name, s.Unit)
+	if len(s.Points) == 0 {
+		return out, nil
+	}
+	start := s.Points[0].T
+	var sum float64
+	var n int
+	win := 0
+	flush := func(endT float64) {
+		if n > 0 {
+			out.Points = append(out.Points, Point{T: endT, V: sum / float64(n)})
+		}
+		sum, n = 0, 0
+	}
+	for _, p := range s.Points {
+		for p.T >= start+float64(win+1)*width {
+			flush(start + float64(win+1)*width)
+			win++
+		}
+		sum += p.V
+		n++
+	}
+	flush(start + float64(win+1)*width)
+	return out, nil
+}
+
+// MeanOver returns the mean value of points with t in [from, to), and the
+// number of points averaged.
+func (s *Series) MeanOver(from, to float64) (mean float64, n int) {
+	lo := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= from })
+	hi := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= to })
+	var sum float64
+	for _, p := range s.Points[lo:hi] {
+		sum += p.V
+	}
+	n = hi - lo
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}

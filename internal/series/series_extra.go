@@ -1,0 +1,16 @@
+package series
+
+import "sort"
+
+// LatestAtOrBefore returns the last point with time <= t. ok is false when
+// no such point exists. This is the lookup the error analysis uses: the
+// paper compares each test-process observation against "the measurement
+// taken most immediately before the test process executes", and that
+// measurement is taken in the same sensing epoch the test starts in.
+func (s *Series) LatestAtOrBefore(t float64) (Point, bool) {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+	if i == 0 {
+		return Point{}, false
+	}
+	return s.Points[i-1], true
+}

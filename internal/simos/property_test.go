@@ -1,0 +1,106 @@
+package simos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any random mixture of processes, the accounting identities
+// hold after any amount of simulated time:
+//
+//	user + nice + sys + idle == total == NumCPUs * wall
+//	sum of per-process CPU time <= total busy time
+//	load average >= 0
+func TestRandomWorkloadInvariants(t *testing.T) {
+	prop := func(seed int64, nProcsRaw, cpusRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.NumCPUs = int(cpusRaw%4) + 1
+		h := New(cfg)
+
+		nProcs := int(nProcsRaw%8) + 1
+		pids := make([]PID, 0, nProcs)
+		for i := 0; i < nProcs; i++ {
+			spec := ProcSpec{
+				Name:    "p",
+				Nice:    int(rng.Int31n(20)),
+				SysFrac: rng.Float64(),
+			}
+			switch rng.Intn(3) {
+			case 0:
+				spec.Demand = 1 + rng.Float64()*30
+			case 1:
+				spec.Demand = math.Inf(1)
+				spec.WallLimit = 1 + rng.Float64()*60
+			default:
+				spec.Demand = math.Inf(1)
+				spec.WallLimit = 1 + rng.Float64()*60
+				spec.BurstCPU = 0.05 + rng.Float64()
+				spec.BurstSleep = 0.05 + rng.Float64()*3
+			}
+			if rng.Intn(2) == 0 {
+				pids = append(pids, h.Spawn(spec))
+			} else {
+				h.SubmitAt(rng.Float64()*30, spec)
+			}
+		}
+		wall := 20 + rng.Float64()*60
+		h.RunUntil(wall)
+		if rng.Intn(2) == 0 && len(pids) > 0 {
+			h.Kill(pids[rng.Intn(len(pids))])
+			h.RunUntil(wall + 10)
+			wall += 10
+		}
+
+		c := h.Counters()
+		if math.Abs(c.User+c.Nice+c.Sys+c.Idle-c.Total) > 1e-6 {
+			return false
+		}
+		wantTotal := float64(cfg.NumCPUs) * h.Now()
+		if math.Abs(c.Total-wantTotal) > 0.1 {
+			return false
+		}
+		if h.LoadAvg() < 0 {
+			return false
+		}
+		// Per-process CPU never exceeds wall clock (one CPU per process).
+		for _, pid := range pids {
+			if res, ok := h.Lookup(pid); ok && res.CPUTime > h.Now()+1e-6 {
+				return false
+			}
+			if res, _, ok := h.Exit(pid); ok && res.CPUTime > res.Wall+0.02 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the simulator is deterministic — identical submissions produce
+// identical counters and load averages.
+func TestDeterminism(t *testing.T) {
+	build := func() *Host {
+		h := New(DefaultConfig())
+		h.Spawn(ProcSpec{Name: "a", Demand: 12.3, SysFrac: 0.2})
+		h.SubmitAt(7, ProcSpec{Name: "b", Nice: 5, Demand: math.Inf(1), WallLimit: 40,
+			BurstCPU: 0.3, BurstSleep: 0.7})
+		h.SubmitAt(19, ProcSpec{Name: "c", Demand: 5})
+		h.RunUntil(60)
+		return h
+	}
+	h1, h2 := build(), build()
+	if h1.Counters() != h2.Counters() {
+		t.Fatalf("counters diverged: %+v vs %+v", h1.Counters(), h2.Counters())
+	}
+	if h1.LoadAvg() != h2.LoadAvg() {
+		t.Fatalf("load averages diverged: %v vs %v", h1.LoadAvg(), h2.LoadAvg())
+	}
+	if h1.RunQueue() != h2.RunQueue() {
+		t.Fatalf("run queues diverged")
+	}
+}

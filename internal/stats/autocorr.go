@@ -1,0 +1,98 @@
+package stats
+
+// Autocovariance returns the lag-k sample autocovariance of xs using the
+// biased (1/n) estimator conventional in time-series analysis:
+//
+//	gamma(k) = (1/n) * sum_{t=0}^{n-k-1} (x_t - mean)(x_{t+k} - mean)
+//
+// It returns 0 when k is out of range.
+func Autocovariance(xs []float64, k int) float64 {
+	n := len(xs)
+	if k < 0 || k >= n || n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for t := 0; t+k < n; t++ {
+		sum += (xs[t] - m) * (xs[t+k] - m)
+	}
+	return sum / float64(n)
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs,
+// gamma(k)/gamma(0). A constant series (zero variance) yields 0 for k > 0
+// and 1 for k == 0.
+func Autocorrelation(xs []float64, k int) float64 {
+	if k == 0 {
+		return 1
+	}
+	g0 := Autocovariance(xs, 0)
+	if g0 == 0 {
+		return 0
+	}
+	return Autocovariance(xs, k) / g0
+}
+
+// ACF returns the autocorrelation function of xs for lags 0..maxLag
+// inclusive. The returned slice has length maxLag+1 with ACF[0] == 1 (unless
+// the series is constant). maxLag is clamped to len(xs)-1.
+//
+// The paper's Figure 2 plots the first 360 autocorrelations of 24-hour
+// availability traces sampled at 10-second intervals (one hour of lags).
+func ACF(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	out := make([]float64, maxLag+1)
+	m := Mean(xs)
+	// Single pass per lag over mean-centered values; precompute residuals.
+	res := make([]float64, n)
+	for i, x := range xs {
+		res[i] = x - m
+	}
+	var g0 float64
+	for _, r := range res {
+		g0 += r * r
+	}
+	g0 /= float64(n)
+	out[0] = 1
+	if g0 == 0 {
+		return out
+	}
+	for k := 1; k <= maxLag; k++ {
+		var sum float64
+		for t := 0; t+k < n; t++ {
+			sum += res[t] * res[t+k]
+		}
+		out[k] = (sum / float64(n)) / g0
+	}
+	return out
+}
+
+// LjungBox returns the Ljung-Box Q statistic of xs over lags 1..h. Large Q
+// indicates the series is not white noise; for white noise Q is approximately
+// chi-squared with h degrees of freedom. It is used by tests to check that
+// generated self-similar load is strongly autocorrelated while i.i.d. noise
+// is not.
+func LjungBox(xs []float64, h int) float64 {
+	n := len(xs)
+	if n < 3 || h < 1 {
+		return 0
+	}
+	if h >= n {
+		h = n - 1
+	}
+	acf := ACF(xs, h)
+	var q float64
+	for k := 1; k <= h; k++ {
+		q += acf[k] * acf[k] / float64(n-k)
+	}
+	return float64(n) * (float64(n) + 2) * q
+}

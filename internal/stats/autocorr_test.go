@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAutocorrelationLagZero(t *testing.T) {
+	xs := []float64{1, 5, 2, 8, 3}
+	if got := Autocorrelation(xs, 0); got != 1 {
+		t.Fatalf("ACF(0) = %v, want 1", got)
+	}
+}
+
+func TestAutocorrelationConstantSeries(t *testing.T) {
+	xs := []float64{3, 3, 3, 3, 3}
+	if got := Autocorrelation(xs, 1); got != 0 {
+		t.Fatalf("ACF(1) of constant = %v, want 0", got)
+	}
+}
+
+func TestAutocovarianceOutOfRange(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if Autocovariance(xs, -1) != 0 || Autocovariance(xs, 3) != 0 {
+		t.Fatal("out-of-range lags should yield 0")
+	}
+	if Autocovariance(nil, 0) != 0 {
+		t.Fatal("empty series should yield 0")
+	}
+}
+
+func TestACFAlternatingSeries(t *testing.T) {
+	// +1,-1,+1,-1,... has lag-1 autocorrelation close to -1.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	if got := Autocorrelation(xs, 1); got > -0.99 {
+		t.Fatalf("ACF(1) of alternating = %v, want near -1", got)
+	}
+	if got := Autocorrelation(xs, 2); got < 0.99 {
+		t.Fatalf("ACF(2) of alternating = %v, want near 1", got)
+	}
+}
+
+func TestACFWhiteNoiseDecays(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	acf := ACF(xs, 50)
+	for k := 1; k <= 50; k++ {
+		if math.Abs(acf[k]) > 0.05 {
+			t.Fatalf("white-noise ACF(%d) = %v, want ~0", k, acf[k])
+		}
+	}
+}
+
+func TestACFAR1MatchesTheory(t *testing.T) {
+	// AR(1) with coefficient phi has ACF(k) = phi^k.
+	const phi = 0.8
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 100000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = phi*xs[i-1] + rng.NormFloat64()
+	}
+	acf := ACF(xs, 5)
+	for k := 1; k <= 5; k++ {
+		want := math.Pow(phi, float64(k))
+		if math.Abs(acf[k]-want) > 0.03 {
+			t.Fatalf("AR(1) ACF(%d) = %v, want %v", k, acf[k], want)
+		}
+	}
+}
+
+func TestACFClampsMaxLag(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	acf := ACF(xs, 100)
+	if len(acf) != 3 {
+		t.Fatalf("ACF length = %d, want 3", len(acf))
+	}
+	if got := ACF(xs, -5); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("ACF negative maxLag = %v", got)
+	}
+	if ACF(nil, 10) != nil {
+		t.Fatal("ACF(nil) should be nil")
+	}
+}
+
+func TestACFMatchesPointwiseAutocorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	acf := ACF(xs, 20)
+	for k := 0; k <= 20; k++ {
+		if !almostEq(acf[k], Autocorrelation(xs, k), 1e-9) {
+			t.Fatalf("ACF[%d] = %v differs from Autocorrelation = %v",
+				k, acf[k], Autocorrelation(xs, k))
+		}
+	}
+}
+
+func TestLjungBoxDiscriminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	white := make([]float64, 5000)
+	for i := range white {
+		white[i] = rng.NormFloat64()
+	}
+	ar := make([]float64, 5000)
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.9*ar[i-1] + rng.NormFloat64()
+	}
+	h := 20
+	qWhite := LjungBox(white, h)
+	qAR := LjungBox(ar, h)
+	// chi^2_{20} 99th percentile is ~37.6; white noise should sit far below
+	// the AR(1) statistic.
+	if qWhite > 60 {
+		t.Fatalf("LjungBox(white) = %v, unexpectedly large", qWhite)
+	}
+	if qAR < 1000 {
+		t.Fatalf("LjungBox(AR1) = %v, unexpectedly small", qAR)
+	}
+	if LjungBox(white[:2], 5) != 0 {
+		t.Fatal("LjungBox on too-short series should be 0")
+	}
+}

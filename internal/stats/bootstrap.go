@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math/rand"
+)
+
+// MovingBlockBootstrap resamples a time series by concatenating randomly
+// chosen contiguous blocks of length blockLen until the original length is
+// reached, preserving short-range dependence inside blocks — the standard
+// resampling scheme for the long-range-dependent series this repository
+// studies, where i.i.d. bootstrap would wildly understate uncertainty.
+//
+// It returns one resampled series. blockLen must be in [1, len(xs)].
+func MovingBlockBootstrap(rng *rand.Rand, xs []float64, blockLen int) []float64 {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	if blockLen < 1 {
+		blockLen = 1
+	}
+	if blockLen > n {
+		blockLen = n
+	}
+	out := make([]float64, 0, n)
+	for len(out) < n {
+		start := rng.Intn(n - blockLen + 1)
+		out = append(out, xs[start:start+blockLen]...)
+	}
+	return out[:n]
+}
+
+// BootstrapCI estimates a central confidence interval for stat(xs) with the
+// moving-block bootstrap: resamples copies of xs, applies stat to each, and
+// returns the percentile interval of the requested coverage. It returns
+// ErrShort for samples shorter than 2*blockLen and clamps coverage outside
+// (0, 1) to 0.95.
+func BootstrapCI(rng *rand.Rand, xs []float64, blockLen, resamples int,
+	coverage float64, stat func([]float64) float64) (lo, hi float64, err error) {
+
+	if blockLen < 1 {
+		blockLen = 1
+	}
+	if len(xs) < 2*blockLen {
+		return 0, 0, ErrShort
+	}
+	if resamples < 10 {
+		resamples = 10
+	}
+	if coverage <= 0 || coverage >= 1 {
+		coverage = 0.95
+	}
+	vals := make([]float64, resamples)
+	for i := range vals {
+		vals[i] = stat(MovingBlockBootstrap(rng, xs, blockLen))
+	}
+	alpha := (1 - coverage) / 2
+	return Quantile(vals, alpha), Quantile(vals, 1-alpha), nil
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMovingBlockBootstrapShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	out := MovingBlockBootstrap(rng, xs, 3)
+	if len(out) != len(xs) {
+		t.Fatalf("length %d, want %d", len(out), len(xs))
+	}
+	// Every value must come from the original sample.
+	valid := map[float64]bool{}
+	for _, x := range xs {
+		valid[x] = true
+	}
+	for _, v := range out {
+		if !valid[v] {
+			t.Fatalf("resampled value %v not in source", v)
+		}
+	}
+	if MovingBlockBootstrap(rng, nil, 3) != nil {
+		t.Fatal("empty input should yield nil")
+	}
+	// Degenerate block lengths clamp.
+	if got := MovingBlockBootstrap(rng, xs, 0); len(got) != len(xs) {
+		t.Fatal("blockLen 0 not clamped")
+	}
+	if got := MovingBlockBootstrap(rng, xs, 100); len(got) != len(xs) {
+		t.Fatal("oversized blockLen not clamped")
+	}
+}
+
+func TestMovingBlockBootstrapPreservesBlocks(t *testing.T) {
+	// With blockLen == len(xs) the resample is exactly the original.
+	rng := rand.New(rand.NewSource(2))
+	xs := []float64{9, 8, 7, 6}
+	out := MovingBlockBootstrap(rng, xs, 4)
+	for i := range xs {
+		if out[i] != xs[i] {
+			t.Fatalf("full-block resample differs: %v", out)
+		}
+	}
+}
+
+func TestBootstrapCICoversTrueMean(t *testing.T) {
+	// i.i.d. noise with known mean: the 95% CI should contain it most of
+	// the time, and its width should shrink with sample size.
+	rng := rand.New(rand.NewSource(3))
+	hits := 0
+	const trials = 40
+	var width1000 float64
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 1000)
+		for i := range xs {
+			xs[i] = 5 + rng.NormFloat64()
+		}
+		lo, hi, err := BootstrapCI(rng, xs, 20, 200, 0.95, Mean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo > hi {
+			t.Fatalf("inverted interval %v..%v", lo, hi)
+		}
+		if lo <= 5 && 5 <= hi {
+			hits++
+		}
+		width1000 += hi - lo
+	}
+	if hits < trials*80/100 {
+		t.Fatalf("CI covered the true mean only %d/%d times", hits, trials)
+	}
+	width1000 /= trials
+	// sd of the mean is ~0.032 at n=1000; a 95% interval is ~0.12 wide.
+	if width1000 < 0.05 || width1000 > 0.3 {
+		t.Fatalf("mean CI width = %v, implausible", width1000)
+	}
+}
+
+func TestBootstrapCIWiderUnderDependence(t *testing.T) {
+	// Strongly autocorrelated series: the block bootstrap must report wider
+	// intervals than an i.i.d.-style (block length 1) bootstrap would.
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 2000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.95*xs[i-1] + rng.NormFloat64()*0.1
+	}
+	lo1, hi1, err := BootstrapCI(rng, xs, 1, 300, 0.95, Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loB, hiB, err := BootstrapCI(rng, xs, 100, 300, 0.95, Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (hiB - loB) <= (hi1-lo1)*1.5 {
+		t.Fatalf("block CI %v not clearly wider than iid CI %v on dependent data",
+			hiB-loB, hi1-lo1)
+	}
+}
+
+func TestBootstrapCIValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, _, err := BootstrapCI(rng, []float64{1, 2, 3}, 10, 100, 0.95, Mean); err != ErrShort {
+		t.Fatalf("err = %v, want ErrShort", err)
+	}
+	// Coverage clamps rather than fails.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	if _, _, err := BootstrapCI(rng, xs, 5, 50, -1, Mean); err != nil {
+		t.Fatal(err)
+	}
+	// Custom statistics work.
+	lo, hi, err := BootstrapCI(rng, xs, 5, 50, 0.9, func(v []float64) float64 {
+		return Quantile(v, 0.5)
+	})
+	if err != nil || math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatalf("median CI: %v %v %v", lo, hi, err)
+	}
+}

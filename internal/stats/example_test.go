@@ -1,0 +1,40 @@
+package stats_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nwscpu/internal/stats"
+)
+
+func ExampleACF() {
+	// An alternating series is perfectly anti-correlated at lag 1.
+	xs := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	acf := stats.ACF(xs, 2)
+	fmt.Printf("lag0 %.0f lag1 %.2f\n", acf[0], acf[1])
+	// Output: lag0 1 lag1 -0.88
+}
+
+func ExampleHurstRS() {
+	// A random walk is maximally persistent: H near 1.
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1<<14)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = xs[i-1] + rng.NormFloat64()
+	}
+	h, _, _ := stats.HurstRS(xs, 16)
+	fmt.Printf("H > 0.85: %v\n", h > 0.85)
+	// Output: H > 0.85: true
+}
+
+func ExampleBlockMeans() {
+	// The paper's X^(m) aggregated series: block means of the original.
+	fmt.Println(stats.BlockMeans([]float64{1, 3, 5, 7}, 2))
+	// Output: [2 6]
+}
+
+func ExampleSummarize() {
+	s := stats.Summarize([]float64{1, 2, 3, 4, 5})
+	fmt.Printf("mean %.1f median %.1f\n", s.Mean, s.Median)
+	// Output: mean 3.0 median 3.0
+}

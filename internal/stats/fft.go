@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 Cooley-Tukey fast Fourier transform of
+// xs. The length must be a power of two. The transform is unnormalized:
+// FFT followed by IFFT returns the original values.
+func FFT(xs []complex128) error {
+	return fft(xs, false)
+}
+
+// IFFT computes the inverse FFT of xs in place (normalized by 1/n).
+func IFFT(xs []complex128) error {
+	return fft(xs, true)
+}
+
+func fft(xs []complex128, inverse bool) error {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return errors.New("stats: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := xs[start+k]
+				b := xs[start+k+half] * w
+				xs[start+k] = a + b
+				xs[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range xs {
+			xs[i] *= inv
+		}
+	}
+	return nil
+}
+
+// nextPow2 returns the smallest power of two >= n (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Periodogram returns the raw periodogram of xs at the Fourier frequencies
+// lambda_j = 2*pi*j/n for j = 1..n/2:
+//
+//	I(lambda_j) = |sum_t x_t e^{-i lambda_j t}|^2 / (2*pi*n)
+//
+// The series is mean-centered and zero-padded to a power of two; the
+// returned frequencies correspond to the padded length. Periodogram returns
+// an error for series shorter than 8.
+func Periodogram(xs []float64) (freqs, power []float64, err error) {
+	n := len(xs)
+	if n < 8 {
+		return nil, nil, ErrShort
+	}
+	m := Mean(xs)
+	padded := nextPow2(n)
+	buf := make([]complex128, padded)
+	for i, x := range xs {
+		buf[i] = complex(x-m, 0)
+	}
+	if err := FFT(buf); err != nil {
+		return nil, nil, err
+	}
+	half := padded / 2
+	freqs = make([]float64, half)
+	power = make([]float64, half)
+	norm := 1 / (2 * math.Pi * float64(n))
+	for j := 1; j <= half; j++ {
+		freqs[j-1] = 2 * math.Pi * float64(j) / float64(padded)
+		re := real(buf[j])
+		im := imag(buf[j])
+		power[j-1] = (re*re + im*im) * norm
+	}
+	return freqs, power, nil
+}
+
+// HurstGPH estimates the Hurst parameter with the Geweke–Porter-Hudak
+// log-periodogram regression: for a long-memory process the spectral
+// density behaves as f(lambda) ~ lambda^(1-2H) near zero, so regressing
+// log I(lambda_j) on log(4*sin^2(lambda_j/2)) over the lowest n^bandwidth
+// frequencies gives slope -(d) with H = d + 1/2.
+//
+// bandwidth is the exponent of the frequency cutoff (0.5 is conventional;
+// values outside (0, 1) are clamped to 0.5). HurstGPH returns ErrShort for
+// series too short to supply at least 8 usable frequencies.
+func HurstGPH(xs []float64, bandwidth float64) (float64, LinFit, error) {
+	if bandwidth <= 0 || bandwidth >= 1 {
+		bandwidth = 0.5
+	}
+	freqs, power, err := Periodogram(xs)
+	if err != nil {
+		return 0, LinFit{}, err
+	}
+	mCut := int(math.Pow(float64(len(xs)), bandwidth))
+	if mCut > len(freqs) {
+		mCut = len(freqs)
+	}
+	var lx, ly []float64
+	for j := 0; j < mCut; j++ {
+		if power[j] <= 0 {
+			continue
+		}
+		s := 2 * math.Sin(freqs[j]/2)
+		lx = append(lx, math.Log(s*s))
+		ly = append(ly, math.Log(power[j]))
+	}
+	if len(lx) < 8 {
+		return 0, LinFit{}, ErrShort
+	}
+	fit, err := LinearRegression(lx, ly)
+	if err != nil {
+		return 0, LinFit{}, err
+	}
+	return -fit.Slope + 0.5, fit, nil
+}

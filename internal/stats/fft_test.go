@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownTransform(t *testing.T) {
+	// FFT of a constant is an impulse at frequency zero.
+	xs := []complex128{1, 1, 1, 1}
+	if err := FFT(xs); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(xs[0]-4) > 1e-12 {
+		t.Fatalf("DC bin = %v, want 4", xs[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(xs[i]) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 0", i, xs[i])
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of an impulse is flat.
+	xs := make([]complex128, 8)
+	xs[0] = 1
+	if err := FFT(xs); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range xs {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	const n = 64
+	xs := make([]complex128, n)
+	for i := range xs {
+		xs[i] = complex(math.Cos(2*math.Pi*3*float64(i)/n), 0)
+	}
+	if err := FFT(xs); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range xs {
+		want := 0.0
+		if i == 3 || i == n-3 {
+			want = n / 2
+		}
+		if cmplx.Abs(v-complex(want, 0)) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 6)); err == nil {
+		t.Fatal("length 6 accepted")
+	}
+	if err := FFT(nil); err != nil {
+		t.Fatalf("empty input rejected: %v", err)
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	prop := func(seed int64, sizeExp uint8) bool {
+		n := 1 << (sizeExp%8 + 1)
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range xs {
+			xs[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = xs[i]
+		}
+		if err := FFT(xs); err != nil {
+			return false
+		}
+		if err := IFFT(xs); err != nil {
+			return false
+		}
+		for i := range xs {
+			if cmplx.Abs(xs[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// sum |x|^2 == (1/n) sum |X|^2.
+	rng := rand.New(rand.NewSource(3))
+	n := 256
+	xs := make([]complex128, n)
+	var timeE float64
+	for i := range xs {
+		xs[i] = complex(rng.NormFloat64(), 0)
+		timeE += real(xs[i]) * real(xs[i])
+	}
+	if err := FFT(xs); err != nil {
+		t.Fatal(err)
+	}
+	var freqE float64
+	for _, v := range xs {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(timeE-freqE/float64(n)) > 1e-6 {
+		t.Fatalf("Parseval violated: %v vs %v", timeE, freqE/float64(n))
+	}
+}
+
+func TestPeriodogramWhiteNoiseFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 1<<14)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	freqs, power, err := Periodogram(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freqs) != len(power) || len(freqs) == 0 {
+		t.Fatalf("lengths %d %d", len(freqs), len(power))
+	}
+	// White noise with variance 1 has flat spectrum 1/(2*pi); the mean of
+	// the lowest and highest quarters should agree.
+	q := len(power) / 4
+	lo := Mean(power[:q])
+	hi := Mean(power[len(power)-q:])
+	if lo/hi > 1.3 || hi/lo > 1.3 {
+		t.Fatalf("white-noise spectrum not flat: lo %v hi %v", lo, hi)
+	}
+	want := 1 / (2 * math.Pi)
+	if m := Mean(power); math.Abs(m-want) > 0.1*want {
+		t.Fatalf("spectrum level %v, want %v", m, want)
+	}
+}
+
+func TestPeriodogramShort(t *testing.T) {
+	if _, _, err := Periodogram([]float64{1, 2, 3}); err == nil {
+		t.Fatal("short series accepted")
+	}
+}
+
+func TestHurstGPHWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 1<<14)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h, _, err := HurstGPH(xs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.5) > 0.15 {
+		t.Fatalf("GPH Hurst(white) = %v, want ~0.5", h)
+	}
+}
+
+func TestHurstGPHAR1IsShortMemory(t *testing.T) {
+	// AR(1) is short-memory: GPH at low frequencies should stay near 0.5,
+	// clearly below a true long-memory reading near 0.85.
+	rng := rand.New(rand.NewSource(6))
+	xs := make([]float64, 1<<15)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.5*xs[i-1] + rng.NormFloat64()
+	}
+	h, _, err := HurstGPH(xs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h > 0.75 {
+		t.Fatalf("GPH Hurst(AR1 phi=.5) = %v, should not look long-memory", h)
+	}
+}
+
+func TestHurstGPHShortAndBandwidthClamp(t *testing.T) {
+	if _, _, err := HurstGPH(make([]float64, 4), 0.5); err == nil {
+		t.Fatal("short series accepted")
+	}
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	// Out-of-range bandwidths clamp rather than fail.
+	if _, _, err := HurstGPH(xs, -3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := HurstGPH(xs, 2); err != nil {
+		t.Fatal(err)
+	}
+}

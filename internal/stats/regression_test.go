@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLinearRegressionExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2*x + 1
+	}
+	fit, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 2, 1e-12) || !almostEq(fit.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearRegressionNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 10000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+		ys[i] = -3*xs[i] + 5 + rng.NormFloat64()*0.1
+	}
+	fit, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, -3, 0.01) || !almostEq(fit.Intercept, 5, 0.05) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v, want near 1", fit.R2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	if _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("short sample not rejected")
+	}
+	if _, err := LinearRegression([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("constant x not rejected")
+	}
+}
+
+func TestLinearRegressionFlatY(t *testing.T) {
+	fit, err := LinearRegression([]float64{1, 2, 3}, []float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.Intercept != 7 || fit.R2 != 0 {
+		t.Fatalf("flat fit = %+v", fit)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{-1, 0, 1.9, 2, 5, 9.9, 10, 100})
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// -1, 0, 1.9 in bin 0; 2 in bin 1; 5 in bin 2; 9.9, 10, 100 in bin 4.
+	want := []int{3, 1, 1, 0, 3}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("Counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if got := h.BinCenter(0); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+	if s := h.String(); len(s) == 0 {
+		t.Fatal("String empty")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// RS returns the rescaled adjusted range statistic R(n)/S(n) of xs, following
+// Mandelbrot & Taqqu. With W_k the cumulative deviation of the first k
+// observations from the sample mean,
+//
+//	R(n) = max(0, W_1, ..., W_n) - min(0, W_1, ..., W_n)
+//	S(n) = population standard deviation of xs
+//
+// RS returns 0 for samples shorter than 2 or with zero variance.
+func RS(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := math.Sqrt(PopVariance(xs))
+	if s == 0 {
+		return 0
+	}
+	var w, maxW, minW float64 // W_0 = 0 participates in both extrema
+	for _, x := range xs {
+		w += x - m
+		if w > maxW {
+			maxW = w
+		}
+		if w < minW {
+			minW = w
+		}
+	}
+	return (maxW - minW) / s
+}
+
+// PoxPoint is one point of a pox plot: log10 of the segment length d and
+// log10 of the R/S statistic observed on one segment of that length.
+type PoxPoint struct {
+	LogD  float64
+	LogRS float64
+}
+
+// PoxPlot computes the pox-plot point cloud of xs as in Figure 3 of the
+// paper: the series is partitioned into non-overlapping segments of length d
+// for a logarithmically spaced set of d values between minD and len(xs), and
+// R(d)/S(d) is computed for each segment. Segments with zero variance are
+// skipped (they carry no R/S information).
+//
+// minD values below 8 are clamped to 8; very short segments make the R/S
+// statistic meaningless.
+func PoxPlot(xs []float64, minD int) []PoxPoint {
+	n := len(xs)
+	if minD < 8 {
+		minD = 8
+	}
+	if n < minD {
+		return nil
+	}
+	var pts []PoxPoint
+	for _, d := range dyadicLengths(minD, n) {
+		for start := 0; start+d <= n; start += d {
+			rs := RS(xs[start : start+d])
+			if rs <= 0 {
+				continue
+			}
+			pts = append(pts, PoxPoint{
+				LogD:  math.Log10(float64(d)),
+				LogRS: math.Log10(rs),
+			})
+		}
+	}
+	return pts
+}
+
+// dyadicLengths returns segment lengths minD, 2*minD, 4*minD, ... up to and
+// including the largest power-of-two multiple not exceeding n, plus n itself
+// so that the full-series point appears on the plot.
+func dyadicLengths(minD, n int) []int {
+	var out []int
+	for d := minD; d <= n; d *= 2 {
+		out = append(out, d)
+	}
+	if len(out) == 0 || out[len(out)-1] != n {
+		out = append(out, n)
+	}
+	return out
+}
+
+// HurstRS estimates the Hurst parameter of xs by R/S analysis: it builds the
+// pox plot, averages log10(R/S) within each log10(d) bucket, and fits a least
+// squares line through the bucket means (the solid regression line in the
+// paper's Figure 3). The slope of that line is the Hurst estimate.
+//
+// The returned LinFit's Slope is the Hurst parameter; callers interested only
+// in H can ignore the rest. HurstRS returns ErrShort when xs is too short to
+// produce at least three distinct segment lengths.
+func HurstRS(xs []float64, minD int) (float64, LinFit, error) {
+	pts := PoxPlot(xs, minD)
+	if len(pts) == 0 {
+		return 0, LinFit{}, ErrShort
+	}
+	// Bucket by LogD value (the set of distinct d is small).
+	sums := map[float64]*meanAcc{}
+	for _, p := range pts {
+		acc := sums[p.LogD]
+		if acc == nil {
+			acc = &meanAcc{}
+			sums[p.LogD] = acc
+		}
+		acc.add(p.LogRS)
+	}
+	if len(sums) < 3 {
+		return 0, LinFit{}, ErrShort
+	}
+	logd := make([]float64, 0, len(sums))
+	for d := range sums {
+		logd = append(logd, d)
+	}
+	sort.Float64s(logd)
+	meanRS := make([]float64, len(logd))
+	for i, d := range logd {
+		meanRS[i] = sums[d].mean()
+	}
+	fit, err := LinearRegression(logd, meanRS)
+	if err != nil {
+		return 0, LinFit{}, err
+	}
+	return fit.Slope, fit, nil
+}
+
+type meanAcc struct {
+	sum float64
+	n   int
+}
+
+func (a *meanAcc) add(x float64) { a.sum += x; a.n++ }
+func (a *meanAcc) mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// HurstVarianceTime estimates the Hurst parameter from the variance-time
+// plot: for a self-similar series, Var(X^(m)) ~ m^(2H-2), so the slope beta
+// of log Var(X^(m)) versus log m gives H = 1 + beta/2. Aggregation levels are
+// dyadic starting at 2 while at least minBlocks blocks remain.
+func HurstVarianceTime(xs []float64, minBlocks int) (float64, LinFit, error) {
+	n := len(xs)
+	if minBlocks < 2 {
+		minBlocks = 2
+	}
+	var logm, logv []float64
+	for m := 1; n/m >= minBlocks; m *= 2 {
+		agg := BlockMeans(xs, m)
+		v := Variance(agg)
+		if v <= 0 {
+			continue
+		}
+		logm = append(logm, math.Log10(float64(m)))
+		logv = append(logv, math.Log10(v))
+	}
+	if len(logm) < 3 {
+		return 0, LinFit{}, ErrShort
+	}
+	fit, err := LinearRegression(logm, logv)
+	if err != nil {
+		return 0, LinFit{}, err
+	}
+	return 1 + fit.Slope/2, fit, nil
+}
+
+// BlockMeans returns the length-m block means of xs (the aggregated series
+// X^(m) of Section 3.2). A trailing partial block is discarded. m <= 1
+// returns a copy of xs.
+func BlockMeans(xs []float64, m int) []float64 {
+	if m <= 1 {
+		return append([]float64(nil), xs...)
+	}
+	nb := len(xs) / m
+	out := make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		out[b] = Mean(xs[b*m : (b+1)*m])
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRSDegenerate(t *testing.T) {
+	if RS(nil) != 0 || RS([]float64{1}) != 0 {
+		t.Fatal("RS of short sample should be 0")
+	}
+	if RS([]float64{2, 2, 2}) != 0 {
+		t.Fatal("RS of constant sample should be 0")
+	}
+}
+
+func TestRSPositiveAndShiftInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	rs := RS(xs)
+	if rs <= 0 {
+		t.Fatalf("RS = %v, want > 0", rs)
+	}
+	// R/S is invariant under affine maps x -> a*x + b with a > 0.
+	shifted := make([]float64, len(xs))
+	for i, x := range xs {
+		shifted[i] = 3*x + 100
+	}
+	if !almostEq(RS(shifted), rs, 1e-9) {
+		t.Fatalf("RS not affine-invariant: %v vs %v", RS(shifted), rs)
+	}
+}
+
+func TestRSKnownSmallCase(t *testing.T) {
+	// xs = {1, 2}: mean 1.5, W = {-0.5, 0}, R = 0.5, S = 0.5 -> R/S = 1.
+	if got := RS([]float64{1, 2}); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("RS({1,2}) = %v, want 1", got)
+	}
+}
+
+func TestHurstWhiteNoiseNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 1<<15)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h, fit, err := HurstRS(xs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R/S estimation of i.i.d. noise is biased slightly above 0.5 at finite
+	// n; accept the conventional band.
+	if h < 0.45 || h > 0.65 {
+		t.Fatalf("Hurst(white) = %v, want ~0.5..0.6 (fit %+v)", h, fit)
+	}
+}
+
+func TestHurstRandomWalkNearOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	xs := make([]float64, 1<<15)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = xs[i-1] + rng.NormFloat64()
+	}
+	h, _, err := HurstRS(xs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.85 {
+		t.Fatalf("Hurst(random walk) = %v, want near 1", h)
+	}
+}
+
+func TestHurstShortSeries(t *testing.T) {
+	if _, _, err := HurstRS([]float64{1, 2, 3}, 8); err == nil {
+		t.Fatal("HurstRS on tiny series should fail")
+	}
+}
+
+func TestPoxPlotShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	pts := PoxPlot(xs, 16)
+	if len(pts) == 0 {
+		t.Fatal("PoxPlot returned no points")
+	}
+	minLogD := math.Log10(16)
+	maxLogD := math.Log10(4096)
+	for _, p := range pts {
+		if p.LogD < minLogD-1e-9 || p.LogD > maxLogD+1e-9 {
+			t.Fatalf("pox point LogD out of range: %v", p.LogD)
+		}
+	}
+	if PoxPlot(xs[:4], 8) != nil {
+		t.Fatal("PoxPlot on series shorter than minD should be nil")
+	}
+}
+
+func TestDyadicLengths(t *testing.T) {
+	ds := dyadicLengths(8, 100)
+	want := []int{8, 16, 32, 64, 100}
+	if len(ds) != len(want) {
+		t.Fatalf("dyadicLengths = %v, want %v", ds, want)
+	}
+	for i := range ds {
+		if ds[i] != want[i] {
+			t.Fatalf("dyadicLengths = %v, want %v", ds, want)
+		}
+	}
+	// Exact power-of-two n should not duplicate the final element.
+	ds = dyadicLengths(8, 64)
+	if ds[len(ds)-1] == ds[len(ds)-2] {
+		t.Fatalf("dyadicLengths duplicated final length: %v", ds)
+	}
+}
+
+func TestHurstVarianceTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	white := make([]float64, 1<<14)
+	for i := range white {
+		white[i] = rng.NormFloat64()
+	}
+	h, _, err := HurstVarianceTime(white, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.4 || h > 0.6 {
+		t.Fatalf("variance-time Hurst(white) = %v, want ~0.5", h)
+	}
+	if _, _, err := HurstVarianceTime(white[:8], 8); err == nil {
+		t.Fatal("variance-time on tiny series should fail")
+	}
+}
+
+func TestBlockMeans(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7}
+	got := BlockMeans(xs, 2)
+	want := []float64{1.5, 3.5, 5.5} // trailing 7 discarded
+	if len(got) != len(want) {
+		t.Fatalf("BlockMeans = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("BlockMeans = %v, want %v", got, want)
+		}
+	}
+	cp := BlockMeans(xs, 1)
+	cp[0] = 99
+	if xs[0] == 99 {
+		t.Fatal("BlockMeans(m=1) must copy, not alias")
+	}
+}
+
+// Property: block means of blocks that tile the series exactly preserve the
+// overall mean.
+func TestBlockMeansPreservesMean(t *testing.T) {
+	prop := func(raw []float64, mRaw uint8) bool {
+		xs := sanitize(raw)
+		m := int(mRaw%16) + 1
+		n := (len(xs) / m) * m
+		xs = xs[:n]
+		if n == 0 {
+			return true
+		}
+		agg := BlockMeans(xs, m)
+		return almostEq(Mean(agg), Mean(xs), 1e-6*(1+math.Abs(Mean(xs))))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: aggregating i.i.d. data reduces variance roughly by the block
+// size (this is the contrast case to self-similar data, where the decline is
+// slower — the heart of the paper's Section 3.2).
+func TestAggregationVarianceDeclineIID(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	xs := make([]float64, 1<<16)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	v1 := Variance(xs)
+	v16 := Variance(BlockMeans(xs, 16))
+	ratio := v1 / v16
+	if ratio < 12 || ratio > 20 {
+		t.Fatalf("variance ratio = %v, want ~16 for i.i.d. data", ratio)
+	}
+}

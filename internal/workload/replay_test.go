@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"nwscpu/internal/series"
+	"nwscpu/internal/simos"
+)
+
+func TestFromUtilizationTraceValidation(t *testing.T) {
+	short := series.FromValues("u", 0, 10, []float64{0.5})
+	if _, err := FromUtilizationTrace(short); err == nil {
+		t.Fatal("single-point trace accepted")
+	}
+	dup := series.New("u", "")
+	if err := dup.Append(0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := dup.Append(0, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromUtilizationTrace(dup); err == nil {
+		t.Fatal("duplicate timestamps accepted")
+	}
+}
+
+func TestFromUtilizationTraceSkipsIdleAndClamps(t *testing.T) {
+	trace := series.FromValues("u", 0, 10, []float64{0, 2.0, math.NaN(), 0.5, 0.5})
+	as, err := FromUtilizationTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intervals: [0,10) u=0 skipped; [10,20) u=2 clamped to 1; [20,30) NaN
+	// skipped; [30,40) u=0.5.
+	if len(as) != 2 {
+		t.Fatalf("arrivals = %d, want 2", len(as))
+	}
+	if as[0].Spec.Demand != 10 { // clamped to full interval
+		t.Fatalf("clamped demand = %v, want 10", as[0].Spec.Demand)
+	}
+	if as[1].Spec.Demand != 5 {
+		t.Fatalf("demand = %v, want 5", as[1].Spec.Demand)
+	}
+}
+
+func TestReplayReproducesLoadShape(t *testing.T) {
+	// Target: 20% busy for 1000s, then 80% busy for 1000s.
+	trace := series.New("u", "")
+	for tt := 0.0; tt <= 2000; tt += 10 {
+		u := 0.2
+		if tt >= 1000 {
+			u = 0.8
+		}
+		if err := trace.Append(tt, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	as, err := FromUtilizationTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := simos.New(simos.DefaultConfig())
+	Submit(h, as)
+
+	h.RunUntil(1000)
+	c1 := h.Counters()
+	busy1 := (c1.User + c1.Nice + c1.Sys) / c1.Total
+	h.RunUntil(2000)
+	c2 := h.Counters()
+	busy2 := (c2.User + c2.Nice + c2.Sys - c1.User - c1.Nice - c1.Sys) / (c2.Total - c1.Total)
+
+	if math.Abs(busy1-0.2) > 0.03 {
+		t.Fatalf("phase 1 busy = %v, want 0.2", busy1)
+	}
+	if math.Abs(busy2-0.8) > 0.03 {
+		t.Fatalf("phase 2 busy = %v, want 0.8", busy2)
+	}
+}
+
+func TestFromAvailabilityTrace(t *testing.T) {
+	trace := series.FromValues("avail", 0, 10, []float64{0.9, 0.9, 0.9})
+	as, err := FromAvailabilityTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 {
+		t.Fatalf("arrivals = %d", len(as))
+	}
+	if math.Abs(as[0].Spec.Demand-1.0) > 1e-9 { // (1-0.9)*10
+		t.Fatalf("demand = %v, want 1", as[0].Spec.Demand)
+	}
+}
+
+func TestReplayRoundTripThroughSensor(t *testing.T) {
+	// Export a simulated trace, replay it, and check the replayed host's
+	// mean availability matches the original's.
+	src := simos.New(simos.DefaultConfig())
+	Submit(src, Thing1().Generate(3000))
+	orig := series.New("avail", "")
+	for tt := 10.0; tt <= 3000; tt += 10 {
+		src.RunUntil(tt)
+		if err := orig.Append(tt, 1/(src.LoadAvg()+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	as, err := FromAvailabilityTrace(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := simos.New(simos.DefaultConfig())
+	replay.SubmitAll(arrivalTimes(as), arrivalSpecs(as))
+	var sum float64
+	n := 0
+	for tt := 10.0; tt <= 3000; tt += 10 {
+		replay.RunUntil(tt)
+		sum += 1 / (replay.LoadAvg() + 1)
+		n++
+	}
+	var origSum float64
+	for _, p := range orig.Points {
+		origSum += p.V
+	}
+	meanOrig := origSum / float64(orig.Len())
+	meanReplay := sum / float64(n)
+	if math.Abs(meanOrig-meanReplay) > 0.1 {
+		t.Fatalf("replayed mean availability %v vs original %v", meanReplay, meanOrig)
+	}
+}
+
+func arrivalTimes(as []Arrival) []float64 {
+	out := make([]float64, len(as))
+	for i, a := range as {
+		out[i] = a.T
+	}
+	return out
+}
+
+func arrivalSpecs(as []Arrival) []simos.ProcSpec {
+	out := make([]simos.ProcSpec, len(as))
+	for i, a := range as {
+		out[i] = a.Spec
+	}
+	return out
+}
