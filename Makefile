@@ -1,19 +1,30 @@
 # Convenience targets for the nwscpu reproduction.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build test vet bench bench-paper experiments report clean
+.PHONY: all build test test-race vet bench bench-paper experiments report clean
 
 all: build vet test
 
 build:
 	$(GO) build ./...
 
+# Static checks: go vet plus a gofmt cleanliness gate.
 vet:
 	$(GO) vet ./...
+	@unformatted=$$($(GOFMT) -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
-test:
+# Tier-1 flow: the full suite, plus the race detector on the concurrent
+# observability and daemon packages.
+test: test-race
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/metrics ./internal/nwsnet
 
 # One iteration of every table/figure/ablation benchmark at 6-hour scale.
 bench:

@@ -8,6 +8,14 @@
 //	     -nameserver localhost:8090 -period 10s [-sim <profile>] \
 //	     [-reflector otherbox:8093]
 //
+// Every role accepts -metrics addr to expose the daemon's observability
+// surface over HTTP: Prometheus text metrics on /metrics, a JSON snapshot
+// on /metrics.json, expvar on /debug/vars, and net/http/pprof profiling on
+// /debug/pprof/ — see docs/OBSERVABILITY.md for the metric reference and a
+// worked profiling example:
+//
+//	nwsd -role memory -listen :8091 -metrics :9100
+//
 // The sensor role measures either the live Linux machine (default) or a
 // simulated host running one of the paper's workload profiles (-sim thing1,
 // thing2, conundrum, beowulf, gremlin, kongo); in simulation mode virtual
@@ -24,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"nwscpu/internal/metrics"
 	"nwscpu/internal/netsensor"
 	"nwscpu/internal/nwsnet"
 	"nwscpu/internal/prochost"
@@ -44,6 +53,7 @@ func main() {
 	stateDir := flag.String("statedir", "", "memory: directory for durable series logs (empty = in-memory only)")
 	reflector := flag.String("reflector", "", "sensor: also probe network latency/bandwidth against this reflector")
 	ttl := flag.Duration("ttl", 0, "nameserver: registration expiry (0 = never; sensors re-register each period)")
+	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics, /metrics.json, /debug/vars, /debug/pprof (empty = disabled)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "nwsd: ", log.LstdFlags)
@@ -51,6 +61,7 @@ func main() {
 		role: *role, listen: *listen, memory: *memory, nameserver: *nameserver,
 		hostName: *hostName, period: *period, simProfile: *simProfile,
 		capacity: *capacity, stateDir: *stateDir, ttl: *ttl, reflector: *reflector,
+		metricsAddr: *metricsAddr,
 	}
 	if err := run(opts, logger); err != nil {
 		logger.Fatal(err)
@@ -62,15 +73,38 @@ type daemonOpts struct {
 	role, listen, memory, nameserver string
 	hostName, simProfile, stateDir   string
 	reflector                        string
+	metricsAddr                      string
 	period                           time.Duration
 	ttl                              time.Duration
 	capacity                         int
+
+	// Test hooks: stop (when non-nil) replaces signal delivery as the
+	// shutdown trigger, and notify (when non-nil) reports each bound
+	// listen address by component name.
+	stop   <-chan struct{}
+	notify func(component, addr string)
+}
+
+// note reports a bound address to the test hook, if any.
+func (o daemonOpts) note(component, addr string) {
+	if o.notify != nil {
+		o.notify(component, addr)
+	}
 }
 
 func run(o daemonOpts, logger *log.Logger) error {
+	if o.metricsAddr != "" {
+		ds, err := metrics.ServeDebug(o.metricsAddr, metrics.Default)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ds.Close()
+		logger.Printf("metrics on http://%s/metrics (pprof on /debug/pprof/)", ds.Addr())
+		o.note("metrics", ds.Addr())
+	}
 	switch o.role {
 	case "nameserver":
-		return serve(nwsnet.NewNameServerTTL(o.ttl), o.listen, logger)
+		return serve(o, nwsnet.NewNameServerTTL(o.ttl), logger)
 	case "memory":
 		if o.stateDir != "" {
 			pm, err := nwsnet.NewPersistentMemory(o.capacity, o.stateDir)
@@ -79,14 +113,14 @@ func run(o daemonOpts, logger *log.Logger) error {
 			}
 			defer pm.Close()
 			logger.Printf("durable memory in %s", o.stateDir)
-			return serve(pm, o.listen, logger)
+			return serve(o, pm, logger)
 		}
-		return serve(nwsnet.NewMemory(o.capacity), o.listen, logger)
+		return serve(o, nwsnet.NewMemory(o.capacity), logger)
 	case "forecaster":
 		if o.memory == "" {
 			return fmt.Errorf("forecaster needs -memory")
 		}
-		return serve(nwsnet.NewForecasterService(o.memory, 0), o.listen, logger)
+		return serve(o, nwsnet.NewForecasterService(o.memory, 0), logger)
 	case "reflector":
 		r := netsensor.NewReflector()
 		addr, err := r.Listen(o.listen)
@@ -94,7 +128,8 @@ func run(o daemonOpts, logger *log.Logger) error {
 			return err
 		}
 		logger.Printf("reflector on %s", addr)
-		waitForSignal()
+		o.note("reflector", addr)
+		waitForStop(o)
 		return r.Close()
 	case "sensor":
 		if o.memory == "" {
@@ -106,14 +141,15 @@ func run(o daemonOpts, logger *log.Logger) error {
 	}
 }
 
-func serve(h nwsnet.Handler, listen string, logger *log.Logger) error {
+func serve(o daemonOpts, h nwsnet.Handler, logger *log.Logger) error {
 	srv := nwsnet.NewServer(h, logger)
-	addr, err := srv.Listen(listen)
+	addr, err := srv.Listen(o.listen)
 	if err != nil {
 		return err
 	}
 	logger.Printf("listening on %s", addr)
-	waitForSignal()
+	o.note(o.role, addr)
+	waitForStop(o)
 	return srv.Close()
 }
 
@@ -149,6 +185,7 @@ func runSensor(o daemonOpts, logger *log.Logger) error {
 	}
 
 	daemon := nwsnet.NewSensorDaemon(hostName, host, memory, sensors.HybridConfig{})
+	daemon.SetLogger(logger)
 	defer daemon.Close()
 
 	// Optional network probes against a reflector.
@@ -173,6 +210,7 @@ func runSensor(o daemonOpts, logger *log.Logger) error {
 	}
 
 	logger.Printf("sensing %s every %v, pushing to %s", hostName, period, memory)
+	o.note("sensor", hostName)
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(period)
@@ -180,6 +218,8 @@ func runSensor(o daemonOpts, logger *log.Logger) error {
 	for {
 		select {
 		case <-stop:
+			return nil
+		case <-o.stop:
 			return nil
 		case <-ticker.C:
 			if sim != nil {
@@ -221,8 +261,14 @@ func pushNetProbes(conn *nwsnet.Conn, hostName string, now float64,
 	return conn.Store(hostName+"/net/bandwidth", [][2]float64{{now, throughput}})
 }
 
-func waitForSignal() {
+// waitForStop blocks until shutdown is requested: the test stop channel
+// when one is set, else an interrupt/terminate signal.
+func waitForStop(o daemonOpts) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	<-ch
+	defer signal.Stop(ch)
+	select {
+	case <-ch:
+	case <-o.stop: // nil when unset: blocks forever, signals still win
+	}
 }

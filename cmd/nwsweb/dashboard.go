@@ -9,7 +9,21 @@ import (
 	"strings"
 	"time"
 
+	"nwscpu/internal/metrics"
 	"nwscpu/internal/nwsnet"
+)
+
+// The dashboard's own instrumentation, alongside the nwsnet client metrics
+// its backend calls record. Routes are labeled by pattern, not raw path, to
+// keep the label cardinality bounded.
+var (
+	webRequests = metrics.NewCounterVec(
+		"nwsweb_http_requests_total",
+		"Dashboard HTTP requests, by route pattern.", "route")
+	webLatency = metrics.NewHistogramVec(
+		"nwsweb_http_request_seconds",
+		"Dashboard HTTP request latency in seconds (backend calls included), by route pattern.",
+		nil, "route")
 )
 
 // dashboard is the HTTP handler pulling from the NWS backends per request.
@@ -31,11 +45,39 @@ func newDashboard(memory, forecaster string) *dashboard {
 	d.mux.HandleFunc("/api/series", d.handleSeriesList)
 	d.mux.HandleFunc("/api/series/", d.handleSeriesGet)
 	d.mux.HandleFunc("/api/forecast/", d.handleForecast)
+	d.mux.Handle("/metrics", metrics.Handler(metrics.Default))
+	d.mux.Handle("/api/metrics", metrics.JSONHandler(metrics.Default))
 	return d
 }
 
-// ServeHTTP implements http.Handler.
-func (d *dashboard) ServeHTTP(w http.ResponseWriter, r *http.Request) { d.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, recording per-route request counts and
+// latency around the mux dispatch.
+func (d *dashboard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	route := routeLabel(r.URL.Path)
+	d.mux.ServeHTTP(w, r)
+	webRequests.With(route).Inc()
+	webLatency.With(route).ObserveSince(t0)
+}
+
+// routeLabel collapses request paths onto their route patterns.
+func routeLabel(path string) string {
+	switch {
+	case path == "/":
+		return "/"
+	case path == "/api/series":
+		return "/api/series"
+	case strings.HasPrefix(path, "/api/series/"):
+		return "/api/series/{key}"
+	case strings.HasPrefix(path, "/api/forecast/"):
+		return "/api/forecast/{key}"
+	case path == "/api/metrics":
+		return "/api/metrics"
+	case path == "/metrics":
+		return "/metrics"
+	}
+	return "other"
+}
 
 func (d *dashboard) handleSeriesList(w http.ResponseWriter, r *http.Request) {
 	names, err := d.client.Series(d.memory)
@@ -103,6 +145,19 @@ type indexSeries struct {
 	Forecast string
 }
 
+// metricRow is one line of the live metrics panel.
+type metricRow struct {
+	Name   string
+	Labels string
+	Value  string
+}
+
+// indexData feeds the index template.
+type indexData struct {
+	Rows    []indexSeries
+	Metrics []metricRow
+}
+
 func (d *dashboard) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -133,9 +188,38 @@ func (d *dashboard) handleIndex(w http.ResponseWriter, r *http.Request) {
 		rows = append(rows, row)
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := indexTemplate.Execute(w, rows); err != nil {
+	if err := indexTemplate.Execute(w, indexData{Rows: rows, Metrics: metricRows()}); err != nil {
 		return
 	}
+}
+
+// metricRows flattens the process's registry snapshot for the live panel:
+// counters and gauges show their value, histograms their count and mean.
+func metricRows() []metricRow {
+	var out []metricRow
+	for _, fam := range metrics.Default.Snapshot() {
+		for _, m := range fam.Metrics {
+			row := metricRow{Name: fam.Name}
+			if len(m.LabelValues) > 0 {
+				pairs := make([]string, len(m.LabelValues))
+				for i, v := range m.LabelValues {
+					pairs[i] = fam.Labels[i] + "=" + v
+				}
+				row.Labels = strings.Join(pairs, ", ")
+			}
+			if fam.Type == "histogram" {
+				mean := 0.0
+				if m.Count > 0 {
+					mean = m.Sum / float64(m.Count)
+				}
+				row.Value = fmt.Sprintf("n=%d mean=%.3gs", m.Count, mean)
+			} else {
+				row.Value = strconv.FormatFloat(m.Value, 'g', 6, 64)
+			}
+			out = append(out, row)
+		}
+	}
+	return out
 }
 
 // sparkline renders up to 120 recent points as a tiny inline SVG.
@@ -186,9 +270,19 @@ var indexTemplate = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <h1>Network Weather Service</h1>
 <table>
 <tr><th>Series</th><th>Recent</th><th>Last</th><th>Forecast</th></tr>
-{{range .}}<tr><td><code>{{.Key}}</code> <small>({{.N}} pts)</small></td><td>{{.Spark}}</td><td>{{.Last}}</td><td>{{.Forecast}}</td></tr>
+{{range .Rows}}<tr><td><code>{{.Key}}</code> <small>({{.N}} pts)</small></td><td>{{.Spark}}</td><td>{{.Last}}</td><td>{{.Forecast}}</td></tr>
 {{else}}<tr><td colspan="4">no series yet</td></tr>
 {{end}}
 </table>
+<details open>
+<summary><h2 style="display:inline">Live metrics</h2>
+ <small>(this process; <a href="/metrics">Prometheus</a> · <a href="/api/metrics">JSON</a>)</small></summary>
+<table>
+<tr><th>Metric</th><th>Labels</th><th>Value</th></tr>
+{{range .Metrics}}<tr><td><code>{{.Name}}</code></td><td><small>{{.Labels}}</small></td><td>{{.Value}}</td></tr>
+{{else}}<tr><td colspan="3">no metrics yet</td></tr>
+{{end}}
+</table>
+</details>
 </body></html>
 `))

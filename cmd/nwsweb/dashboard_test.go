@@ -161,6 +161,114 @@ func TestDashboardDeadMemory(t *testing.T) {
 	}
 }
 
+func TestDashboardMetricsEndpoints(t *testing.T) {
+	memAddr, fcAddr := startBackends(t)
+	d := newDashboard(memAddr, fcAddr)
+	ts := httptest.NewServer(d)
+	defer ts.Close()
+
+	// Generate some traffic so the panel and exposition are non-empty.
+	for _, p := range []string{"/", "/api/series"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	body := b.String()
+	for _, want := range []string{
+		`nwsweb_http_requests_total{route="/"}`,
+		`nwsweb_http_requests_total{route="/api/series"}`,
+		"nwsweb_http_request_seconds_bucket",
+		`nws_client_calls_total{op="series"}`, // outbound backend calls
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var snap []map[string]any
+	jr, err := http.Get(ts.URL + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(jr.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	jr.Body.Close()
+	if len(snap) == 0 {
+		t.Error("/api/metrics snapshot is empty")
+	}
+}
+
+func TestDashboardIndexMetricsPanel(t *testing.T) {
+	memAddr, _ := startBackends(t)
+	d := newDashboard(memAddr, "")
+	ts := httptest.NewServer(d)
+	defer ts.Close()
+
+	// First request records metrics; second renders them into the panel.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			resp.Body.Close()
+			continue
+		}
+		var b strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+		out := b.String()
+		for _, want := range []string{"Live metrics", "nwsweb_http_requests_total", `href="/metrics"`} {
+			if !strings.Contains(out, want) {
+				t.Errorf("index missing %q", want)
+			}
+		}
+	}
+}
+
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"/":                       "/",
+		"/api/series":             "/api/series",
+		"/api/series/a/cpu/x":     "/api/series/{key}",
+		"/api/forecast/a/cpu/x":   "/api/forecast/{key}",
+		"/metrics":                "/metrics",
+		"/api/metrics":            "/api/metrics",
+		"/favicon.ico":            "other",
+		"/debug/anything/else/at": "other",
+	}
+	for path, want := range cases {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
 func TestSparklineSinglePoint(t *testing.T) {
 	out := string(sparkline([][2]float64{{0, 1}}))
 	if !strings.Contains(out, "<svg") {

@@ -7,10 +7,16 @@
 //
 // Endpoints:
 //
-//	GET /                    HTML dashboard of all series
+//	GET /                    HTML dashboard of all series + live metrics panel
 //	GET /api/series          JSON list of series keys
 //	GET /api/series/{key}    JSON points of one series (?max=N)
 //	GET /api/forecast/{key}  JSON forecast for one series
+//	GET /metrics             Prometheus text metrics for this process
+//	GET /api/metrics         JSON snapshot of the same metrics
+//
+// The metrics cover the dashboard's own HTTP traffic plus its outbound
+// nwsnet client calls; each daemon exposes its own server-side metrics via
+// nwsd -metrics (see docs/OBSERVABILITY.md).
 package main
 
 import (

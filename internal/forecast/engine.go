@@ -141,6 +141,7 @@ func NewWindowedEngine(selectBy SelectBy, selectWindow int, bank ...Forecaster) 
 			ts[i].winSq = series.NewRing(selectWindow)
 		}
 	}
+	mEngineEngines.Inc()
 	return &Engine{trackers: ts, selectBy: selectBy, selections: make(map[string]int)}
 }
 
@@ -206,6 +207,7 @@ func NewExtendedEngine(seasonalPeriod int) *Engine {
 // Update feeds the next measurement: every member's outstanding forecast is
 // scored against v, then every member absorbs v.
 func (e *Engine) Update(v float64) {
+	mEngineUpdates.Inc()
 	e.recordOwnError(v)
 	for _, t := range e.trackers {
 		if t.hasPending {
@@ -225,6 +227,7 @@ func (e *Engine) N() int { return e.n }
 // Forecast returns the prediction of the currently best-scoring member.
 // ok is false until at least one member can forecast.
 func (e *Engine) Forecast() (Prediction, bool) {
+	mEngineForecasts.Inc()
 	best := -1
 	bestScore := math.Inf(1)
 	for i, t := range e.trackers {

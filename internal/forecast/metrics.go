@@ -1,0 +1,20 @@
+package forecast
+
+import "nwscpu/internal/metrics"
+
+// Engine hot-path instrumentation. Update runs once per measurement for
+// every engine in the process (the experiment harness drives millions), so
+// only lock-free counter increments are taken here — latency histograms
+// live at the service layer (internal/nwsnet), where a call already costs
+// a network round trip.
+var (
+	mEngineUpdates = metrics.NewCounter(
+		"nws_forecast_engine_updates_total",
+		"Measurements absorbed by forecasting engines (all engines in the process).")
+	mEngineForecasts = metrics.NewCounter(
+		"nws_forecast_engine_forecasts_total",
+		"Forecasts produced by engines (internal selector calls included).")
+	mEngineEngines = metrics.NewCounter(
+		"nws_forecast_engines_created_total",
+		"Forecasting engines constructed.")
+)

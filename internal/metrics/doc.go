@@ -1,0 +1,50 @@
+// Package metrics is a small, dependency-free, concurrency-safe metrics
+// registry for the NWS daemons: counters, gauges, and fixed-bucket
+// histograms, with optional label dimensions, a Prometheus text-format
+// exposition writer, and a JSON snapshot API.
+//
+// The paper's whole argument rests on quantifying sensor and forecaster
+// behaviour over long-running monitoring processes; this package makes the
+// monitoring processes themselves cheaply observable. Every daemon hot path
+// (memory stores and fetches, name-server registrations, forecast queries,
+// sensor measurement loops) records into package-level metric families, and
+// cmd/nwsd exposes them over HTTP together with net/http/pprof profiling
+// endpoints.
+//
+// # Model
+//
+// A metric family has a name, a help string, a type, and zero or more label
+// names. Unlabeled constructors (NewCounter, NewGauge, NewHistogram) return
+// the single time series directly; labeled constructors (NewCounterVec, …)
+// return a vector whose With(labelValues…) method resolves — creating on
+// first use — the series for one label combination:
+//
+//	var (
+//	    reqs = metrics.NewCounterVec(
+//	        "nws_memory_requests_total", "Requests handled.", "op")
+//	    lat = metrics.NewHistogramVec(
+//	        "nws_memory_request_seconds", "Request latency.", nil, "op")
+//	)
+//
+//	t0 := time.Now()
+//	// ... handle ...
+//	reqs.With("store").Inc()
+//	lat.With("store").ObserveSince(t0)
+//
+// All mutating operations (Inc, Add, Set, Observe) are lock-free atomic
+// updates safe for concurrent use; With performs one map lookup under a
+// read lock on the steady path. Resolve label series once and hold the
+// handle where a path is truly hot.
+//
+// # Exposition
+//
+// Registry.WritePrometheus emits the classic Prometheus text format
+// (the format every scraper understands); Registry.Snapshot returns the
+// same data as marshal-ready structs for JSON APIs. Handler and
+// JSONHandler wrap them as http.Handlers, and ServeDebug stands up a
+// full debug server with /metrics, /metrics.json, /debug/vars, and
+// /debug/pprof/… — see cmd/nwsd's -metrics flag and docs/OBSERVABILITY.md.
+//
+// The package-level constructors register into Default, which is what the
+// daemons use; NewRegistry gives tests and embedders an isolated registry.
+package metrics

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the registry in the Prometheus
+// text exposition format (version 0.0.4), families sorted by name and
+// series by label values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		children := f.sortedChildren()
+		if len(children) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, c := range children {
+			if err := writeChild(w, f, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, f *family, c *child) error {
+	switch m := c.metric.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n",
+			f.name, labelString(f.labels, c.labelValues, "", ""), m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n",
+			f.name, labelString(f.labels, c.labelValues, "", ""), formatFloat(m.Value()))
+		return err
+	case *Histogram:
+		cum := uint64(0)
+		for i := range m.counts {
+			cum += m.counts[i].Load()
+			le := "+Inf"
+			if i < len(m.bounds) {
+				le = formatFloat(m.bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, labelString(f.labels, c.labelValues, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			f.name, labelString(f.labels, c.labelValues, "", ""), formatFloat(m.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+			f.name, labelString(f.labels, c.labelValues, "", ""), m.Count())
+		return err
+	}
+	return nil
+}
+
+// labelString renders {a="x",b="y"} (with an optional extra pair appended,
+// used for the histogram "le" label), or "" when there are no labels.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(h string) string { return helpEscaper.Replace(h) }
+
+// formatFloat renders a float the way Prometheus expects, including the
+// special +Inf/-Inf/NaN spellings.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// FamilySnapshot is one metric family in marshal-ready form.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Type    string           `json:"type"`
+	Labels  []string         `json:"labels,omitempty"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one time series of a family. Counters and gauges fill
+// Value; histograms fill Count, Sum, and Buckets (cumulative counts).
+type MetricSnapshot struct {
+	LabelValues []string         `json:"labelValues,omitempty"`
+	Value       float64          `json:"value"`
+	Count       uint64           `json:"count,omitempty"`
+	Sum         float64          `json:"sum,omitempty"`
+	Buckets     []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket; LE is the inclusive
+// upper bound rendered as a string so "+Inf" survives JSON.
+type BucketSnapshot struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot returns the state of every family, sorted by name, for JSON
+// APIs and dashboards.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	fams := r.sortedFamilies()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:   f.name,
+			Help:   f.help,
+			Type:   f.kind.String(),
+			Labels: f.labels,
+		}
+		for _, c := range f.sortedChildren() {
+			ms := MetricSnapshot{LabelValues: c.labelValues}
+			switch m := c.metric.(type) {
+			case *Counter:
+				ms.Value = float64(m.Value())
+			case *Gauge:
+				ms.Value = m.Value()
+			case *Histogram:
+				ms.Count = m.Count()
+				ms.Sum = m.Sum()
+				ms.Value = ms.Sum
+				cum := uint64(0)
+				for i := range m.counts {
+					cum += m.counts[i].Load()
+					le := "+Inf"
+					if i < len(m.bounds) {
+						le = formatFloat(m.bounds[i])
+					}
+					ms.Buckets = append(ms.Buckets, BucketSnapshot{LE: le, Count: cum})
+				}
+			}
+			fs.Metrics = append(fs.Metrics, ms)
+		}
+		out = append(out, fs)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte: a
+// scraper-visible change must update this test deliberately.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.NewCounter("nws_test_ops_total", "Operations performed.")
+	c.Add(42)
+
+	v := r.NewCounterVec("nws_test_requests_total", "Requests by op.", "op")
+	v.With("store").Add(3)
+	v.With("fetch").Inc()
+
+	g := r.NewGauge("nws_test_backlog_points", "Buffered points.")
+	g.Set(7.5)
+
+	h := r.NewHistogram("nws_test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	esc := r.NewGaugeVec("nws_test_escaped", "Line one\nline two.", "path")
+	esc.With(`a"b\c` + "\nd").Set(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP nws_test_backlog_points Buffered points.
+# TYPE nws_test_backlog_points gauge
+nws_test_backlog_points 7.5
+# HELP nws_test_escaped Line one\nline two.
+# TYPE nws_test_escaped gauge
+nws_test_escaped{path="a\"b\\c\nd"} 1
+# HELP nws_test_latency_seconds Latency.
+# TYPE nws_test_latency_seconds histogram
+nws_test_latency_seconds_bucket{le="0.01"} 1
+nws_test_latency_seconds_bucket{le="0.1"} 3
+nws_test_latency_seconds_bucket{le="1"} 3
+nws_test_latency_seconds_bucket{le="+Inf"} 4
+nws_test_latency_seconds_sum 5.105
+nws_test_latency_seconds_count 4
+# HELP nws_test_ops_total Operations performed.
+# TYPE nws_test_ops_total counter
+nws_test_ops_total 42
+# HELP nws_test_requests_total Requests by op.
+# TYPE nws_test_requests_total counter
+nws_test_requests_total{op="fetch"} 1
+nws_test_requests_total{op="store"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusSkipsEmptyVec(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("nws_never_used_total", "No children yet.", "op")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("empty vec produced output:\n%s", b.String())
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("snap_total", "Count.").Add(5)
+	h := r.NewHistogram("snap_seconds", "Lat.", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(20)
+	gv := r.NewGaugeVec("snap_depth", "Depth.", "host")
+	gv.With("thing1").Set(3)
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("families = %d, want 3", len(snap))
+	}
+	// Sorted by name: snap_depth, snap_seconds, snap_total.
+	if snap[0].Name != "snap_depth" || snap[1].Name != "snap_seconds" || snap[2].Name != "snap_total" {
+		t.Fatalf("order = %s, %s, %s", snap[0].Name, snap[1].Name, snap[2].Name)
+	}
+	if got := snap[2].Metrics[0].Value; got != 5 {
+		t.Errorf("counter value = %g", got)
+	}
+	hm := snap[1].Metrics[0]
+	if hm.Count != 2 || hm.Sum != 20.5 {
+		t.Errorf("histogram count=%d sum=%g", hm.Count, hm.Sum)
+	}
+	wantBuckets := []BucketSnapshot{{"1", 1}, {"10", 1}, {"+Inf", 2}}
+	for i, want := range wantBuckets {
+		if hm.Buckets[i] != want {
+			t.Errorf("bucket %d = %+v, want %+v", i, hm.Buckets[i], want)
+		}
+	}
+	gm := snap[0].Metrics[0]
+	if len(gm.LabelValues) != 1 || gm.LabelValues[0] != "thing1" || gm.Value != 3 {
+		t.Errorf("gauge = %+v", gm)
+	}
+
+	// The snapshot must round-trip through encoding/json.
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []FamilySnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[1].Metrics[0].Buckets[2].LE != "+Inf" {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("http_test_total", "Via HTTP.").Add(9)
+
+	ds, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + ds.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "http_test_total 9") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+
+	code, body = get("/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json: code=%d", code)
+	}
+	var snap []FamilySnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if len(snap) != 1 || snap[0].Name != "http_test_total" {
+		t.Errorf("/metrics.json: %+v", snap)
+	}
+
+	code, body = get("/debug/vars")
+	if code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars: code=%d", code)
+	}
+
+	code, _ = get("/debug/pprof/")
+	if code != 200 {
+		t.Errorf("/debug/pprof/: code=%d", code)
+	}
+
+	if err := ds.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

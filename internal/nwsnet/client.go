@@ -6,6 +6,16 @@ import (
 	"time"
 )
 
+// observeCall records one outbound protocol call in the client metrics.
+func observeCall(op Op, t0 time.Time, err error) {
+	o := string(op)
+	mClientCalls.With(o).Inc()
+	mClientLatency.With(o).ObserveSince(t0)
+	if err != nil {
+		mClientErrors.With(o).Inc()
+	}
+}
+
 // Client performs protocol calls against nwsnet servers. The zero value is
 // not usable; create clients with NewClient.
 type Client struct {
@@ -22,8 +32,10 @@ func NewClient(timeout time.Duration) *Client {
 }
 
 // do performs a call and converts protocol-level errors to Go errors.
-func (c *Client) do(addr string, req Request) (Response, error) {
-	resp, err := call(addr, c.timeout, req)
+func (c *Client) do(addr string, req Request) (resp Response, err error) {
+	t0 := time.Now()
+	defer func() { observeCall(req.Op, t0, err) }()
+	resp, err = call(addr, c.timeout, req)
 	if err != nil {
 		return Response{}, err
 	}

@@ -60,6 +60,7 @@ func (pc *Conn) resetLocked() {
 // attempted before reporting failure. Protocol-level errors (Response.Error)
 // are returned without killing the connection.
 func (pc *Conn) Do(req Request) (Response, error) {
+	t0 := time.Now()
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	resp, err := pc.doLocked(req)
@@ -68,12 +69,16 @@ func (pc *Conn) Do(req Request) (Response, error) {
 		resp, err = pc.doLocked(req)
 		if err != nil {
 			pc.resetLocked()
+			observeCall(req.Op, t0, err)
 			return Response{}, err
 		}
 	}
 	if resp.Error != "" {
-		return Response{}, fmt.Errorf("nwsnet: %s: %s", pc.addr, resp.Error)
+		err := fmt.Errorf("nwsnet: %s: %s", pc.addr, resp.Error)
+		observeCall(req.Op, t0, err)
+		return Response{}, err
 	}
+	observeCall(req.Op, t0, nil)
 	return resp, nil
 }
 

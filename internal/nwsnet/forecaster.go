@@ -43,9 +43,19 @@ func (f *ForecasterService) Handle(req Request) Response {
 		return Response{}
 	case OpForecast:
 		if req.Series == "" {
+			mFcErrors.Inc()
 			return errResp("forecast requires a series key")
 		}
-		return f.handleForecast(req.Series)
+		mFcRequests.Inc()
+		t0 := time.Now()
+		resp := f.handleForecast(req.Series)
+		mFcLatency.ObserveSince(t0)
+		if resp.Error != "" {
+			mFcErrors.Inc()
+		} else if resp.Forecast != nil {
+			mFcMethodSelected.With(resp.Forecast.Method).Inc()
+		}
+		return resp
 	default:
 		return errResp("forecaster: unsupported op %q", req.Op)
 	}
@@ -57,6 +67,7 @@ func (f *ForecasterService) handleForecast(key string) Response {
 	if st == nil {
 		st = &engineState{eng: forecast.NewDefaultEngine(), lastT: -1}
 		f.engines[key] = st
+		mFcEngines.Set(float64(len(f.engines)))
 	}
 	f.mu.Unlock()
 
@@ -75,14 +86,19 @@ func (f *ForecasterService) handleForecast(key string) Response {
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	tEng := time.Now()
+	pulled := 0
 	for _, tv := range resp.Points {
 		if tv[0] <= st.lastT {
 			continue
 		}
 		st.eng.Update(tv[1])
 		st.lastT = tv[0]
+		pulled++
 	}
+	mFcPointsPulled.Add(uint64(pulled))
 	pred, ok := st.eng.Forecast()
+	mFcEngineLatency.ObserveSince(tEng)
 	if !ok {
 		return errResp("forecast: no measurements for %q", key)
 	}

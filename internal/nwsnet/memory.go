@@ -3,6 +3,7 @@ package nwsnet
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"nwscpu/internal/series"
 )
@@ -28,6 +29,18 @@ func NewMemory(capacity int) *Memory {
 
 // Handle implements Handler.
 func (m *Memory) Handle(req Request) Response {
+	op := string(req.Op)
+	t0 := time.Now()
+	mMemoryRequests.With(op).Inc()
+	defer mMemoryLatency.With(op).ObserveSince(t0)
+	resp := m.handle(req)
+	if resp.Error != "" {
+		mMemoryErrors.With(op).Inc()
+	}
+	return resp
+}
+
+func (m *Memory) handle(req Request) Response {
 	switch req.Op {
 	case OpPing:
 		return Response{}
@@ -62,15 +75,21 @@ func (m *Memory) handleStore(req Request) Response {
 	if s == nil {
 		s = series.New(req.Series, "fraction")
 		m.store[req.Series] = s
+		mMemorySeries.Set(float64(len(m.store)))
 	}
+	appended := 0
 	for _, tv := range req.Points {
 		if err := s.Append(tv[0], tv[1]); err != nil {
+			mMemoryPointsStored.Add(uint64(appended))
 			return errResp("store: %v", err)
 		}
+		appended++
 	}
+	mMemoryPointsStored.Add(uint64(appended))
 	// Enforce the circular bound.
 	if extra := s.Len() - m.capacity; extra > 0 {
 		s.Points = append(s.Points[:0:0], s.Points[extra:]...)
+		mMemoryPointsEvicted.Add(uint64(extra))
 	}
 	return Response{}
 }
@@ -102,6 +121,7 @@ func (m *Memory) handleFetch(req Request) Response {
 	for i, p := range pts {
 		out[i] = [2]float64{p.T, p.V}
 	}
+	mMemoryPointsFetched.Add(uint64(len(out)))
 	return Response{Points: out}
 }
 

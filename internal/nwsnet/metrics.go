@@ -1,0 +1,112 @@
+package nwsnet
+
+import "nwscpu/internal/metrics"
+
+// The package's metric families, registered once in metrics.Default and
+// shared by every component instance in the process (a daemon normally runs
+// one role; examples/gridlab runs them all and the series simply aggregate).
+// Every name here is documented in docs/OBSERVABILITY.md — keep the two in
+// sync.
+var (
+	// Protocol server (all roles).
+	mServerConnsTotal = metrics.NewCounter(
+		"nws_server_connections_total",
+		"TCP connections accepted by the protocol server.")
+	mServerConnsActive = metrics.NewGauge(
+		"nws_server_active_connections",
+		"Protocol connections currently open.")
+	mServerRequests = metrics.NewCounterVec(
+		"nws_server_requests_total",
+		"Protocol requests handled, by operation.", "op")
+
+	// Protocol clients (Client and Conn outbound calls).
+	mClientCalls = metrics.NewCounterVec(
+		"nws_client_calls_total",
+		"Outbound protocol calls, by operation.", "op")
+	mClientErrors = metrics.NewCounterVec(
+		"nws_client_errors_total",
+		"Outbound protocol calls that failed (transport or protocol error), by operation.", "op")
+	mClientLatency = metrics.NewHistogramVec(
+		"nws_client_call_seconds",
+		"Outbound protocol call latency in seconds, by operation.", nil, "op")
+
+	// Memory server.
+	mMemoryRequests = metrics.NewCounterVec(
+		"nws_memory_requests_total",
+		"Memory-server requests handled, by operation.", "op")
+	mMemoryErrors = metrics.NewCounterVec(
+		"nws_memory_errors_total",
+		"Memory-server requests answered with an error, by operation.", "op")
+	mMemoryLatency = metrics.NewHistogramVec(
+		"nws_memory_request_seconds",
+		"Memory-server request handling latency in seconds, by operation.", nil, "op")
+	mMemoryPointsStored = metrics.NewCounter(
+		"nws_memory_points_stored_total",
+		"Measurement points appended to series.")
+	mMemoryPointsFetched = metrics.NewCounter(
+		"nws_memory_points_fetched_total",
+		"Measurement points returned by fetches.")
+	mMemoryPointsEvicted = metrics.NewCounter(
+		"nws_memory_points_evicted_total",
+		"Points dropped to enforce the per-series circular capacity.")
+	mMemorySeries = metrics.NewGauge(
+		"nws_memory_series",
+		"Series currently stored.")
+
+	// Name server.
+	mNSRegistrations = metrics.NewCounter(
+		"nws_nameserver_registrations_total",
+		"Registrations accepted (re-registration heartbeats included).")
+	mNSLookups = metrics.NewCounterVec(
+		"nws_nameserver_lookups_total",
+		"Lookups served, by result (hit or miss).", "result")
+	mNSExpiries = metrics.NewCounter(
+		"nws_nameserver_expiries_total",
+		"Registrations reaped after their TTL lapsed.")
+	mNSEntries = metrics.NewGauge(
+		"nws_nameserver_entries",
+		"Registrations currently held (live and not yet reaped).")
+
+	// Forecaster service.
+	mFcRequests = metrics.NewCounter(
+		"nws_forecaster_requests_total",
+		"Forecast queries received.")
+	mFcErrors = metrics.NewCounter(
+		"nws_forecaster_errors_total",
+		"Forecast queries answered with an error.")
+	mFcLatency = metrics.NewHistogram(
+		"nws_forecaster_request_seconds",
+		"Forecast query latency in seconds, memory fetch included.", nil)
+	mFcEngineLatency = metrics.NewHistogram(
+		"nws_forecaster_engine_seconds",
+		"Time spent feeding the forecasting engine and forecasting, per query.", nil)
+	mFcPointsPulled = metrics.NewCounter(
+		"nws_forecaster_points_pulled_total",
+		"New measurement points pulled from the memory server.")
+	mFcMethodSelected = metrics.NewCounterVec(
+		"nws_forecaster_method_selected_total",
+		"Forecasts served, by the bank method whose prediction was forwarded.", "method")
+	mFcEngines = metrics.NewGauge(
+		"nws_forecaster_engines",
+		"Per-series forecasting engines instantiated.")
+
+	// Sensor daemon.
+	mSensorMeasurements = metrics.NewCounterVec(
+		"nws_sensor_measurements_total",
+		"Measurements taken, by sensor method.", "sensor")
+	mSensorDeliveries = metrics.NewCounter(
+		"nws_sensor_deliveries_total",
+		"Store batches delivered to the memory server.")
+	mSensorDeliveryFailures = metrics.NewCounter(
+		"nws_sensor_delivery_failures_total",
+		"Store batches that could not be delivered and were buffered.")
+	mSensorBacklog = metrics.NewGaugeVec(
+		"nws_sensor_backlog_points",
+		"Undelivered measurements buffered for retry, by host.", "host")
+	mSensorBacklogDropped = metrics.NewCounter(
+		"nws_sensor_backlog_dropped_total",
+		"Buffered measurements dropped (oldest first) because the backlog cap was hit.")
+	mSensorOutages = metrics.NewCounter(
+		"nws_sensor_outages_total",
+		"Delivery outages entered (first failed store after a healthy period).")
+)

@@ -40,6 +40,22 @@ func (ns *NameServer) alive(e nsEntry) bool {
 	return ns.ttl <= 0 || ns.now().Sub(e.seen) < ns.ttl
 }
 
+// reapLocked deletes every expired entry, counting each reap once. Expiry
+// is lazy — entries die when a request next observes them — so the expiries
+// metric advances on the requests that notice, not on a background timer.
+func (ns *NameServer) reapLocked() {
+	if ns.ttl <= 0 {
+		return
+	}
+	for name, e := range ns.entries {
+		if !ns.alive(e) {
+			delete(ns.entries, name)
+			mNSExpiries.Inc()
+		}
+	}
+	mNSEntries.Set(float64(len(ns.entries)))
+}
+
 // Handle implements Handler.
 func (ns *NameServer) Handle(req Request) Response {
 	switch req.Op {
@@ -51,6 +67,8 @@ func (ns *NameServer) Handle(req Request) Response {
 		}
 		ns.mu.Lock()
 		ns.entries[req.Reg.Name] = nsEntry{reg: req.Reg, seen: ns.now()}
+		mNSRegistrations.Inc()
+		mNSEntries.Set(float64(len(ns.entries)))
 		ns.mu.Unlock()
 		return Response{}
 	case OpLookup:
@@ -58,19 +76,20 @@ func (ns *NameServer) Handle(req Request) Response {
 			return errResp("lookup requires a name")
 		}
 		ns.mu.Lock()
+		ns.reapLocked()
 		e, ok := ns.entries[req.Reg.Name]
 		ns.mu.Unlock()
-		if !ok || !ns.alive(e) {
+		if !ok {
+			mNSLookups.With("miss").Inc()
 			return errResp("unknown component %q", req.Reg.Name)
 		}
+		mNSLookups.With("hit").Inc()
 		return Response{Entries: []Registration{e.reg}}
 	case OpList:
 		ns.mu.Lock()
+		ns.reapLocked()
 		out := make([]Registration, 0, len(ns.entries))
 		for _, e := range ns.entries {
-			if !ns.alive(e) {
-				continue
-			}
 			if req.Reg.Kind == "" || e.reg.Kind == req.Reg.Kind {
 				out = append(out, e.reg)
 			}

@@ -7,6 +7,15 @@
 // The wire protocol is one JSON object per line over TCP — deliberately
 // simple, debuggable with netcat, and implemented entirely with the standard
 // library.
+//
+// Every component is instrumented through internal/metrics: the protocol
+// server counts connections and per-op requests, the memory server tracks
+// stores/fetches/evictions and per-op latency histograms, the name server
+// tracks registrations and TTL expiries, the forecaster tracks queries,
+// engine latency, and per-method selections, and the sensor daemon tracks
+// measurements, delivery outages, and backlog drops. cmd/nwsd exposes all
+// of it over HTTP with -metrics; the full metric reference is in
+// docs/OBSERVABILITY.md.
 package nwsnet
 
 import (

@@ -2,6 +2,7 @@ package nwsnet
 
 import (
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -32,6 +33,14 @@ type SensorDaemon struct {
 	// memory-server outage loses no data shorter than the buffer.
 	backlog    map[string][][2]float64
 	backlogCap int
+
+	// Outage accounting (accessed only from the Step caller): logger may
+	// be nil; drops are always counted in nws_sensor_backlog_dropped_total
+	// and logged once per outage rather than once per trimmed batch.
+	logger        *log.Logger
+	inOutage      bool
+	outageDrops   int
+	outageDropLog bool
 
 	mu     sync.Mutex
 	stopCh chan struct{}
@@ -64,6 +73,11 @@ func NewSensorDaemon(hostName string, h sensors.Host, memAddr string, hybrid sen
 	}
 }
 
+// SetLogger directs the daemon's outage diagnostics (backlog overflow,
+// recovery) to l. nil (the default) silences them; drop counts are still
+// recorded in the metrics either way.
+func (d *SensorDaemon) SetLogger(l *log.Logger) { d.logger = l }
+
 // Register announces this sensor to a name server. addr is where queries
 // about this daemon should go (informational; the daemon itself only pushes).
 func (d *SensorDaemon) Register(nsAddr, addr string) error {
@@ -76,19 +90,23 @@ func (d *SensorDaemon) Register(nsAddr, addr string) error {
 
 // Step takes one measurement with every sensor and stores the results,
 // together with any backlog from previous failed deliveries. Undeliverable
-// measurements are buffered (bounded; oldest dropped first) and the error
-// reported — the daemon keeps measuring through memory-server outages and
-// backfills when the server returns.
+// measurements are buffered (bounded; oldest dropped first, each drop
+// counted in nws_sensor_backlog_dropped_total) and the error reported — the
+// daemon keeps measuring through memory-server outages and backfills when
+// the server returns.
 func (d *SensorDaemon) Step() error {
 	t := d.host.Now()
 	var firstErr error
 	for _, s := range d.sensors {
 		v := s.Measure()
+		mSensorMeasurements.With(s.Name()).Inc()
 		key := SeriesKey(d.hostName, s.Name())
 		batch := append(d.backlog[key], [2]float64{t, v})
 		if err := d.conn.Store(key, batch); err != nil {
-			if len(batch) > d.backlogCap {
-				batch = batch[len(batch)-d.backlogCap:]
+			mSensorDeliveryFailures.Inc()
+			if dropped := len(batch) - d.backlogCap; dropped > 0 {
+				batch = batch[dropped:]
+				d.noteDropped(dropped)
 			}
 			d.backlog[key] = batch
 			if firstErr == nil {
@@ -96,9 +114,46 @@ func (d *SensorDaemon) Step() error {
 			}
 			continue
 		}
+		mSensorDeliveries.Inc()
 		delete(d.backlog, key)
 	}
+	d.noteOutcome(firstErr)
+	mSensorBacklog.With(d.hostName).Set(float64(d.Backlogged()))
 	return firstErr
+}
+
+// noteDropped counts backlog-cap drops and logs the first of an outage.
+func (d *SensorDaemon) noteDropped(n int) {
+	mSensorBacklogDropped.Add(uint64(n))
+	d.outageDrops += n
+	if !d.outageDropLog {
+		d.outageDropLog = true
+		if d.logger != nil {
+			d.logger.Printf("nwsnet: sensor %s: backlog full (cap %d points/series); dropping oldest measurements until delivery recovers",
+				d.hostName, d.backlogCap)
+		}
+	}
+}
+
+// noteOutcome tracks outage transitions: entering an outage bumps
+// nws_sensor_outages_total; leaving one reports how much was lost.
+func (d *SensorDaemon) noteOutcome(err error) {
+	if err != nil {
+		if !d.inOutage {
+			d.inOutage = true
+			mSensorOutages.Inc()
+		}
+		return
+	}
+	if d.inOutage {
+		if d.logger != nil && d.outageDrops > 0 {
+			d.logger.Printf("nwsnet: sensor %s: delivery recovered; %d measurements were dropped during the outage",
+				d.hostName, d.outageDrops)
+		}
+		d.inOutage = false
+		d.outageDrops = 0
+		d.outageDropLog = false
+	}
 }
 
 // Backlogged reports how many undelivered measurements are buffered.

@@ -79,7 +79,10 @@ func (s *Server) acceptLoop(l net.Listener) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	mServerConnsTotal.Inc()
+	mServerConnsActive.Inc()
 	defer func() {
+		mServerConnsActive.Dec()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -95,6 +98,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		mServerRequests.With(string(req.Op)).Inc()
 		resp := s.handler.Handle(req)
 		resp.OK = resp.Error == ""
 		if err := writeMsg(writer, resp); err != nil {
