@@ -162,7 +162,8 @@ func LinearBuckets(start, width float64, n int) []float64 {
 }
 
 // labelSep joins label values into child-map keys; label values containing
-// the separator byte are rejected at With time.
+// the separator byte are sanitized at With time (NUL → U+FFFD) so values
+// taken from untrusted input can never corrupt keys or crash the caller.
 const labelSep = "\x00"
 
 // child is one labeled time series inside a family.
@@ -189,9 +190,14 @@ func (f *family) get(values []string) any {
 		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d",
 			f.name, len(f.labels), len(values)))
 	}
-	for _, v := range values {
+	sanitized := false
+	for i, v := range values {
 		if strings.Contains(v, labelSep) {
-			panic(fmt.Sprintf("metrics: %s: label value contains NUL", f.name))
+			if !sanitized {
+				values = append([]string(nil), values...)
+				sanitized = true
+			}
+			values[i] = strings.ReplaceAll(v, labelSep, "�")
 		}
 	}
 	key := strings.Join(values, labelSep)

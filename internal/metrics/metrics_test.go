@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -179,5 +180,27 @@ func TestVecReturnsSameChild(t *testing.T) {
 	}
 	if v.With("y") == a {
 		t.Fatal("distinct labels share a child")
+	}
+}
+
+// Label values arrive from untrusted wire input in the daemons, so a NUL
+// byte must be sanitized, not panic (a panic here was a remote DoS).
+func TestNULLabelValueSanitized(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("nul_total", "", "op")
+	v.With("a\x00b").Inc()
+	if v.With("a\x00b") != v.With("a�b") {
+		t.Error("NUL not mapped to U+FFFD replacement character")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "\x00") {
+		t.Errorf("exposition contains a raw NUL byte:\n%s", out)
+	}
+	if !strings.Contains(out, `nul_total{op="a�b"} 1`) {
+		t.Errorf("sanitized series missing from exposition:\n%s", out)
 	}
 }

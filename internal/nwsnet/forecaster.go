@@ -42,11 +42,11 @@ func (f *ForecasterService) Handle(req Request) Response {
 	case OpPing:
 		return Response{}
 	case OpForecast:
+		mFcRequests.Inc()
 		if req.Series == "" {
 			mFcErrors.Inc()
 			return errResp("forecast requires a series key")
 		}
-		mFcRequests.Inc()
 		t0 := time.Now()
 		resp := f.handleForecast(req.Series)
 		mFcLatency.ObserveSince(t0)

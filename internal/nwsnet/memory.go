@@ -29,7 +29,7 @@ func NewMemory(capacity int) *Memory {
 
 // Handle implements Handler.
 func (m *Memory) Handle(req Request) Response {
-	op := string(req.Op)
+	op := opLabel(req.Op)
 	t0 := time.Now()
 	mMemoryRequests.With(op).Inc()
 	defer mMemoryLatency.With(op).ObserveSince(t0)

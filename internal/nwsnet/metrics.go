@@ -3,10 +3,13 @@ package nwsnet
 import "nwscpu/internal/metrics"
 
 // The package's metric families, registered once in metrics.Default and
-// shared by every component instance in the process (a daemon normally runs
-// one role; examples/gridlab runs them all and the series simply aggregate).
-// Every name here is documented in docs/OBSERVABILITY.md — keep the two in
-// sync.
+// shared by every component instance in the process. A daemon normally runs
+// one role, so each series describes that single instance. When several
+// instances share a process (tests, examples/gridlab), counters and
+// histograms aggregate across them, but the set-style gauges
+// (nws_memory_series, nws_nameserver_entries, nws_forecaster_engines)
+// reflect only the most recently updated instance. Every name here is
+// documented in docs/OBSERVABILITY.md — keep the two in sync.
 var (
 	// Protocol server (all roles).
 	mServerConnsTotal = metrics.NewCounter(

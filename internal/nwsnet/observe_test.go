@@ -1,12 +1,15 @@
 package nwsnet
 
 import (
+	"bufio"
 	"bytes"
 	"log"
+	"net"
 	"strings"
 	"testing"
 	"time"
 
+	"nwscpu/internal/metrics"
 	"nwscpu/internal/sensors"
 	"nwscpu/internal/simos"
 )
@@ -55,6 +58,65 @@ func TestMemoryMetrics(t *testing.T) {
 
 	if got := mMemoryLatency.With("store").Count(); got == 0 {
 		t.Error("store latency histogram has no observations")
+	}
+}
+
+// Op strings come straight off the wire: a NUL byte must not crash the
+// server (it used to panic in the metrics layer — a remote DoS), and
+// arbitrary ops must land in the single "other" label instead of minting
+// one time series each.
+func TestServerWireOpsBoundedAndNULSafe(t *testing.T) {
+	srv := NewServer(NewMemory(0), nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	other0 := mServerRequests.With("other").Value()
+	memOther0 := mMemoryRequests.With("other").Value()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bogus := []Op{"a\x00b", "bogus-op-1", "bogus-op-2"}
+	for _, op := range bogus {
+		if err := writeMsg(bw, Request{Op: op}); err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		if err := readMsg(br, &resp); err != nil {
+			t.Fatalf("op %q killed the connection: %v", op, err)
+		}
+		if resp.Error == "" {
+			t.Errorf("op %q unexpectedly succeeded", op)
+		}
+	}
+	// The server survived; a known op on the same connection still works.
+	if err := writeMsg(bw, Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	var pong Response
+	if err := readMsg(br, &pong); err != nil || pong.Error != "" {
+		t.Fatalf("ping after malformed ops failed: %v %q", err, pong.Error)
+	}
+
+	if got := mServerRequests.With("other").Value() - other0; got != uint64(len(bogus)) {
+		t.Errorf("server other-op delta = %d, want %d", got, len(bogus))
+	}
+	if got := mMemoryRequests.With("other").Value() - memOther0; got != uint64(len(bogus)) {
+		t.Errorf("memory other-op delta = %d, want %d", got, len(bogus))
+	}
+	var sb strings.Builder
+	if err := metrics.Default.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "bogus-op-1") {
+		t.Error("unknown op minted its own time series")
 	}
 }
 

@@ -51,6 +51,18 @@ const (
 	OpForecast Op = "forecast" // forecaster: predict the next measurement
 )
 
+// opLabel maps a wire operation to a bounded metric label: known ops map to
+// their own name, anything else to "other". Ops arrive straight off the wire,
+// so labeling them verbatim would let a remote client mint one time series
+// per arbitrary op string and grow registry memory without bound.
+func opLabel(op Op) string {
+	switch op {
+	case OpPing, OpRegister, OpLookup, OpList, OpStore, OpFetch, OpSeries, OpForecast:
+		return string(op)
+	}
+	return "other"
+}
+
 // Registration describes one component known to the name server.
 type Registration struct {
 	Name string `json:"name"`

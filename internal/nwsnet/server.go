@@ -98,7 +98,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		mServerRequests.With(string(req.Op)).Inc()
+		mServerRequests.With(opLabel(req.Op)).Inc()
 		resp := s.handler.Handle(req)
 		resp.OK = resp.Error == ""
 		if err := writeMsg(writer, resp); err != nil {
