@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test test-race vet bench bench-paper experiments report clean
+.PHONY: all build test test-race chaos vet bench bench-paper experiments report clean
 
 all: build vet test
 
@@ -19,12 +19,19 @@ vet:
 	fi
 
 # Tier-1 flow: the full suite, plus the race detector on the concurrent
-# observability and daemon packages.
+# observability, daemon, and resilience packages.
 test: test-race
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/metrics ./internal/nwsnet
+	$(GO) test -race ./internal/metrics ./internal/nwsnet ./internal/resilience/...
+
+# Fault-injection suite under the race detector: the resilience package's
+# own tests plus the chaos integration scenarios (replica killed mid-run,
+# full-outage backlog drain, seeded-schedule determinism).
+chaos:
+	$(GO) test -race ./internal/resilience/...
+	$(GO) test -race -run 'Chaos' -v ./internal/nwsnet
 
 # One iteration of every table/figure/ablation benchmark at 6-hour scale.
 bench:

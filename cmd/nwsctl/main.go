@@ -5,6 +5,13 @@
 //	nwsctl -memory localhost:8091 fetch thing1/cpu/nws_hybrid [maxPoints]
 //	nwsctl -forecaster localhost:8092 forecast thing1/cpu/nws_hybrid
 //	nwsctl -nameserver localhost:8090 ping
+//	nwsctl -memory localhost:8091,localhost:8092,localhost:8093 health
+//	nwsctl -nameserver localhost:8090 health
+//
+// health pings every memory replica — the comma-separated -memory list, or
+// every endpoint of every memory registration found via -nameserver — and
+// reports each as healthy or down. It exits non-zero when fewer than a
+// majority answer, i.e. when the group has lost its write quorum.
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"nwscpu/internal/nwsnet"
 )
@@ -34,7 +42,7 @@ func run(args []string, out io.Writer) error {
 	}
 	cmd := fs.Args()
 	if len(cmd) == 0 {
-		return fmt.Errorf("no command; try: list | series | fetch <key> | forecast <key> | ping")
+		return fmt.Errorf("no command; try: list | series | fetch <key> | forecast <key> | ping | health")
 	}
 
 	c := nwsnet.NewClient(0)
@@ -48,6 +56,43 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(out, "%s: ok\n", addr)
+		}
+		return nil
+	case "health":
+		var addrs []string
+		switch {
+		case *memory != "":
+			for _, a := range strings.Split(*memory, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					addrs = append(addrs, a)
+				}
+			}
+		case *nameserver != "":
+			regs, err := c.List(*nameserver, nwsnet.KindMemory)
+			if err != nil {
+				return err
+			}
+			for _, r := range regs {
+				addrs = append(addrs, r.Endpoints()...)
+			}
+		default:
+			return fmt.Errorf("health needs -memory or -nameserver")
+		}
+		if len(addrs) == 0 {
+			return fmt.Errorf("no memory replicas to check")
+		}
+		healthy := 0
+		for _, addr := range addrs {
+			if err := c.Ping(addr); err != nil {
+				fmt.Fprintf(out, "%-24s down (%v)\n", addr, err)
+				continue
+			}
+			healthy++
+			fmt.Fprintf(out, "%-24s healthy\n", addr)
+		}
+		fmt.Fprintf(out, "%d/%d replicas healthy\n", healthy, len(addrs))
+		if healthy < len(addrs)/2+1 {
+			return fmt.Errorf("write quorum lost: %d of %d replicas healthy", healthy, len(addrs))
 		}
 		return nil
 	case "list":

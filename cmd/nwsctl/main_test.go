@@ -96,3 +96,51 @@ func TestRunAgainstLiveComponents(t *testing.T) {
 		t.Fatalf("ping output: %q", buf.String())
 	}
 }
+
+func TestHealthCommand(t *testing.T) {
+	if err := run([]string{"health"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("health without -memory or -nameserver accepted")
+	}
+
+	a := startComponent(t, nwsnet.NewMemory(0))
+	b := startComponent(t, nwsnet.NewMemory(0))
+
+	// All replicas up: quorum holds, exit clean.
+	var buf bytes.Buffer
+	group := a + "," + b
+	if err := run([]string{"-memory", group, "health"}, &buf); err != nil {
+		t.Fatalf("health with all replicas up: %v", err)
+	}
+	if got := strings.Count(buf.String(), "healthy"); got != 3 { // 2 replicas + summary
+		t.Fatalf("health output: %q", buf.String())
+	}
+	if !strings.Contains(buf.String(), "2/2 replicas healthy") {
+		t.Fatalf("health summary missing: %q", buf.String())
+	}
+
+	// One of two down: majority (2) lost, exit non-zero but still report.
+	buf.Reset()
+	err := run([]string{"-memory", a + ",127.0.0.1:1", "health"}, &buf)
+	if err == nil {
+		t.Fatal("health with quorum lost exited clean")
+	}
+	if !strings.Contains(buf.String(), "down") || !strings.Contains(buf.String(), "1/2 replicas healthy") {
+		t.Fatalf("degraded health output: %q", buf.String())
+	}
+
+	// Resolution via the name server's registered replica set.
+	nsAddr := startComponent(t, nwsnet.NewNameServer())
+	c := nwsnet.NewClient(0)
+	if err := c.Register(nsAddr, nwsnet.Registration{
+		Name: "memory", Kind: nwsnet.KindMemory, Addr: a, Addrs: []string{a, b},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-nameserver", nsAddr, "health"}, &buf); err != nil {
+		t.Fatalf("health via nameserver: %v", err)
+	}
+	if !strings.Contains(buf.String(), "2/2 replicas healthy") {
+		t.Fatalf("nameserver health output: %q", buf.String())
+	}
+}

@@ -1,12 +1,23 @@
 // Command nwsd runs one component of the distributed NWS:
 //
 //	nwsd -role nameserver -listen :8090
-//	nwsd -role memory     -listen :8091 [-statedir /var/lib/nws]
+//	nwsd -role memory     -listen :8091 [-statedir /var/lib/nws] [-replicas 3]
 //	nwsd -role forecaster -listen :8092 -memory localhost:8091
 //	nwsd -role reflector  -listen :8093
 //	nwsd -role sensor     -host mybox -memory localhost:8091 \
 //	     -nameserver localhost:8090 -period 10s [-sim <profile>] \
 //	     [-reflector otherbox:8093]
+//
+// The memory role can run a replica group: -replicas N starts N memory
+// servers on consecutive ports (the -listen port and the N-1 after it) and,
+// when -nameserver is given, registers the whole set under one logical name
+// so clients can resolve every endpoint at once. Forecaster and sensor roles
+// accept a comma-separated -memory list and treat it as a replica group:
+// writes fan out and must reach a majority, reads fail over in health order
+// — see the Resilience section of docs/ARCHITECTURE.md:
+//
+//	nwsd -role memory -listen :8091 -replicas 3 -nameserver localhost:8090
+//	nwsd -role sensor -host mybox -memory localhost:8091,localhost:8092,localhost:8093
 //
 // Every role accepts -metrics addr to expose the daemon's observability
 // surface over HTTP: Prometheus text metrics on /metrics, a JSON snapshot
@@ -26,9 +37,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,6 +66,7 @@ func main() {
 	period := flag.Duration("period", 10*time.Second, "sensor measurement period")
 	simProfile := flag.String("sim", "", "simulate a paper host profile instead of reading /proc")
 	capacity := flag.Int("capacity", 0, "memory: max points per series (0 = default)")
+	replicas := flag.Int("replicas", 1, "memory: run this many replica servers on consecutive ports")
 	stateDir := flag.String("statedir", "", "memory: directory for durable series logs (empty = in-memory only)")
 	reflector := flag.String("reflector", "", "sensor: also probe network latency/bandwidth against this reflector")
 	ttl := flag.Duration("ttl", 0, "nameserver: registration expiry (0 = never; sensors re-register each period)")
@@ -61,7 +78,7 @@ func main() {
 		role: *role, listen: *listen, memory: *memory, nameserver: *nameserver,
 		hostName: *hostName, period: *period, simProfile: *simProfile,
 		capacity: *capacity, stateDir: *stateDir, ttl: *ttl, reflector: *reflector,
-		metricsAddr: *metricsAddr,
+		metricsAddr: *metricsAddr, replicas: *replicas,
 	}
 	if err := run(opts, logger); err != nil {
 		logger.Fatal(err)
@@ -77,6 +94,7 @@ type daemonOpts struct {
 	period                           time.Duration
 	ttl                              time.Duration
 	capacity                         int
+	replicas                         int
 
 	// Test hooks: stop (when non-nil) replaces signal delivery as the
 	// shutdown trigger, and notify (when non-nil) reports each bound
@@ -106,21 +124,12 @@ func run(o daemonOpts, logger *log.Logger) error {
 	case "nameserver":
 		return serve(o, nwsnet.NewNameServerTTL(o.ttl), logger)
 	case "memory":
-		if o.stateDir != "" {
-			pm, err := nwsnet.NewPersistentMemory(o.capacity, o.stateDir)
-			if err != nil {
-				return err
-			}
-			defer pm.Close()
-			logger.Printf("durable memory in %s", o.stateDir)
-			return serve(o, pm, logger)
-		}
-		return serve(o, nwsnet.NewMemory(o.capacity), logger)
+		return runMemory(o, logger)
 	case "forecaster":
 		if o.memory == "" {
 			return fmt.Errorf("forecaster needs -memory")
 		}
-		return serve(o, nwsnet.NewForecasterService(o.memory, 0), logger)
+		return serve(o, nwsnet.NewForecasterServiceReplicas(memoryAddrs(o), 0), logger)
 	case "reflector":
 		r := netsensor.NewReflector()
 		addr, err := r.Listen(o.listen)
@@ -139,6 +148,136 @@ func run(o daemonOpts, logger *log.Logger) error {
 	default:
 		return fmt.Errorf("unknown -role %q", o.role)
 	}
+}
+
+// memoryAddrs splits the -memory flag into a replica address list.
+func memoryAddrs(o daemonOpts) []string {
+	var addrs []string
+	for _, a := range strings.Split(o.memory, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// replicaListen derives the listen address for replica i from the base
+// -listen flag: an explicit port yields consecutive ports (:8091, :8092,
+// ...); port 0 lets every replica bind an ephemeral port.
+func replicaListen(base string, i int) (string, error) {
+	if i == 0 {
+		return base, nil
+	}
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return "", fmt.Errorf("-listen %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("-listen %q: non-numeric port with -replicas: %w", base, err)
+	}
+	if port == 0 {
+		return base, nil
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+i)), nil
+}
+
+// runMemory serves one or more memory replicas. With -replicas N > 1 each
+// replica gets its own store (and, when durable, its own subdirectory of
+// -statedir) and the whole set is registered with the name server under the
+// single logical name "memory" so clients resolve every endpoint at once.
+func runMemory(o daemonOpts, logger *log.Logger) error {
+	n := o.replicas
+	if n < 1 {
+		n = 1
+	}
+	addrs := make([]string, 0, n)
+	var srvs []*nwsnet.Server
+	var stores []io.Closer
+	defer func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+		for _, c := range stores {
+			c.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		var h nwsnet.Handler
+		if o.stateDir != "" {
+			dir := o.stateDir
+			if n > 1 {
+				dir = filepath.Join(o.stateDir, fmt.Sprintf("replica%d", i))
+			}
+			pm, err := nwsnet.NewPersistentMemory(o.capacity, dir)
+			if err != nil {
+				return err
+			}
+			stores = append(stores, pm)
+			logger.Printf("durable memory in %s", dir)
+			h = pm
+		} else {
+			h = nwsnet.NewMemory(o.capacity)
+		}
+		listen, err := replicaListen(o.listen, i)
+		if err != nil {
+			return err
+		}
+		srv := nwsnet.NewServer(h, logger)
+		addr, err := srv.Listen(listen)
+		if err != nil {
+			return err
+		}
+		srvs = append(srvs, srv)
+		addrs = append(addrs, addr)
+		logger.Printf("memory replica %d/%d listening on %s", i+1, n, addr)
+	}
+	o.note("memory", addrs[0])
+	for i, addr := range addrs[1:] {
+		o.note(fmt.Sprintf("memory%d", i+1), addr)
+	}
+	if o.nameserver != "" {
+		c := nwsnet.NewClient(0)
+		defer c.Close()
+		reg := nwsnet.Registration{
+			Name: "memory", Kind: nwsnet.KindMemory, Addr: addrs[0], Addrs: addrs,
+		}
+		if err := c.Register(o.nameserver, reg); err != nil {
+			return fmt.Errorf("registering with name server: %w", err)
+		}
+		logger.Printf("registered %d-replica memory group with %s", n, o.nameserver)
+		// Keep the registration alive against a TTL name server by
+		// re-registering every -period, like the sensor heartbeat.
+		period := o.period
+		if period <= 0 {
+			period = 10 * time.Second
+		}
+		heartbeatDone := make(chan struct{})
+		defer close(heartbeatDone)
+		go func() {
+			ticker := time.NewTicker(period)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-heartbeatDone:
+					return
+				case <-ticker.C:
+					if err := c.Register(o.nameserver, reg); err != nil {
+						logger.Printf("heartbeat failed: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	waitForStop(o)
+	var first error
+	for _, s := range srvs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	srvs = nil
+	return first
 }
 
 func serve(o daemonOpts, h nwsnet.Handler, logger *log.Logger) error {
@@ -184,7 +323,8 @@ func runSensor(o daemonOpts, logger *log.Logger) error {
 		host = ph
 	}
 
-	daemon := nwsnet.NewSensorDaemon(hostName, host, memory, sensors.HybridConfig{})
+	memAddrs := memoryAddrs(o)
+	daemon := nwsnet.NewSensorDaemonReplicas(hostName, host, memAddrs, 0, sensors.HybridConfig{})
 	daemon.SetLogger(logger)
 	defer daemon.Close()
 
@@ -197,7 +337,7 @@ func runSensor(o daemonOpts, logger *log.Logger) error {
 		defer lat.Close()
 		bw = netsensor.NewBandwidthSensor(o.reflector, 0, 0)
 		defer bw.Close()
-		netConn = nwsnet.NewConn(memory, 0)
+		netConn = nwsnet.NewConn(memAddrs[0], 0)
 		defer netConn.Close()
 		logger.Printf("probing network against %s", o.reflector)
 	}

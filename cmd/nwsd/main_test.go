@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"log"
 	"testing"
@@ -31,6 +32,88 @@ func TestMemoryRoleBadStateDir(t *testing.T) {
 	o := daemonOpts{role: "memory", stateDir: "/proc/definitely/not/writable", listen: "127.0.0.1:0"}
 	if err := run(o, quietLogger()); err == nil {
 		t.Fatal("unwritable state dir accepted")
+	}
+}
+
+func TestReplicaListen(t *testing.T) {
+	cases := []struct {
+		base string
+		i    int
+		want string
+	}{
+		{"127.0.0.1:8091", 0, "127.0.0.1:8091"},
+		{"127.0.0.1:8091", 2, "127.0.0.1:8093"},
+		{":8091", 1, ":8092"},
+		{"127.0.0.1:0", 3, "127.0.0.1:0"}, // ephemeral stays ephemeral
+	}
+	for _, c := range cases {
+		got, err := replicaListen(c.base, c.i)
+		if err != nil || got != c.want {
+			t.Errorf("replicaListen(%q, %d) = %q, %v; want %q", c.base, c.i, got, err, c.want)
+		}
+	}
+	if _, err := replicaListen("no-port", 1); err == nil {
+		t.Error("portless base accepted for a second replica")
+	}
+}
+
+func TestMemoryReplicasRole(t *testing.T) {
+	ns := nwsnet.NewServer(nwsnet.NewNameServer(), nil)
+	nsAddr, err := ns.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	stop := make(chan struct{})
+	bound := make(chan string, 4)
+	o := daemonOpts{
+		role: "memory", listen: "127.0.0.1:0", replicas: 3, nameserver: nsAddr,
+		stop:   stop,
+		notify: func(component, addr string) { bound <- addr },
+	}
+	done := make(chan error, 1)
+	go func() { done <- run(o, quietLogger()) }()
+
+	addrs := make([]string, 3)
+	for i := range addrs {
+		select {
+		case addrs[i] = <-bound:
+		case <-time.After(5 * time.Second):
+			t.Fatal("replica did not report a bound address")
+		}
+	}
+
+	c := nwsnet.NewClient(time.Second)
+	defer c.Close()
+	for _, addr := range addrs {
+		if err := c.Ping(addr); err != nil {
+			t.Fatalf("replica %s: %v", addr, err)
+		}
+	}
+	// The whole set must be resolvable as one logical endpoint.
+	reg, err := c.Lookup(nsAddr, "memory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Kind != nwsnet.KindMemory || len(reg.Endpoints()) != 3 {
+		t.Fatalf("registered group = %+v", reg)
+	}
+	// Writes through the resolved group reach every replica.
+	g := nwsnet.NewReplicaGroup(c, reg.Endpoints(), 0)
+	if err := g.Store(context.Background(), "k", [][2]float64{{1, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range addrs {
+		pts, err := c.Fetch(addr, "k", 0, 0, 0)
+		if err != nil || len(pts) != 1 {
+			t.Fatalf("replica %s after group store: %v, %v", addr, pts, err)
+		}
+	}
+
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
 	}
 }
 

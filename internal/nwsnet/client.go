@@ -1,14 +1,21 @@
 package nwsnet
 
 import (
+	"bufio"
+	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net"
+	"sync"
 	"time"
+
+	"nwscpu/internal/resilience"
 )
 
 // observeCall records one outbound protocol call in the client metrics.
 func observeCall(op Op, t0 time.Time, err error) {
-	o := string(op)
+	o := opLabel(op)
 	mClientCalls.With(o).Inc()
 	mClientLatency.With(o).ObserveSince(t0)
 	if err != nil {
@@ -16,50 +23,206 @@ func observeCall(op Op, t0 time.Time, err error) {
 	}
 }
 
-// Client performs protocol calls against nwsnet servers. The zero value is
-// not usable; create clients with NewClient.
+// ClientOptions configures a Client. The zero value selects the defaults
+// noted on each field.
+type ClientOptions struct {
+	// Timeout bounds each call attempt — dial plus exchange (0 selects 5 s).
+	// A context deadline tighter than this wins; see the *Ctx methods.
+	Timeout time.Duration
+	// Retry governs how transient failures are retried. The zero value
+	// selects the resilience defaults: 3 attempts, 50 ms base backoff
+	// doubling to a 2 s cap. Protocol-level errors — the server answered,
+	// rejecting the request — are terminal and never retried.
+	Retry resilience.Policy
+	// MaxIdlePerAddr bounds pooled connections parked per server address
+	// (0 selects 2; negative disables reuse — every call dials afresh).
+	MaxIdlePerAddr int
+	// MaxActivePerAddr bounds in-flight connections per server address;
+	// calls beyond it wait (0 = unlimited).
+	MaxActivePerAddr int
+	// IdleTimeout reaps pooled connections parked longer than this
+	// (0 selects 90 s; negative disables reaping).
+	IdleTimeout time.Duration
+}
+
+// Client performs protocol calls against nwsnet servers. Connections are
+// pooled per address and reused across calls; transient failures (dial
+// errors, connections dying mid-exchange) are retried under the client's
+// retry policy. The zero value is not usable; create clients with NewClient
+// or NewClientOptions.
 type Client struct {
-	timeout time.Duration
+	timeout     time.Duration
+	retry       resilience.Policy
+	maxIdle     int
+	maxActive   int
+	idleTimeout time.Duration
+
+	mu    sync.Mutex
+	pools map[string]*resilience.Pool
 }
 
-// NewClient returns a client whose calls time out after the given duration
-// (0 selects 5 s).
+// NewClient returns a client whose call attempts time out after the given
+// duration (0 selects 5 s), with default pooling and retry behavior.
 func NewClient(timeout time.Duration) *Client {
-	if timeout <= 0 {
-		timeout = 5 * time.Second
-	}
-	return &Client{timeout: timeout}
+	return NewClientOptions(ClientOptions{Timeout: timeout})
 }
 
-// do performs a call and converts protocol-level errors to Go errors.
-func (c *Client) do(addr string, req Request) (resp Response, err error) {
-	t0 := time.Now()
-	defer func() { observeCall(req.Op, t0, err) }()
-	resp, err = call(addr, c.timeout, req)
+// NewClientOptions returns a client configured by o.
+func NewClientOptions(o ClientOptions) *Client {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 90 * time.Second
+	} else if o.IdleTimeout < 0 {
+		o.IdleTimeout = 0
+	}
+	return &Client{
+		timeout:     o.Timeout,
+		retry:       o.Retry,
+		maxIdle:     o.MaxIdlePerAddr,
+		maxActive:   o.MaxActivePerAddr,
+		idleTimeout: o.IdleTimeout,
+		pools:       make(map[string]*resilience.Pool),
+	}
+}
+
+// poolConn is one pooled protocol connection.
+type poolConn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func (pc *poolConn) Close() error { return pc.c.Close() }
+
+// pool returns (creating on first use) the connection pool for addr.
+func (c *Client) pool(addr string) *resilience.Pool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.pools[addr]
+	if p == nil {
+		p = resilience.NewPool(resilience.PoolConfig{
+			Dial: func(ctx context.Context) (io.Closer, error) {
+				d := net.Dialer{Timeout: c.timeout}
+				nc, err := d.DialContext(ctx, "tcp", addr)
+				if err != nil {
+					return nil, fmt.Errorf("nwsnet: dial %s: %w", addr, err)
+				}
+				return &poolConn{c: nc, r: bufio.NewReaderSize(nc, 64<<10), w: bufio.NewWriter(nc)}, nil
+			},
+			MaxIdle:     c.maxIdle,
+			MaxActive:   c.maxActive,
+			IdleTimeout: c.idleTimeout,
+			OnChange: func(idle, active int) {
+				mPoolIdle.With(addr).Set(float64(idle))
+				mPoolActive.With(addr).Set(float64(active))
+			},
+		})
+		c.pools[addr] = p
+	}
+	return p
+}
+
+// Close releases every pooled connection. The client remains usable; later
+// calls dial fresh pools.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	pools := c.pools
+	c.pools = make(map[string]*resilience.Pool)
+	c.mu.Unlock()
+	for _, p := range pools {
+		p.Close()
+	}
+	return nil
+}
+
+// exchange performs one request/response attempt on a pooled connection.
+// Transport failures discard the connection; a successful exchange parks it
+// for reuse.
+func (c *Client) exchange(ctx context.Context, addr string, req Request) (Response, error) {
+	pl := c.pool(addr)
+	got, err := pl.Get(ctx)
 	if err != nil {
 		return Response{}, err
 	}
-	if resp.Error != "" {
-		return Response{}, errors.New(resp.Error)
+	pc := got.(*poolConn)
+	deadline := time.Now().Add(c.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := pc.c.SetDeadline(deadline); err != nil {
+		pl.Put(pc, false)
+		return Response{}, err
+	}
+	if err := writeMsg(pc.w, req); err != nil {
+		pl.Put(pc, false)
+		return Response{}, fmt.Errorf("nwsnet: send to %s: %w", addr, err)
+	}
+	var resp Response
+	if err := readMsg(pc.r, &resp); err != nil {
+		pl.Put(pc, false)
+		return Response{}, fmt.Errorf("nwsnet: receive from %s: %w", addr, err)
+	}
+	pl.Put(pc, true)
+	return resp, nil
+}
+
+// do performs a call under the retry policy and converts protocol-level
+// errors to Go errors. Protocol errors (the server answered, rejecting the
+// request) are terminal; transport errors are retried with backoff until
+// the policy or ctx gives up.
+func (c *Client) do(ctx context.Context, addr string, req Request) (resp Response, err error) {
+	t0 := time.Now()
+	defer func() { observeCall(req.Op, t0, err) }()
+	policy := c.retry
+	op := opLabel(req.Op)
+	policy.OnRetry = func(int, time.Duration, error) { mClientRetries.With(op).Inc() }
+	err = policy.Do(ctx, func(ctx context.Context) error {
+		r, e := c.exchange(ctx, addr, req)
+		if e != nil {
+			return e
+		}
+		if r.Error != "" {
+			return resilience.Permanent(errors.New(r.Error))
+		}
+		resp = r
+		return nil
+	})
+	if err != nil {
+		return Response{}, err
 	}
 	return resp, nil
 }
 
 // Ping checks a component is alive.
-func (c *Client) Ping(addr string) error {
-	_, err := c.do(addr, Request{Op: OpPing})
+func (c *Client) Ping(addr string) error { return c.PingCtx(context.Background(), addr) }
+
+// PingCtx is Ping honoring a caller context for cancellation/deadline.
+func (c *Client) PingCtx(ctx context.Context, addr string) error {
+	_, err := c.do(ctx, addr, Request{Op: OpPing})
 	return err
 }
 
 // Register announces a component to the name server at nsAddr.
 func (c *Client) Register(nsAddr string, reg Registration) error {
-	_, err := c.do(nsAddr, Request{Op: OpRegister, Reg: reg})
+	return c.RegisterCtx(context.Background(), nsAddr, reg)
+}
+
+// RegisterCtx is Register honoring a caller context.
+func (c *Client) RegisterCtx(ctx context.Context, nsAddr string, reg Registration) error {
+	_, err := c.do(ctx, nsAddr, Request{Op: OpRegister, Reg: reg})
 	return err
 }
 
 // Lookup resolves a component name at the name server.
 func (c *Client) Lookup(nsAddr, name string) (Registration, error) {
-	resp, err := c.do(nsAddr, Request{Op: OpLookup, Reg: Registration{Name: name}})
+	return c.LookupCtx(context.Background(), nsAddr, name)
+}
+
+// LookupCtx is Lookup honoring a caller context.
+func (c *Client) LookupCtx(ctx context.Context, nsAddr, name string) (Registration, error) {
+	resp, err := c.do(ctx, nsAddr, Request{Op: OpLookup, Reg: Registration{Name: name}})
 	if err != nil {
 		return Registration{}, err
 	}
@@ -71,7 +234,12 @@ func (c *Client) Lookup(nsAddr, name string) (Registration, error) {
 
 // List enumerates components of the given kind ("" for all).
 func (c *Client) List(nsAddr string, kind Kind) ([]Registration, error) {
-	resp, err := c.do(nsAddr, Request{Op: OpList, Reg: Registration{Kind: kind}})
+	return c.ListCtx(context.Background(), nsAddr, kind)
+}
+
+// ListCtx is List honoring a caller context.
+func (c *Client) ListCtx(ctx context.Context, nsAddr string, kind Kind) ([]Registration, error) {
+	resp, err := c.do(ctx, nsAddr, Request{Op: OpList, Reg: Registration{Kind: kind}})
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +248,12 @@ func (c *Client) List(nsAddr string, kind Kind) ([]Registration, error) {
 
 // Store appends points ([t, v] pairs) to a series on the memory server.
 func (c *Client) Store(memAddr, key string, points [][2]float64) error {
-	_, err := c.do(memAddr, Request{Op: OpStore, Series: key, Points: points})
+	return c.StoreCtx(context.Background(), memAddr, key, points)
+}
+
+// StoreCtx is Store honoring a caller context.
+func (c *Client) StoreCtx(ctx context.Context, memAddr, key string, points [][2]float64) error {
+	_, err := c.do(ctx, memAddr, Request{Op: OpStore, Series: key, Points: points})
 	return err
 }
 
@@ -88,7 +261,12 @@ func (c *Client) Store(memAddr, key string, points [][2]float64) error {
 // "through the latest point"), limited to the most recent max points when
 // max > 0.
 func (c *Client) Fetch(memAddr, key string, from, to float64, max int) ([][2]float64, error) {
-	resp, err := c.do(memAddr, Request{Op: OpFetch, Series: key, From: from, To: to, Max: max})
+	return c.FetchCtx(context.Background(), memAddr, key, from, to, max)
+}
+
+// FetchCtx is Fetch honoring a caller context.
+func (c *Client) FetchCtx(ctx context.Context, memAddr, key string, from, to float64, max int) ([][2]float64, error) {
+	resp, err := c.do(ctx, memAddr, Request{Op: OpFetch, Series: key, From: from, To: to, Max: max})
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +275,12 @@ func (c *Client) Fetch(memAddr, key string, from, to float64, max int) ([][2]flo
 
 // Series lists the series keys a memory server holds.
 func (c *Client) Series(memAddr string) ([]string, error) {
-	resp, err := c.do(memAddr, Request{Op: OpSeries})
+	return c.SeriesCtx(context.Background(), memAddr)
+}
+
+// SeriesCtx is Series honoring a caller context.
+func (c *Client) SeriesCtx(ctx context.Context, memAddr string) ([]string, error) {
+	resp, err := c.do(ctx, memAddr, Request{Op: OpSeries})
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +290,12 @@ func (c *Client) Series(memAddr string) ([]string, error) {
 // Forecast asks a forecaster service for the one-step-ahead prediction of a
 // series.
 func (c *Client) Forecast(fcAddr, key string) (ForecastResult, error) {
-	resp, err := c.do(fcAddr, Request{Op: OpForecast, Series: key})
+	return c.ForecastCtx(context.Background(), fcAddr, key)
+}
+
+// ForecastCtx is Forecast honoring a caller context.
+func (c *Client) ForecastCtx(ctx context.Context, fcAddr, key string) (ForecastResult, error) {
+	resp, err := c.do(ctx, fcAddr, Request{Op: OpForecast, Series: key})
 	if err != nil {
 		return ForecastResult{}, err
 	}

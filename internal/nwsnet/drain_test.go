@@ -1,0 +1,127 @@
+package nwsnet
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// slowHandler answers every request after a fixed delay.
+type slowHandler struct{ delay time.Duration }
+
+func (h slowHandler) Handle(req Request) Response {
+	time.Sleep(h.delay)
+	return Response{}
+}
+
+func TestServerCloseDrainsInFlightRequests(t *testing.T) {
+	srv := NewServer(slowHandler{delay: 200 * time.Millisecond}, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One raw connection with a request in flight: no client-side retry can
+	// mask an aborted exchange.
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if err := writeMsg(bw, Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second, idle connection must not hold the drain open.
+	idle, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	time.Sleep(50 * time.Millisecond) // let the handler start
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- srv.Close() }()
+
+	// The in-flight request must complete with a real response, not an
+	// aborted connection.
+	var resp Response
+	if err := readMsg(br, &resp); err != nil {
+		t.Fatalf("in-flight request aborted by Close: %v", err)
+	}
+	if !resp.OK {
+		t.Fatalf("drained response = %+v", resp)
+	}
+	select {
+	case err := <-closeDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not return after draining")
+	}
+}
+
+func TestClientContextCancelsCall(t *testing.T) {
+	srv := NewServer(slowHandler{delay: time.Second}, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewClient(10 * time.Second) // the context, not the timeout, must cut this short
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	if err := c.PingCtx(ctx, addr); err == nil {
+		t.Fatal("call outlived its context")
+	}
+	if d := time.Since(t0); d > 700*time.Millisecond {
+		t.Fatalf("cancellation took %v", d)
+	}
+}
+
+func TestClientDefaultTimeoutStillApplies(t *testing.T) {
+	srv := NewServer(slowHandler{delay: time.Second}, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// No context given: the constructor timeout is the only bound, as
+	// before. With retries disabled the deadline error surfaces directly.
+	c := NewClientOptions(ClientOptions{Timeout: 80 * time.Millisecond})
+	t0 := time.Now()
+	if err := c.Ping(addr); err == nil {
+		t.Fatal("call outlived the configured timeout")
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Fatalf("timeout took %v", d)
+	}
+}
+
+func TestClientPoolsConnections(t *testing.T) {
+	m := NewMemory(0)
+	addr := startServer(t, m)
+	conns0 := mServerConnsTotal.Value()
+	c := NewClient(time.Second)
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		if err := c.Store(addr, "p", [][2]float64{{float64(i), 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mServerConnsTotal.Value() - conns0; got != 1 {
+		t.Fatalf("20 sequential calls used %d connections, want 1 pooled", got)
+	}
+	if m.Len("p") != 20 {
+		t.Fatalf("stored %d points, want 20", m.Len("p"))
+	}
+}

@@ -1,18 +1,22 @@
 package nwsnet
 
 import (
+	"context"
 	"sync"
 	"time"
 
 	"nwscpu/internal/forecast"
+	"nwscpu/internal/resilience"
 )
 
 // ForecasterService answers forecast queries: for each requested series it
 // keeps an incremental forecasting engine fed from the memory server, so
-// repeated queries only transfer the new points.
+// repeated queries only transfer the new points. With a replicated memory
+// group, fetches fail over to the next healthy replica, so one dead memory
+// server costs a query at most one extra attempt.
 type ForecasterService struct {
-	memoryAddr string
-	timeout    time.Duration
+	group   *ReplicaGroup
+	timeout time.Duration
 
 	mu      sync.Mutex
 	engines map[string]*engineState
@@ -26,15 +30,31 @@ type engineState struct {
 // NewForecasterService returns a forecaster pulling from the memory server
 // at memoryAddr. timeout bounds each memory call (0 selects 5 s).
 func NewForecasterService(memoryAddr string, timeout time.Duration) *ForecasterService {
+	return NewForecasterServiceReplicas([]string{memoryAddr}, timeout)
+}
+
+// NewForecasterServiceReplicas returns a forecaster pulling from a
+// replicated memory group, reads failing over in replica-health order.
+// timeout bounds each memory call attempt (0 selects 5 s).
+func NewForecasterServiceReplicas(memAddrs []string, timeout time.Duration) *ForecasterService {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
+	client := NewClientOptions(ClientOptions{
+		Timeout: timeout,
+		// One in-call retry per replica; replica failover is the main
+		// recovery path for reads.
+		Retry: resilience.Policy{MaxAttempts: 2, BaseDelay: 25 * time.Millisecond},
+	})
 	return &ForecasterService{
-		memoryAddr: memoryAddr,
-		timeout:    timeout,
-		engines:    make(map[string]*engineState),
+		group:   NewReplicaGroup(client, memAddrs, 0),
+		timeout: timeout,
+		engines: make(map[string]*engineState),
 	}
 }
+
+// Replicas reports the health of the forecaster's memory replica group.
+func (f *ForecasterService) Replicas() []ReplicaHealth { return f.group.Health() }
 
 // Handle implements Handler.
 func (f *ForecasterService) Handle(req Request) Response {
@@ -71,24 +91,20 @@ func (f *ForecasterService) handleForecast(key string) Response {
 	}
 	f.mu.Unlock()
 
-	// Pull only points newer than what the engine has consumed.
-	resp, err := call(f.memoryAddr, f.timeout, Request{
-		Op:     OpFetch,
-		Series: key,
-		From:   nextAfter(st.lastT),
-	})
+	// Pull only points newer than what the engine has consumed. The group
+	// fails over across replicas; the deadline bounds the whole read.
+	ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+	defer cancel()
+	points, err := f.group.Fetch(ctx, key, nextAfter(st.lastT), 0, 0)
 	if err != nil {
 		return errResp("forecast: memory fetch: %v", err)
-	}
-	if resp.Error != "" {
-		return errResp("forecast: memory: %s", resp.Error)
 	}
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	tEng := time.Now()
 	pulled := 0
-	for _, tv := range resp.Points {
+	for _, tv := range points {
 		if tv[0] <= st.lastT {
 			continue
 		}

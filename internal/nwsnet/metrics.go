@@ -32,6 +32,29 @@ var (
 	mClientLatency = metrics.NewHistogramVec(
 		"nws_client_call_seconds",
 		"Outbound protocol call latency in seconds, by operation.", nil, "op")
+	mClientRetries = metrics.NewCounterVec(
+		"nws_client_retries_total",
+		"Outbound protocol call attempts retried after a transient failure, by operation.", "op")
+
+	// Connection pools (one per dialed server address; addresses come from
+	// local configuration, so the label set is bounded).
+	mPoolIdle = metrics.NewGaugeVec(
+		"nws_client_pool_idle_connections",
+		"Pooled protocol connections parked for reuse, by server address.", "addr")
+	mPoolActive = metrics.NewGaugeVec(
+		"nws_client_pool_active_connections",
+		"Pooled protocol connections currently checked out, by server address.", "addr")
+
+	// Replica groups.
+	mReplicaHealthy = metrics.NewGaugeVec(
+		"nws_replica_healthy",
+		"Replica health as observed by this process (1 healthy, 0 failed), by replica address.", "addr")
+	mReplicaFailovers = metrics.NewCounter(
+		"nws_replica_failovers_total",
+		"Replicated reads served by a lower-preference replica after an earlier one failed.")
+	mReplicaQuorumFailures = metrics.NewCounter(
+		"nws_replica_quorum_failures_total",
+		"Replicated writes that did not reach their quorum.")
 
 	// Memory server.
 	mMemoryRequests = metrics.NewCounterVec(
@@ -55,6 +78,9 @@ var (
 	mMemorySeries = metrics.NewGauge(
 		"nws_memory_series",
 		"Series currently stored.")
+	mMemoryCompactions = metrics.NewCounter(
+		"nws_memory_log_compactions_total",
+		"Durable per-series logs rewritten to drop points beyond the circular capacity.")
 
 	// Name server.
 	mNSRegistrations = metrics.NewCounter(

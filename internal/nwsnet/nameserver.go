@@ -62,8 +62,8 @@ func (ns *NameServer) Handle(req Request) Response {
 	case OpPing:
 		return Response{}
 	case OpRegister:
-		if req.Reg.Name == "" || req.Reg.Addr == "" || req.Reg.Kind == "" {
-			return errResp("register requires name, kind and addr")
+		if req.Reg.Name == "" || req.Reg.Kind == "" || len(req.Reg.Endpoints()) == 0 {
+			return errResp("register requires name, kind and addr (or addrs)")
 		}
 		ns.mu.Lock()
 		ns.entries[req.Reg.Name] = nsEntry{reg: req.Reg, seen: ns.now()}

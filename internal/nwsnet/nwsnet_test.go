@@ -1,7 +1,9 @@
 package nwsnet
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -52,7 +54,7 @@ func TestNameServerRegisterLookupList(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != reg {
+	if !reflect.DeepEqual(got, reg) {
 		t.Fatalf("Lookup = %+v, want %+v", got, reg)
 	}
 
@@ -86,10 +88,11 @@ func TestNameServerValidation(t *testing.T) {
 	if err := c.Register(addr, Registration{Name: "x"}); err == nil {
 		t.Fatal("incomplete registration accepted")
 	}
-	if _, err := c.do(addr, Request{Op: OpLookup}); err == nil {
+	ctx := context.Background()
+	if _, err := c.do(ctx, addr, Request{Op: OpLookup}); err == nil {
 		t.Fatal("empty lookup accepted")
 	}
-	if _, err := c.do(addr, Request{Op: OpStore}); err == nil {
+	if _, err := c.do(ctx, addr, Request{Op: OpStore}); err == nil {
 		t.Fatal("wrong op accepted by name server")
 	}
 }

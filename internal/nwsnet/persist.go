@@ -19,9 +19,10 @@ type PersistentMemory struct {
 	*Memory
 	dir string
 
-	mu    sync.Mutex
-	files map[string]*bufio.Writer
-	fds   map[string]*os.File
+	mu     sync.Mutex
+	files  map[string]*bufio.Writer
+	fds    map[string]*os.File
+	counts map[string]int // log lines per series, to trigger compaction
 }
 
 // NewPersistentMemory opens (creating if needed) a memory rooted at dir with
@@ -35,6 +36,7 @@ func NewPersistentMemory(capacity int, dir string) (*PersistentMemory, error) {
 		dir:    dir,
 		files:  make(map[string]*bufio.Writer),
 		fds:    make(map[string]*os.File),
+		counts: make(map[string]int),
 	}
 	if err := pm.replay(); err != nil {
 		return nil, err
@@ -72,6 +74,7 @@ func (pm *PersistentMemory) replay() error {
 		if resp.Error != "" {
 			return fmt.Errorf("nwsnet: replaying %q: %s", key, resp.Error)
 		}
+		pm.counts[key] = len(pts)
 	}
 	return nil
 }
@@ -142,7 +145,17 @@ func (pm *PersistentMemory) append(key string, pts [][2]float64) error {
 			return err
 		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// Compaction: the in-memory series is capped at capacity points, but
+	// the append log would otherwise grow forever. Once a log holds more
+	// than twice the retained points, rewrite it to just the live window.
+	pm.counts[key] += len(pts)
+	if pm.counts[key] > 2*pm.capacity {
+		return pm.compactLocked(key)
+	}
+	return nil
 }
 
 // Close flushes and closes all log files.
@@ -165,14 +178,19 @@ func (pm *PersistentMemory) Close() error {
 
 // Compact rewrites a series' log to contain only the currently retained
 // points (the in-memory circular bound discards old ones; the log otherwise
-// grows without limit).
+// grows without limit). Appends trigger it automatically once a log exceeds
+// twice the series capacity; calling it directly is also safe.
 func (pm *PersistentMemory) Compact(key string) error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.compactLocked(key)
+}
+
+func (pm *PersistentMemory) compactLocked(key string) error {
 	resp := pm.Memory.Handle(Request{Op: OpFetch, Series: key})
 	if resp.Error != "" {
 		return fmt.Errorf("nwsnet: compact: %s", resp.Error)
 	}
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
 	if w := pm.files[key]; w != nil {
 		w.Flush()
 		pm.fds[key].Close()
@@ -197,7 +215,12 @@ func (pm *PersistentMemory) Compact(key string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, pm.logPath(key))
+	if err := os.Rename(tmp, pm.logPath(key)); err != nil {
+		return err
+	}
+	pm.counts[key] = len(resp.Points)
+	mMemoryCompactions.Inc()
+	return nil
 }
 
 var _ Handler = (*PersistentMemory)(nil)

@@ -125,6 +125,62 @@ func TestPersistentMemoryCompact(t *testing.T) {
 	}
 }
 
+func TestPersistentMemoryAutoCompaction(t *testing.T) {
+	comp0 := mMemoryCompactions.Value()
+	dir := t.TempDir()
+	const capacity = 10
+	pm, err := NewPersistentMemory(capacity, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 25 single-point appends: the log would hold 25 lines, which exceeds
+	// 2 x capacity = 20, so compaction must have fired along the way.
+	for i := 0; i < 25; i++ {
+		resp := pm.Handle(Request{Op: OpStore, Series: "k",
+			Points: [][2]float64{{float64(i), float64(i) / 25}}})
+		if resp.Error != "" {
+			t.Fatal(resp.Error)
+		}
+	}
+	if got := mMemoryCompactions.Value() - comp0; got != 1 {
+		t.Errorf("compactions delta = %d, want 1", got)
+	}
+	logPts, err := readLog(pm.logPath("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logPts) > 2*capacity {
+		t.Fatalf("log holds %d points after auto-compaction, want <= %d", len(logPts), 2*capacity)
+	}
+
+	// A restart after compaction must replay exactly the retained window.
+	want := pm.Handle(Request{Op: OpFetch, Series: "k"}).Points
+	if err := pm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pm2, err := NewPersistentMemory(capacity, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pm2.Close()
+	got := pm2.Handle(Request{Op: OpFetch, Series: "k"}).Points
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed point %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// And appending on the restarted memory keeps working and counting
+	// toward the next compaction.
+	resp := pm2.Handle(Request{Op: OpStore, Series: "k", Points: [][2]float64{{100, 1}}})
+	if resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+}
+
 func TestPersistentMemoryKeyEscaping(t *testing.T) {
 	dir := t.TempDir()
 	pm, err := NewPersistentMemory(0, dir)

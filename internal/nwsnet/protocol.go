@@ -68,6 +68,23 @@ type Registration struct {
 	Name string `json:"name"`
 	Kind Kind   `json:"kind"`
 	Addr string `json:"addr"`
+	// Addrs, when non-empty, lists every replica behind this logical
+	// component (by convention Addr repeats the first entry so old clients
+	// keep working). Clients turn a replicated registration into a
+	// ReplicaGroup; see docs/ARCHITECTURE.md, "Resilience".
+	Addrs []string `json:"addrs,omitempty"`
+}
+
+// Endpoints returns the addresses behind the registration: the replica set
+// when one was registered, else the single Addr.
+func (r Registration) Endpoints() []string {
+	if len(r.Addrs) > 0 {
+		return r.Addrs
+	}
+	if r.Addr == "" {
+		return nil
+	}
+	return []string{r.Addr}
 }
 
 // Request is the client-to-server message.

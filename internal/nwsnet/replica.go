@@ -1,0 +1,288 @@
+package nwsnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nwscpu/internal/resilience"
+)
+
+// ReplicaGroup presents N memory servers as one logical endpoint, the
+// fault-tolerance unit of the distributed NWS:
+//
+//   - Writes fan out to every replica in configuration order; the write
+//     succeeds once at least Quorum replicas acknowledge it (default: a
+//     majority). Replicas that missed a quorum write are marked unhealthy,
+//     which demotes them in the read order until they acknowledge again.
+//   - Reads try replicas healthy-first (configuration order breaks ties)
+//     and fail over to the next on transport failure, so a dead replica
+//     costs one extra attempt, not an outage.
+//
+// There is no read repair or anti-entropy: a replica that misses writes
+// diverges until the writer (sensord's store-and-forward backlog) re-stores
+// through it or it falls off the healthy list. Health is per-process
+// observation, exported through nws_replica_healthy.
+//
+// A group of one behaves exactly like a direct client, so every caller
+// takes the replicated path unconditionally.
+type ReplicaGroup struct {
+	client *Client
+	quorum int
+
+	mu       sync.Mutex
+	replicas []*replicaState
+}
+
+type replicaState struct {
+	addr    string
+	healthy bool
+}
+
+// ReplicaHealth is one replica's last observed state.
+type ReplicaHealth struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+}
+
+// NewReplicaGroup groups the memory servers at addrs behind client (nil
+// selects a default client). quorum <= 0 selects a majority; quorums larger
+// than the group clamp to all replicas. Replicas start healthy.
+func NewReplicaGroup(client *Client, addrs []string, quorum int) *ReplicaGroup {
+	if client == nil {
+		client = NewClient(0)
+	}
+	g := &ReplicaGroup{client: client}
+	for _, a := range addrs {
+		g.replicas = append(g.replicas, &replicaState{addr: a, healthy: true})
+		mReplicaHealthy.With(a).Set(1)
+	}
+	if quorum <= 0 {
+		quorum = len(addrs)/2 + 1
+	}
+	if quorum > len(addrs) {
+		quorum = len(addrs)
+	}
+	g.quorum = quorum
+	return g
+}
+
+// Addrs returns the replica addresses in configuration order.
+func (g *ReplicaGroup) Addrs() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, len(g.replicas))
+	for i, r := range g.replicas {
+		out[i] = r.addr
+	}
+	return out
+}
+
+// Quorum returns the write quorum.
+func (g *ReplicaGroup) Quorum() int { return g.quorum }
+
+// Client returns the protocol client the group calls through.
+func (g *ReplicaGroup) Client() *Client { return g.client }
+
+// mark records one observation of a replica's health.
+func (g *ReplicaGroup) mark(r *replicaState, ok bool) {
+	g.mu.Lock()
+	r.healthy = ok
+	g.mu.Unlock()
+	v := 0.0
+	if ok {
+		v = 1
+	}
+	mReplicaHealthy.With(r.addr).Set(v)
+}
+
+// snapshot returns the replicas in configuration order.
+func (g *ReplicaGroup) snapshot() []*replicaState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*replicaState(nil), g.replicas...)
+}
+
+// ordered returns the replicas healthy-first, preserving configuration
+// order within each class — the read failover order.
+func (g *ReplicaGroup) ordered() []*replicaState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*replicaState, 0, len(g.replicas))
+	for _, r := range g.replicas {
+		if r.healthy {
+			out = append(out, r)
+		}
+	}
+	for _, r := range g.replicas {
+		if !r.healthy {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Health reports the last observed state of every replica, in
+// configuration order.
+func (g *ReplicaGroup) Health() []ReplicaHealth {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]ReplicaHealth, len(g.replicas))
+	for i, r := range g.replicas {
+		out[i] = ReplicaHealth{Addr: r.addr, Healthy: r.healthy}
+	}
+	return out
+}
+
+// CheckHealth pings every replica, refreshing the health states it returns.
+func (g *ReplicaGroup) CheckHealth(ctx context.Context) []ReplicaHealth {
+	for _, r := range g.snapshot() {
+		g.mark(r, g.client.PingCtx(ctx, r.addr) == nil)
+	}
+	return g.Health()
+}
+
+// Store fans the points out to every replica and succeeds once the quorum
+// acknowledges. Replicas are written in configuration order so failure
+// sequences are deterministic under test schedules.
+//
+// Store is idempotent under redelivery: batches retried from a sensor
+// backlog overlap points a replica already accepted during the failed
+// round, which the memory rejects as out-of-order. Those rejections are
+// resolved per replica by trimming the batch to the replica's current
+// frontier (see storeOne) — without this, one quorum failure would wedge
+// the group forever, every replica slightly ahead of every retried batch.
+func (g *ReplicaGroup) Store(ctx context.Context, key string, points [][2]float64) error {
+	acks := 0
+	var firstErr error
+	replicas := g.snapshot()
+	for _, r := range replicas {
+		err := g.storeOne(ctx, r.addr, key, points)
+		g.mark(r, err == nil)
+		if err == nil {
+			acks++
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if acks >= g.quorum {
+		return nil
+	}
+	mReplicaQuorumFailures.Inc()
+	return fmt.Errorf("nwsnet: replicated store %q: %d/%d acks, quorum %d: %w",
+		key, acks, len(replicas), g.quorum, firstErr)
+}
+
+// storeOne writes one batch to one replica, converging on redelivery: if
+// the replica rejects the batch at the protocol level (typically
+// "out-of-order append" because it already holds a prefix from an earlier
+// partial round), the batch is trimmed to the points past the replica's
+// last stored timestamp and retried once. An empty remainder means the
+// replica already has everything and counts as an acknowledgement.
+func (g *ReplicaGroup) storeOne(ctx context.Context, addr, key string, points [][2]float64) error {
+	err := g.client.StoreCtx(ctx, addr, key, points)
+	if err == nil || !isProtocolError(err) {
+		return err
+	}
+	last, ferr := g.client.FetchCtx(ctx, addr, key, 0, 0, 1)
+	if ferr != nil || len(last) == 0 {
+		return err
+	}
+	frontier := last[len(last)-1][0]
+	fresh := points
+	for len(fresh) > 0 && fresh[0][0] <= frontier {
+		fresh = fresh[1:]
+	}
+	overlap := points[:len(points)-len(fresh)]
+	if len(overlap) == 0 {
+		return err // nothing overlapped; the rejection was genuine
+	}
+	// Only trim a true redelivery: every overlapped point must already be
+	// stored verbatim. A batch that is merely older than the frontier (a
+	// misbehaving writer, not a retry) keeps its rejection.
+	stored, ferr := g.client.FetchCtx(ctx, addr, key, overlap[0][0], 0, 0)
+	if ferr != nil {
+		return err
+	}
+	have := make(map[[2]float64]bool, len(stored))
+	for _, p := range stored {
+		have[p] = true
+	}
+	for _, p := range overlap {
+		if !have[p] {
+			return err
+		}
+	}
+	if len(fresh) == 0 {
+		return nil // the replica already holds the whole batch
+	}
+	return g.client.StoreCtx(ctx, addr, key, fresh)
+}
+
+// read runs op against replicas in health order until one succeeds.
+// Transport failures demote the replica and fail over to the next;
+// protocol-level rejections (the replica answered) leave it healthy but
+// still fall through, because a diverged replica may simply not hold the
+// series yet. Failovers past the preferred replica are counted.
+func (g *ReplicaGroup) read(op func(addr string) error) error {
+	var firstErr error
+	for i, r := range g.ordered() {
+		err := op(r.addr)
+		if err == nil {
+			g.mark(r, true)
+			if i > 0 {
+				mReplicaFailovers.Inc()
+			}
+			return nil
+		}
+		// A replica that answered with a rejection is alive.
+		g.mark(r, isProtocolError(err))
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// isProtocolError reports whether err came back as a server response
+// rather than a transport failure. Protocol errors are marked terminal by
+// Client.do, so this is exactly the terminal class.
+func isProtocolError(err error) bool {
+	return resilience.IsTerminal(err)
+}
+
+// Fetch reads a series range with failover (see Client.Fetch for the
+// range semantics).
+func (g *ReplicaGroup) Fetch(ctx context.Context, key string, from, to float64, max int) ([][2]float64, error) {
+	var pts [][2]float64
+	err := g.read(func(addr string) error {
+		p, e := g.client.FetchCtx(ctx, addr, key, from, to, max)
+		if e == nil {
+			pts = p
+		}
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// Series lists stored series keys with failover.
+func (g *ReplicaGroup) Series(ctx context.Context) ([]string, error) {
+	var names []string
+	err := g.read(func(addr string) error {
+		n, e := g.client.SeriesCtx(ctx, addr)
+		if e == nil {
+			names = n
+		}
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// Close releases the group's pooled connections.
+func (g *ReplicaGroup) Close() error { return g.client.Close() }

@@ -1,0 +1,313 @@
+package nwsnet
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"nwscpu/internal/resilience"
+	"nwscpu/internal/sensors"
+	"nwscpu/internal/simos"
+)
+
+// fastClient returns a client with snappy retries for failure-path tests.
+func fastClient() *Client {
+	return NewClientOptions(ClientOptions{
+		Timeout: time.Second,
+		Retry:   resilience.Policy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond},
+	})
+}
+
+// startReplicaSet runs n memory servers and returns them with their
+// addresses. The servers are NOT auto-cleaned so tests can kill them.
+func startReplicaSet(t *testing.T, n int) ([]*Memory, []*Server, []string) {
+	t.Helper()
+	mems := make([]*Memory, n)
+	srvs := make([]*Server, n)
+	addrs := make([]string, n)
+	for i := range mems {
+		mems[i] = NewMemory(0)
+		srvs[i] = NewServer(mems[i], nil)
+		addr, err := srvs[i].Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+		s := srvs[i]
+		t.Cleanup(func() { s.Close() })
+	}
+	return mems, srvs, addrs
+}
+
+func TestReplicaGroupQuorumDefaults(t *testing.T) {
+	g := NewReplicaGroup(fastClient(), []string{"a:1", "b:1", "c:1"}, 0)
+	if g.Quorum() != 2 {
+		t.Fatalf("majority of 3 = %d, want 2", g.Quorum())
+	}
+	if q := NewReplicaGroup(fastClient(), []string{"a:1"}, 0).Quorum(); q != 1 {
+		t.Fatalf("majority of 1 = %d, want 1", q)
+	}
+	if q := NewReplicaGroup(fastClient(), []string{"a:1", "b:1"}, 99).Quorum(); q != 2 {
+		t.Fatalf("oversized quorum = %d, want clamped to 2", q)
+	}
+	if got := g.Addrs(); len(got) != 3 || got[0] != "a:1" {
+		t.Fatalf("Addrs = %v", got)
+	}
+}
+
+func TestReplicaGroupWritesFanOut(t *testing.T) {
+	mems, _, addrs := startReplicaSet(t, 3)
+	g := NewReplicaGroup(fastClient(), addrs, 0)
+	ctx := context.Background()
+
+	if err := g.Store(ctx, "k", [][2]float64{{1, 0.5}, {2, 0.6}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range mems {
+		if m.Len("k") != 2 {
+			t.Fatalf("replica %d holds %d points, want 2", i, m.Len("k"))
+		}
+	}
+	for _, h := range g.Health() {
+		if !h.Healthy {
+			t.Fatalf("replica %s unhealthy after clean write", h.Addr)
+		}
+	}
+}
+
+func TestReplicaGroupQuorumSurvivesOneDeadReplica(t *testing.T) {
+	mems, srvs, addrs := startReplicaSet(t, 3)
+	g := NewReplicaGroup(fastClient(), addrs, 0)
+	ctx := context.Background()
+
+	if err := srvs[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Store(ctx, "k", [][2]float64{{1, 0.5}}); err != nil {
+		t.Fatalf("store with 2/3 replicas up: %v", err)
+	}
+	if mems[1].Len("k") != 1 || mems[2].Len("k") != 1 {
+		t.Fatal("surviving replicas missed the write")
+	}
+	h := g.Health()
+	if h[0].Healthy || !h[1].Healthy || !h[2].Healthy {
+		t.Fatalf("health after dead primary = %+v", h)
+	}
+	if got := mReplicaHealthy.With(addrs[0]).Value(); got != 0 {
+		t.Fatalf("nws_replica_healthy{%s} = %g, want 0", addrs[0], got)
+	}
+}
+
+func TestReplicaGroupQuorumFailure(t *testing.T) {
+	qf0 := mReplicaQuorumFailures.Value()
+	_, srvs, addrs := startReplicaSet(t, 3)
+	g := NewReplicaGroup(fastClient(), addrs, 0)
+	ctx := context.Background()
+
+	srvs[0].Close()
+	srvs[1].Close()
+	if err := g.Store(ctx, "k", [][2]float64{{1, 0.5}}); err == nil {
+		t.Fatal("store with 1/3 replicas met a quorum of 2")
+	}
+	if got := mReplicaQuorumFailures.Value() - qf0; got != 1 {
+		t.Fatalf("quorum failure delta = %d, want 1", got)
+	}
+}
+
+func TestReplicaGroupReadFailover(t *testing.T) {
+	fo0 := mReplicaFailovers.Value()
+	_, srvs, addrs := startReplicaSet(t, 3)
+	g := NewReplicaGroup(fastClient(), addrs, 0)
+	ctx := context.Background()
+
+	if err := g.Store(ctx, "k", [][2]float64{{1, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the preferred replica: the read must fail over.
+	srvs[0].Close()
+	pts, err := g.Fetch(ctx, "k", 0, 0, 0)
+	if err != nil || len(pts) != 1 {
+		t.Fatalf("failover fetch = %v, %v", pts, err)
+	}
+	if got := mReplicaFailovers.Value() - fo0; got != 1 {
+		t.Fatalf("failover delta = %d, want 1", got)
+	}
+	// The failed replica is demoted: the next read goes straight to a
+	// healthy one and does not count another failover.
+	if _, err := g.Fetch(ctx, "k", 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := mReplicaFailovers.Value() - fo0; got != 1 {
+		t.Fatalf("failover delta after demotion = %d, want still 1", got)
+	}
+	names, err := g.Series(ctx)
+	if err != nil || len(names) != 1 || names[0] != "k" {
+		t.Fatalf("Series through failover = %v, %v", names, err)
+	}
+}
+
+func TestReplicaGroupProtocolErrorStaysHealthy(t *testing.T) {
+	_, _, addrs := startReplicaSet(t, 2)
+	g := NewReplicaGroup(fastClient(), addrs, 0)
+	ctx := context.Background()
+
+	if _, err := g.Fetch(ctx, "missing", 0, 0, 0); err == nil {
+		t.Fatal("fetch of unknown series succeeded")
+	}
+	for _, h := range g.Health() {
+		if !h.Healthy {
+			t.Fatalf("protocol rejection marked %s unhealthy", h.Addr)
+		}
+	}
+}
+
+func TestReplicaGroupDivergedReplicaFallsThrough(t *testing.T) {
+	// A replica that missed a write answers "unknown series"; the read must
+	// fall through to one that has it.
+	mems, _, addrs := startReplicaSet(t, 2)
+	g := NewReplicaGroup(fastClient(), addrs, 0)
+	ctx := context.Background()
+
+	// Write directly to replica 1 only, simulating divergence.
+	if resp := mems[1].Handle(Request{Op: OpStore, Series: "d", Points: [][2]float64{{1, 1}}}); resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+	pts, err := g.Fetch(ctx, "d", 0, 0, 0)
+	if err != nil || len(pts) != 1 {
+		t.Fatalf("diverged fetch = %v, %v", pts, err)
+	}
+}
+
+func TestReplicaGroupRedeliveryConverges(t *testing.T) {
+	// Redelivering a backlog batch must converge on a replica that already
+	// holds a prefix of it (it acked during a failed quorum round): the
+	// overlap is trimmed to the replica's frontier instead of wedging every
+	// future store on "out-of-order append".
+	mems, _, addrs := startReplicaSet(t, 2)
+	g := NewReplicaGroup(fastClient(), addrs, 2) // both replicas must ack
+	ctx := context.Background()
+
+	// Replica 0 is ahead: it accepted [1, 2] during a round that missed
+	// quorum, so the writer still has those points in its backlog.
+	if resp := mems[0].Handle(Request{Op: OpStore, Series: "k",
+		Points: [][2]float64{{1, 0.1}, {2, 0.2}}}); resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+
+	// The redelivered batch overlaps replica 0 and is new to replica 1.
+	batch := [][2]float64{{1, 0.1}, {2, 0.2}, {3, 0.3}}
+	if err := g.Store(ctx, "k", batch); err != nil {
+		t.Fatalf("redelivered store did not converge: %v", err)
+	}
+	for i, m := range mems {
+		if m.Len("k") != 3 {
+			t.Fatalf("replica %d holds %d points, want 3", i, m.Len("k"))
+		}
+	}
+
+	// A genuinely out-of-order batch (older than every replica) must still
+	// be rejected, not silently trimmed away.
+	if err := g.Store(ctx, "k", [][2]float64{{0, 0.9}}); err == nil {
+		t.Fatal("stale batch accepted")
+	}
+}
+
+func TestSensorBacklogDrainsAfterQuorumLoss(t *testing.T) {
+	// The end-to-end wedge: quorum lost with one survivor, the survivor
+	// accepts early backlog rounds and gets ahead of the retried batch;
+	// when a second replica returns, the drain must converge everywhere.
+	mems, srvs, addrs := startReplicaSet(t, 3)
+
+	h := simos.New(simos.DefaultConfig())
+	h.Spawn(simos.ProcSpec{Name: "bg", Demand: math.Inf(1), WallLimit: 3600})
+	d := NewSensorDaemonReplicas("qhost", sensors.SimHost{H: h}, addrs, 0, sensors.HybridConfig{})
+	defer d.Close()
+
+	step := func(wantErr bool) {
+		t.Helper()
+		h.RunUntil(h.Now() + 10)
+		err := d.Step()
+		if wantErr && err == nil {
+			t.Fatal("step met quorum with 1/3 replicas up")
+		}
+		if !wantErr && err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	step(false)
+	step(false)
+	srvs[1].Close()
+	srvs[2].Close()
+	for i := 0; i < 3; i++ {
+		step(true) // survivor 0 accepts what it can; quorum still fails
+	}
+	if d.Backlogged() == 0 {
+		t.Fatal("no backlog accumulated during quorum loss")
+	}
+
+	// One replica returns on its old address.
+	srv1b := NewServer(mems[1], nil)
+	if _, err := srv1b.Listen(addrs[1]); err != nil {
+		t.Skipf("could not rebind %s: %v", addrs[1], err)
+	}
+	defer srv1b.Close()
+
+	step(false) // backlog + fresh measurement must reach quorum again
+	if n := d.Backlogged(); n != 0 {
+		t.Fatalf("backlog not drained after quorum recovery: %d left", n)
+	}
+	// Both quorum members hold the complete series through the final step.
+	key := SeriesKey("qhost", "vmstat")
+	for _, i := range []int{0, 1} {
+		pts, err := fastClient().Fetch(addrs[i], key, 0, 0, 0)
+		if err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+		if last := pts[len(pts)-1][0]; last != h.Now() {
+			t.Fatalf("replica %d ends at t=%v, want %v (measurements lost)", i, last, h.Now())
+		}
+		// Every measurement timestamp must be present (duplicates from
+		// redelivery are fine; gaps are not).
+		seen := map[float64]bool{}
+		for _, p := range pts {
+			seen[p[0]] = true
+		}
+		if len(seen) != 6 {
+			t.Fatalf("replica %d holds %d distinct timestamps, want 6", i, len(seen))
+		}
+	}
+}
+
+func TestReplicaGroupCheckHealthRecovers(t *testing.T) {
+	m := NewMemory(0)
+	srv := NewServer(m, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewReplicaGroup(fastClient(), []string{addr}, 0)
+	ctx := context.Background()
+
+	srv.Close()
+	if err := g.Store(ctx, "k", [][2]float64{{1, 1}}); err == nil {
+		t.Fatal("store to dead replica succeeded")
+	}
+	if g.Health()[0].Healthy {
+		t.Fatal("dead replica still healthy")
+	}
+
+	srv2 := NewServer(m, nil)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	h := g.CheckHealth(ctx)
+	if !h[0].Healthy {
+		t.Fatal("CheckHealth did not restore the revived replica")
+	}
+	if got := mReplicaHealthy.With(addr).Value(); got != 1 {
+		t.Fatalf("nws_replica_healthy{%s} = %g, want 1", addr, got)
+	}
+}

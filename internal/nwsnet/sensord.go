@@ -1,11 +1,13 @@
 package nwsnet
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
 	"time"
 
+	"nwscpu/internal/resilience"
 	"nwscpu/internal/sensors"
 )
 
@@ -23,9 +25,8 @@ func SeriesKey(host, method string) string {
 type SensorDaemon struct {
 	hostName string
 	host     sensors.Host
-	memAddr  string
 	client   *Client
-	conn     *Conn
+	group    *ReplicaGroup
 	sensors  []sensors.Sensor
 
 	// Store-and-forward: measurements that could not be delivered are
@@ -54,15 +55,28 @@ const backlogDefaultCap = 360
 // NewSensorDaemon builds a daemon for the named host, pushing to the memory
 // server at memAddr.
 func NewSensorDaemon(hostName string, h sensors.Host, memAddr string, hybrid sensors.HybridConfig) *SensorDaemon {
+	return NewSensorDaemonReplicas(hostName, h, []string{memAddr}, 0, hybrid)
+}
+
+// NewSensorDaemonReplicas builds a daemon pushing to a replicated memory
+// group: every measurement fans out to all of memAddrs and is delivered
+// once quorum replicas acknowledge (quorum <= 0 selects a majority). With a
+// single address it behaves exactly like NewSensorDaemon.
+func NewSensorDaemonReplicas(hostName string, h sensors.Host, memAddrs []string, quorum int, hybrid sensors.HybridConfig) *SensorDaemon {
 	if hybrid.ProbeEvery == 0 {
 		hybrid = sensors.DefaultHybridConfig()
 	}
+	// Short per-attempt retries: the store-and-forward backlog is the
+	// durable recovery path, so the in-call policy only smooths blips
+	// (a connection dying mid-exchange, a server restart).
+	client := NewClientOptions(ClientOptions{
+		Retry: resilience.Policy{MaxAttempts: 2, BaseDelay: 10 * time.Millisecond},
+	})
 	return &SensorDaemon{
 		hostName:   hostName,
 		host:       h,
-		memAddr:    memAddr,
-		client:     NewClient(0),
-		conn:       NewConn(memAddr, 0),
+		client:     client,
+		group:      NewReplicaGroup(client, memAddrs, quorum),
 		backlog:    make(map[string][][2]float64),
 		backlogCap: backlogDefaultCap,
 		sensors: []sensors.Sensor{
@@ -102,7 +116,7 @@ func (d *SensorDaemon) Step() error {
 		mSensorMeasurements.With(s.Name()).Inc()
 		key := SeriesKey(d.hostName, s.Name())
 		batch := append(d.backlog[key], [2]float64{t, v})
-		if err := d.conn.Store(key, batch); err != nil {
+		if err := d.group.Store(context.Background(), key, batch); err != nil {
 			mSensorDeliveryFailures.Inc()
 			if dropped := len(batch) - d.backlogCap; dropped > 0 {
 				batch = batch[dropped:]
@@ -201,9 +215,12 @@ func (d *SensorDaemon) Start(period time.Duration) <-chan error {
 	return errs
 }
 
-// Close releases the daemon's persistent memory connection. Call after the
+// Close releases the daemon's pooled memory connections. Call after the
 // final Step or Stop.
-func (d *SensorDaemon) Close() error { return d.conn.Close() }
+func (d *SensorDaemon) Close() error { return d.client.Close() }
+
+// Replicas reports the health of the daemon's memory replica group.
+func (d *SensorDaemon) Replicas() []ReplicaHealth { return d.group.Health() }
 
 // Stop terminates a Start loop and waits for it to exit. It is safe to call
 // without a prior Start.

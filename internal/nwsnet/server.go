@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 )
 
 // Handler processes one protocol request.
@@ -93,7 +94,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		var req Request
 		if err := readMsg(reader, &req); err != nil {
-			if err != io.EOF && s.logger != nil {
+			if err != io.EOF && s.logger != nil && !s.isClosed() {
 				s.logger.Printf("nwsnet: read: %v", err)
 			}
 			return
@@ -110,8 +111,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops the listener, closes live connections, and waits for all
-// serving goroutines to exit. It is idempotent.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops the listener and drains live connections: requests already
+// in flight run to completion and their responses are written before the
+// connections close — only the idle wait for the next request is cut
+// short (by an expired read deadline). Close blocks until every serving
+// goroutine has exited. It is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -120,8 +130,13 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	l := s.listener
+	past := time.Now().Add(-time.Second)
 	for c := range s.conns {
-		c.Close()
+		// Expiring the read deadline unblocks connections parked between
+		// requests; a handler mid-request still writes its response (writes
+		// are unaffected), then its serve loop observes the dead read and
+		// exits, closing the connection.
+		c.SetReadDeadline(past)
 	}
 	s.mu.Unlock()
 	var err error

@@ -1,0 +1,351 @@
+// Package chaos provides a deterministic fault-injection TCP proxy for
+// testing the nwsnet stack under network failure. A Proxy sits in front of
+// a real server and applies one fault per accepted connection — chosen by a
+// Schedule, so a scripted or seeded run replays the exact same fault
+// sequence every time:
+//
+//	pass      forward bytes untouched
+//	refuse    close the client immediately (connection refused, in effect)
+//	drop      consume the request, then close without replying
+//	delay     pause before forwarding, then behave like pass
+//	truncate  forward the request, return half of the first response, die
+//
+// SetDown flaps the whole proxy: live connections are severed and new ones
+// refused until SetDown(false) — a full host outage on demand, used by the
+// failover tests to kill a memory replica mid-run.
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"math/rand"
+
+	"nwscpu/internal/metrics"
+)
+
+// Fault names one failure mode the proxy can inject.
+type Fault string
+
+// The injectable faults.
+const (
+	Pass     Fault = "pass"
+	Refuse   Fault = "refuse"
+	Drop     Fault = "drop"
+	Delay    Fault = "delay"
+	Truncate Fault = "truncate"
+)
+
+// Connection outcomes counted beyond the scheduled faults: "down" is a
+// connection refused because the proxy was flapped down.
+const outcomeDown = "down"
+
+var mChaosConns = metrics.NewCounterVec(
+	"nws_chaos_connections_total",
+	"Connections handled by the fault-injection proxy, by injected fault (down = refused while flapped down).", "fault")
+
+// Action is one scheduled decision: the fault to inject on the next
+// connection, plus the pause length when the fault is Delay.
+type Action struct {
+	Fault Fault
+	Delay time.Duration
+}
+
+// Schedule yields the action for each accepted connection, in accept order.
+// Implementations must be safe for concurrent use.
+type Schedule interface {
+	Next() Action
+}
+
+// Script replays a fixed sequence of actions, then passes everything
+// through — the fully explicit way to stage a failure.
+type Script struct {
+	mu      sync.Mutex
+	actions []Action
+	i       int
+}
+
+// NewScript returns a Schedule replaying actions in order.
+func NewScript(actions ...Action) *Script {
+	return &Script{actions: actions}
+}
+
+// Next implements Schedule.
+func (s *Script) Next() Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.i >= len(s.actions) {
+		return Action{Fault: Pass}
+	}
+	a := s.actions[s.i]
+	s.i++
+	return a
+}
+
+// Seeded draws faults proportionally to the given weights from a seeded
+// generator: the same seed and weights produce the same fault sequence.
+// Faults absent from weights are never drawn; if all weights are zero it
+// always passes. delay is the pause applied when Delay is drawn.
+type Seeded struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults []Fault
+	cum    []float64
+	total  float64
+	delay  time.Duration
+}
+
+// NewSeeded builds a seeded schedule over the weighted faults.
+func NewSeeded(seed int64, delay time.Duration, weights map[Fault]float64) *Seeded {
+	s := &Seeded{rng: rand.New(rand.NewSource(seed)), delay: delay}
+	// Map iteration order is random; sort for a reproducible draw table.
+	for f := range weights {
+		s.faults = append(s.faults, f)
+	}
+	sort.Slice(s.faults, func(i, j int) bool { return s.faults[i] < s.faults[j] })
+	for _, f := range s.faults {
+		if w := weights[f]; w > 0 {
+			s.total += w
+		}
+		s.cum = append(s.cum, s.total)
+	}
+	return s
+}
+
+// Next implements Schedule.
+func (s *Seeded) Next() Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.total <= 0 {
+		return Action{Fault: Pass}
+	}
+	x := s.rng.Float64() * s.total
+	for i, c := range s.cum {
+		if x < c {
+			return Action{Fault: s.faults[i], Delay: s.delay}
+		}
+	}
+	return Action{Fault: Pass}
+}
+
+// Proxy is the fault-injection TCP proxy. Create with NewProxy, start with
+// Listen, point clients at Addr.
+type Proxy struct {
+	target string
+	sched  Schedule
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	down   bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewProxy returns a proxy forwarding to target under sched (nil = always
+// pass through).
+func NewProxy(target string, sched Schedule) *Proxy {
+	return &Proxy{
+		target: target,
+		sched:  sched,
+		conns:  make(map[net.Conn]struct{}),
+		stop:   make(chan struct{}),
+	}
+}
+
+// Listen binds addr (":0" for ephemeral) and starts proxying in background
+// goroutines, returning the bound address.
+func (p *Proxy) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		l.Close()
+		return "", errors.New("chaos: proxy already closed")
+	}
+	p.ln = l
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Listen).
+func (p *Proxy) Addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// SetDown flaps the proxy: down severs every live connection and refuses
+// new ones until SetDown(false).
+func (p *Proxy) SetDown(down bool) {
+	p.mu.Lock()
+	p.down = down
+	var kill []net.Conn
+	if down {
+		for c := range p.conns {
+			kill = append(kill, c)
+		}
+	}
+	p.mu.Unlock()
+	for _, c := range kill {
+		c.Close()
+	}
+}
+
+// Down reports whether the proxy is currently flapped down.
+func (p *Proxy) Down() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.down
+}
+
+// Close stops the proxy and severs everything. It is idempotent.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.stop)
+	l := p.ln
+	var kill []net.Conn
+	for c := range p.conns {
+		kill = append(kill, c)
+	}
+	p.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	for _, c := range kill {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// track registers a connection for SetDown/Close severing; the returned
+// func unregisters and closes it.
+func (p *Proxy) track(c net.Conn) func() {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+	return func() {
+		c.Close()
+		p.mu.Lock()
+		delete(p.conns, c)
+		p.mu.Unlock()
+	}
+}
+
+func (p *Proxy) acceptLoop(l net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		down := p.down
+		p.mu.Unlock()
+		if down {
+			mChaosConns.With(outcomeDown).Inc()
+			conn.Close()
+			continue
+		}
+		action := Action{Fault: Pass}
+		if p.sched != nil {
+			action = p.sched.Next()
+		}
+		mChaosConns.With(string(action.Fault)).Inc()
+		p.wg.Add(1)
+		go p.handle(conn, action)
+	}
+}
+
+func (p *Proxy) handle(client net.Conn, action Action) {
+	defer p.wg.Done()
+	untrack := p.track(client)
+	defer untrack()
+
+	switch action.Fault {
+	case Refuse:
+		return // deferred close is the fault
+	case Drop:
+		// Consume one request line, then vanish without a response.
+		buf := make([]byte, 4096)
+		for {
+			n, err := client.Read(buf)
+			if err != nil || containsNewline(buf[:n]) {
+				return
+			}
+		}
+	case Delay:
+		t := time.NewTimer(action.Delay)
+		select {
+		case <-t.C:
+		case <-p.stop:
+			t.Stop()
+			return
+		}
+	}
+
+	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return // behaves like a dead server
+	}
+	unTrackUp := p.track(upstream)
+	defer unTrackUp()
+
+	if action.Fault == Truncate {
+		p.truncate(client, upstream)
+		return
+	}
+
+	// Full duplex pass-through; either side closing tears down both.
+	done := make(chan struct{}, 2)
+	go func() { io.Copy(upstream, client); upstream.Close(); done <- struct{}{} }()
+	go func() { io.Copy(client, upstream); client.Close(); done <- struct{}{} }()
+	<-done
+	<-done
+}
+
+// truncate forwards the client's bytes upstream but returns only half of
+// the first response chunk before severing the connection.
+func (p *Proxy) truncate(client, upstream net.Conn) {
+	go func() { io.Copy(upstream, client); upstream.Close() }()
+	buf := make([]byte, 64<<10)
+	n, err := upstream.Read(buf)
+	if err != nil || n == 0 {
+		return
+	}
+	client.Write(buf[:n/2])
+}
+
+func containsNewline(b []byte) bool {
+	for _, c := range b {
+		if c == '\n' {
+			return true
+		}
+	}
+	return false
+}

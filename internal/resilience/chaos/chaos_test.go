@@ -1,0 +1,225 @@
+package chaos
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startEcho runs a line-echo TCP server and returns its address.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					c.Write([]byte(sc.Text() + "\n"))
+				}
+			}(c)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// exchange sends one line through addr and returns the reply line.
+func exchange(t *testing.T, addr, line string) (string, error) {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte(line + "\n")); err != nil {
+		return "", err
+	}
+	reply, err := bufio.NewReader(c).ReadString('\n')
+	return strings.TrimSuffix(reply, "\n"), err
+}
+
+func startProxy(t *testing.T, target string, sched Schedule) *Proxy {
+	t.Helper()
+	p := NewProxy(target, sched)
+	if _, err := p.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	p := startProxy(t, startEcho(t), nil)
+	got, err := exchange(t, p.Addr(), "hello")
+	if err != nil || got != "hello" {
+		t.Fatalf("exchange = %q, %v", got, err)
+	}
+}
+
+func TestScriptedFaultsInOrder(t *testing.T) {
+	passes0 := mChaosConns.With(string(Pass)).Value()
+	drops0 := mChaosConns.With(string(Drop)).Value()
+
+	sched := NewScript(
+		Action{Fault: Refuse},
+		Action{Fault: Drop},
+		Action{Fault: Pass},
+	)
+	p := startProxy(t, startEcho(t), sched)
+
+	// Connection 1: refused — no reply, connection dies.
+	if _, err := exchange(t, p.Addr(), "a"); err == nil {
+		t.Fatal("refused connection delivered a reply")
+	}
+	// Connection 2: dropped — request consumed, no reply.
+	if _, err := exchange(t, p.Addr(), "b"); err == nil {
+		t.Fatal("dropped connection delivered a reply")
+	}
+	// Connection 3: passes; the script is exhausted so later ones pass too.
+	for _, want := range []string{"c", "d"} {
+		got, err := exchange(t, p.Addr(), want)
+		if err != nil || got != want {
+			t.Fatalf("post-script exchange = %q, %v", got, err)
+		}
+	}
+	if got := mChaosConns.With(string(Pass)).Value() - passes0; got != 2 {
+		t.Errorf("pass connections delta = %d, want 2", got)
+	}
+	if got := mChaosConns.With(string(Drop)).Value() - drops0; got != 1 {
+		t.Errorf("drop connections delta = %d, want 1", got)
+	}
+}
+
+func TestDelayFault(t *testing.T) {
+	sched := NewScript(Action{Fault: Delay, Delay: 120 * time.Millisecond})
+	p := startProxy(t, startEcho(t), sched)
+	t0 := time.Now()
+	got, err := exchange(t, p.Addr(), "slow")
+	if err != nil || got != "slow" {
+		t.Fatalf("delayed exchange = %q, %v", got, err)
+	}
+	if d := time.Since(t0); d < 100*time.Millisecond {
+		t.Fatalf("delay not applied: took %v", d)
+	}
+}
+
+func TestTruncateFault(t *testing.T) {
+	sched := NewScript(Action{Fault: Truncate})
+	p := startProxy(t, startEcho(t), sched)
+	c, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	msg := "a-reasonably-long-line-to-truncate"
+	if _, err := c.Write([]byte(msg + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The reply must be cut short: no newline ever arrives.
+	if reply, err := bufio.NewReader(c).ReadString('\n'); err == nil {
+		t.Fatalf("truncated connection delivered a full line %q", reply)
+	} else if len(reply) >= len(msg)+1 {
+		t.Fatalf("reply %q not truncated", reply)
+	}
+}
+
+func TestSetDownFlap(t *testing.T) {
+	down0 := mChaosConns.With(outcomeDown).Value()
+	p := startProxy(t, startEcho(t), nil)
+
+	if _, err := exchange(t, p.Addr(), "up"); err != nil {
+		t.Fatal(err)
+	}
+	p.SetDown(true)
+	if !p.Down() {
+		t.Fatal("Down() = false after SetDown(true)")
+	}
+	if _, err := exchange(t, p.Addr(), "down"); err == nil {
+		t.Fatal("exchange succeeded while down")
+	}
+	p.SetDown(false)
+	got, err := exchange(t, p.Addr(), "back")
+	if err != nil || got != "back" {
+		t.Fatalf("exchange after recovery = %q, %v", got, err)
+	}
+	if got := mChaosConns.With(outcomeDown).Value() - down0; got != 1 {
+		t.Errorf("down-refusal delta = %d, want 1", got)
+	}
+}
+
+func TestSetDownSeversLiveConnections(t *testing.T) {
+	p := startProxy(t, startEcho(t), nil)
+	c, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte("one\n")); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(c)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	p.SetDown(true)
+	// The established connection is dead: the next exchange fails.
+	c.Write([]byte("two\n"))
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Fatal("exchange on severed connection succeeded")
+	}
+}
+
+func TestSeededScheduleDeterministic(t *testing.T) {
+	weights := map[Fault]float64{Pass: 3, Drop: 1, Refuse: 1}
+	a := NewSeeded(42, 0, weights)
+	b := NewSeeded(42, 0, weights)
+	counts := map[Fault]int{}
+	for i := 0; i < 200; i++ {
+		fa, fb := a.Next(), b.Next()
+		if fa != fb {
+			t.Fatalf("draw %d: %v != %v with same seed", i, fa, fb)
+		}
+		counts[fa.Fault]++
+	}
+	if counts[Pass] == 0 || counts[Drop] == 0 || counts[Refuse] == 0 {
+		t.Fatalf("weighted draws missing a fault: %v", counts)
+	}
+	if counts[Truncate] != 0 {
+		t.Fatalf("unweighted fault drawn: %v", counts)
+	}
+	// Zero weights always pass.
+	z := NewSeeded(1, 0, nil)
+	if z.Next().Fault != Pass {
+		t.Fatal("empty weights did not pass")
+	}
+}
+
+func TestProxyCloseIdempotent(t *testing.T) {
+	p := NewProxy(startEcho(t), nil)
+	if _, err := p.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Listen("127.0.0.1:0"); err == nil {
+		t.Fatal("Listen after Close succeeded")
+	}
+}

@@ -1,0 +1,228 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"time"
+)
+
+// ErrPoolClosed is returned by Get after Close.
+var ErrPoolClosed = errors.New("resilience: pool closed")
+
+// PoolConfig configures a Pool. Dial is required; everything else has a
+// usable zero value.
+type PoolConfig struct {
+	// Dial creates a new connection. It must honor ctx.
+	Dial func(ctx context.Context) (io.Closer, error)
+	// HealthCheck, when non-nil, vets an idle connection at checkout;
+	// returning false closes and discards it.
+	HealthCheck func(c io.Closer) bool
+	// MaxIdle bounds the connections parked for reuse (0 selects 2;
+	// negative disables reuse entirely — every Put closes).
+	MaxIdle int
+	// MaxActive bounds checked-out connections; Get blocks (honoring ctx)
+	// while the pool is at the limit. 0 means unlimited.
+	MaxActive int
+	// IdleTimeout reaps connections parked longer than this (0 = never).
+	IdleTimeout time.Duration
+	// Now is the clock used for idle accounting; nil selects time.Now.
+	Now func() time.Time
+	// OnChange, when non-nil, observes every idle/active count change —
+	// the hook the callers use to keep pool gauges current. It is called
+	// without internal locks held.
+	OnChange func(idle, active int)
+}
+
+// Pool keeps a bounded set of reusable connections to one endpoint: Get
+// hands out a parked healthy connection or dials a fresh one, Put parks it
+// back (or closes it when unhealthy or surplus). Idle connections older
+// than IdleTimeout are reaped lazily on the next Get or Put.
+type Pool struct {
+	cfg PoolConfig
+	sem chan struct{} // nil when MaxActive == 0
+
+	mu     chan struct{} // 1-buffered mutex; lets lock acquisition stay simple
+	idle   []idleConn    // LIFO: most recently used last
+	active int
+	closed bool
+}
+
+type idleConn struct {
+	c      io.Closer
+	parked time.Time
+}
+
+// NewPool returns a pool over cfg.Dial. It panics if Dial is nil.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.Dial == nil {
+		panic("resilience: PoolConfig.Dial is required")
+	}
+	if cfg.MaxIdle == 0 {
+		cfg.MaxIdle = 2
+	} else if cfg.MaxIdle < 0 {
+		cfg.MaxIdle = 0
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	p := &Pool{cfg: cfg, mu: make(chan struct{}, 1)}
+	if cfg.MaxActive > 0 {
+		p.sem = make(chan struct{}, cfg.MaxActive)
+	}
+	return p
+}
+
+func (p *Pool) lock()   { p.mu <- struct{}{} }
+func (p *Pool) unlock() { <-p.mu }
+
+// notify reports the current counts to OnChange (lock-free snapshot taken
+// by the caller while still holding the lock).
+func (p *Pool) notify(idle, active int) {
+	if p.cfg.OnChange != nil {
+		p.cfg.OnChange(idle, active)
+	}
+}
+
+// reapLocked closes idle connections past their idle timeout, returning
+// them for closing outside the lock.
+func (p *Pool) reapLocked() []io.Closer {
+	if p.cfg.IdleTimeout <= 0 || len(p.idle) == 0 {
+		return nil
+	}
+	cutoff := p.cfg.Now().Add(-p.cfg.IdleTimeout)
+	var dead []io.Closer
+	kept := p.idle[:0]
+	for _, ic := range p.idle {
+		if ic.parked.Before(cutoff) {
+			dead = append(dead, ic.c)
+		} else {
+			kept = append(kept, ic)
+		}
+	}
+	p.idle = kept
+	return dead
+}
+
+// Get returns a connection: a parked healthy one if available, otherwise a
+// freshly dialed one. With MaxActive set it first waits for an in-flight
+// slot, honoring ctx.
+func (p *Pool) Get(ctx context.Context) (io.Closer, error) {
+	if p.sem != nil {
+		select {
+		case p.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c, err := p.get(ctx)
+	if err != nil && p.sem != nil {
+		<-p.sem
+	}
+	return c, err
+}
+
+func (p *Pool) get(ctx context.Context) (io.Closer, error) {
+	for {
+		p.lock()
+		if p.closed {
+			p.unlock()
+			return nil, ErrPoolClosed
+		}
+		dead := p.reapLocked()
+		var cand io.Closer
+		if n := len(p.idle); n > 0 {
+			cand = p.idle[n-1].c
+			p.idle = p.idle[:n-1]
+		}
+		if cand != nil {
+			p.active++
+		}
+		idle, active := len(p.idle), p.active
+		p.unlock()
+		for _, c := range dead {
+			c.Close()
+		}
+		if cand == nil {
+			break
+		}
+		if p.cfg.HealthCheck != nil && !p.cfg.HealthCheck(cand) {
+			cand.Close()
+			p.lock()
+			p.active--
+			idle, active = len(p.idle), p.active
+			p.unlock()
+			p.notify(idle, active)
+			continue // try the next parked connection
+		}
+		p.notify(idle, active)
+		return cand, nil
+	}
+
+	c, err := p.cfg.Dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	p.lock()
+	if p.closed {
+		p.unlock()
+		c.Close()
+		return nil, ErrPoolClosed
+	}
+	p.active++
+	idle, active := len(p.idle), p.active
+	p.unlock()
+	p.notify(idle, active)
+	return c, nil
+}
+
+// Put returns a connection obtained from Get. Healthy connections are
+// parked for reuse (newest first); unhealthy or surplus ones are closed.
+func (p *Pool) Put(c io.Closer, healthy bool) {
+	if p.sem != nil {
+		defer func() { <-p.sem }()
+	}
+	p.lock()
+	p.active--
+	park := healthy && !p.closed && len(p.idle) < p.cfg.MaxIdle
+	if park {
+		p.idle = append(p.idle, idleConn{c: c, parked: p.cfg.Now()})
+	}
+	dead := p.reapLocked()
+	idle, active := len(p.idle), p.active
+	p.unlock()
+	if !park {
+		c.Close()
+	}
+	for _, d := range dead {
+		d.Close()
+	}
+	p.notify(idle, active)
+}
+
+// Stats reports the current idle and checked-out connection counts.
+func (p *Pool) Stats() (idle, active int) {
+	p.lock()
+	defer p.unlock()
+	return len(p.idle), p.active
+}
+
+// Close closes every parked connection and fails future Gets. Connections
+// currently checked out are closed by their eventual Put.
+func (p *Pool) Close() error {
+	p.lock()
+	if p.closed {
+		p.unlock()
+		return nil
+	}
+	p.closed = true
+	idleConns := p.idle
+	p.idle = nil
+	active := p.active
+	p.unlock()
+	for _, ic := range idleConns {
+		ic.c.Close()
+	}
+	p.notify(0, active)
+	return nil
+}

@@ -1,0 +1,236 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeConn counts closes; the pool only needs io.Closer.
+type fakeConn struct {
+	id     int
+	closed atomic.Bool
+}
+
+func (f *fakeConn) Close() error {
+	f.closed.Store(true)
+	return nil
+}
+
+// newFakeDialer returns a Dial func minting numbered fakeConns.
+func newFakeDialer(dials *atomic.Int64) func(context.Context) (io.Closer, error) {
+	return func(context.Context) (io.Closer, error) {
+		n := dials.Add(1)
+		return &fakeConn{id: int(n)}, nil
+	}
+}
+
+func TestPoolReusesConnections(t *testing.T) {
+	var dials atomic.Int64
+	p := NewPool(PoolConfig{Dial: newFakeDialer(&dials)})
+	ctx := context.Background()
+
+	c1, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c1, true)
+	c2, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("healthy parked connection not reused")
+	}
+	if dials.Load() != 1 {
+		t.Fatalf("dials = %d, want 1", dials.Load())
+	}
+	p.Put(c2, false) // unhealthy: discarded
+	if !c2.(*fakeConn).closed.Load() {
+		t.Fatal("unhealthy connection not closed")
+	}
+	c3, _ := p.Get(ctx)
+	if c3 == c2 || dials.Load() != 2 {
+		t.Fatalf("unhealthy connection reused (dials = %d)", dials.Load())
+	}
+}
+
+func TestPoolMaxIdle(t *testing.T) {
+	var dials atomic.Int64
+	p := NewPool(PoolConfig{Dial: newFakeDialer(&dials), MaxIdle: 1})
+	ctx := context.Background()
+	c1, _ := p.Get(ctx)
+	c2, _ := p.Get(ctx)
+	p.Put(c1, true)
+	p.Put(c2, true) // surplus: closed, not parked
+	if idle, _ := p.Stats(); idle != 1 {
+		t.Fatalf("idle = %d, want 1", idle)
+	}
+	if !c2.(*fakeConn).closed.Load() {
+		t.Fatal("surplus connection not closed")
+	}
+}
+
+func TestPoolMaxActiveBlocks(t *testing.T) {
+	var dials atomic.Int64
+	p := NewPool(PoolConfig{Dial: newFakeDialer(&dials), MaxActive: 1})
+	ctx := context.Background()
+	c1, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second Get with an expired context must fail without dialing.
+	shortCtx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	if _, err := p.Get(shortCtx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Get over the in-flight limit: %v", err)
+	}
+
+	// Releasing the slot unblocks a waiting Get.
+	got := make(chan io.Closer, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := p.Get(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got <- c
+	}()
+	p.Put(c1, true)
+	wg.Wait()
+	select {
+	case c := <-got:
+		p.Put(c, true)
+	default:
+		t.Fatal("waiting Get never completed")
+	}
+}
+
+func TestPoolIdleReap(t *testing.T) {
+	var dials atomic.Int64
+	now := time.Unix(0, 0)
+	p := NewPool(PoolConfig{
+		Dial:        newFakeDialer(&dials),
+		IdleTimeout: time.Minute,
+		Now:         func() time.Time { return now },
+	})
+	ctx := context.Background()
+	c1, _ := p.Get(ctx)
+	p.Put(c1, true)
+
+	now = now.Add(2 * time.Minute)
+	c2, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Fatal("expired idle connection handed out")
+	}
+	if !c1.(*fakeConn).closed.Load() {
+		t.Fatal("expired idle connection not closed")
+	}
+	if dials.Load() != 2 {
+		t.Fatalf("dials = %d, want 2", dials.Load())
+	}
+}
+
+func TestPoolHealthCheckEvicts(t *testing.T) {
+	var dials atomic.Int64
+	sick := make(map[io.Closer]bool)
+	p := NewPool(PoolConfig{
+		Dial:        newFakeDialer(&dials),
+		HealthCheck: func(c io.Closer) bool { return !sick[c] },
+		MaxIdle:     4,
+	})
+	ctx := context.Background()
+	c1, _ := p.Get(ctx)
+	c2, _ := p.Get(ctx)
+	p.Put(c1, true)
+	p.Put(c2, true)
+	sick[c2] = true // c2 is on top of the LIFO stack
+	got, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c1 {
+		t.Fatalf("health check did not skip the sick connection")
+	}
+	if !c2.(*fakeConn).closed.Load() {
+		t.Fatal("sick connection not closed")
+	}
+}
+
+func TestPoolCloseAndStats(t *testing.T) {
+	var dials atomic.Int64
+	var lastIdle, lastActive atomic.Int64
+	p := NewPool(PoolConfig{
+		Dial: newFakeDialer(&dials),
+		OnChange: func(idle, active int) {
+			lastIdle.Store(int64(idle))
+			lastActive.Store(int64(active))
+		},
+	})
+	ctx := context.Background()
+	c1, _ := p.Get(ctx)
+	c2, _ := p.Get(ctx)
+	if idle, active := p.Stats(); idle != 0 || active != 2 {
+		t.Fatalf("Stats = (%d, %d), want (0, 2)", idle, active)
+	}
+	if lastActive.Load() != 2 {
+		t.Fatalf("OnChange active = %d, want 2", lastActive.Load())
+	}
+	p.Put(c1, true)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !c1.(*fakeConn).closed.Load() {
+		t.Fatal("parked connection not closed on Close")
+	}
+	if _, err := p.Get(ctx); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Get after Close: %v", err)
+	}
+	p.Put(c2, true) // returning after Close must close, not park
+	if !c2.(*fakeConn).closed.Load() {
+		t.Fatal("connection returned after Close not closed")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+}
+
+func TestPoolConcurrentGets(t *testing.T) {
+	var dials atomic.Int64
+	p := NewPool(PoolConfig{Dial: newFakeDialer(&dials), MaxIdle: 8, MaxActive: 8})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, err := p.Get(ctx)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				p.Put(c, i%5 != 0)
+			}
+		}()
+	}
+	wg.Wait()
+	idle, active := p.Stats()
+	if active != 0 {
+		t.Fatalf("active = %d after all Puts", active)
+	}
+	if idle > 8 {
+		t.Fatalf("idle = %d exceeds MaxIdle", idle)
+	}
+}
