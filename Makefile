@@ -3,9 +3,9 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test test-race chaos vet bench bench-paper experiments report clean
+.PHONY: all build test test-race chaos vet bench bench-forecast bench-forecast-smoke bench-paper experiments report clean
 
-all: build vet test
+all: build vet test bench-forecast-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,20 @@ test-race:
 chaos:
 	$(GO) test -race ./internal/resilience/...
 	$(GO) test -race -run 'Chaos' -v ./internal/nwsnet
+
+# Forecaster hot-path baseline: the Go benchmark suite with allocation
+# accounting, then the nwsperf harness regenerating BENCH_forecast.json
+# (measured numbers next to the committed seed baseline).
+bench-forecast:
+	$(GO) test -run - -bench 'BenchmarkEngine|BenchmarkBank' -benchmem ./internal/forecast
+	$(GO) run ./cmd/nwsperf -out BENCH_forecast.json
+
+# CI smoke for the same path: one iteration of each benchmark under the race
+# detector (catches data races and broken benchmark setup, not perf), plus a
+# down-scaled nwsperf run writing to a scratch file.
+bench-forecast-smoke:
+	$(GO) test -race -run - -bench 'BenchmarkEngine|BenchmarkBank' -benchtime 1x -benchmem ./internal/forecast
+	$(GO) run ./cmd/nwsperf -scale 0.01 -out /tmp/BENCH_forecast.smoke.json
 
 # One iteration of every table/figure/ablation benchmark at 6-hour scale.
 bench:

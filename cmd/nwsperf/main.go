@@ -1,0 +1,277 @@
+// Command nwsperf measures the forecasting hot path — the full NWS engine
+// and every DefaultBank member — and writes a machine-readable report
+// (BENCH_forecast.json by default) that carries the measured numbers next to
+// the committed seed baseline, so a perf regression (or a claimed win) is a
+// diff anyone can read without rerunning anything.
+//
+// Usage:
+//
+//	nwsperf [-out BENCH_forecast.json] [-scale 1.0]
+//
+// -scale multiplies every scenario's iteration count; CI smoke runs use a
+// small scale to bound runtime, perf baselines use the default.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"nwscpu/internal/forecast"
+)
+
+// Measurement is one scenario's observed (or baseline) per-operation cost.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Result pairs a scenario's fresh measurement with the seed baseline.
+type Result struct {
+	Name     string       `json:"name"`
+	Current  Measurement  `json:"current"`
+	Baseline *Measurement `json:"baseline,omitempty"`
+	// Speedup is baseline ns/op over current ns/op (>1 means faster than
+	// the seed implementation).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// Acceptance states the PR's headline perf criterion in checkable form:
+// the full-engine Update must allocate at least 5x less than the seed.
+type Acceptance struct {
+	EngineUpdateAllocsBefore float64 `json:"engine_update_allocs_before"`
+	EngineUpdateAllocsAfter  float64 `json:"engine_update_allocs_after"`
+	MeetsAllocReduction5x    bool    `json:"meets_5x_alloc_reduction"`
+}
+
+// Report is the BENCH_forecast.json document.
+type Report struct {
+	Schema         string     `json:"schema"`
+	Package        string     `json:"package"`
+	GoVersion      string     `json:"go_version"`
+	GOOS           string     `json:"goos"`
+	GOARCH         string     `json:"goarch"`
+	BaselineCommit string     `json:"baseline_commit"`
+	BaselineSource string     `json:"baseline_source"`
+	Acceptance     Acceptance `json:"acceptance"`
+	Results        []Result   `json:"results"`
+}
+
+// seedBaseline holds the seed implementation's numbers, measured with
+// `go test -bench 'BenchmarkEngine|BenchmarkBank' -benchmem` at the commit
+// named in the report before the incremental hot path landed.
+var seedBaseline = map[string]Measurement{
+	"engine_update":             {10510, 2719, 12},
+	"engine_update_windowed_50": {15263, 2718, 12},
+	"engine_forecast":           {103.2, 0, 0},
+	"engine_forecast_interval":  {9439, 5376, 3},
+	"member/last_value":         {4.309, 0, 0},
+	"member/run_mean":           {4.328, 0, 0},
+	"member/sw_mean_5":          {11.41, 0, 0},
+	"member/sw_mean_10":         {11.50, 0, 0},
+	"member/sw_mean_20":         {11.21, 0, 0},
+	"member/sw_mean_30":         {11.32, 0, 0},
+	"member/sw_mean_50":         {11.25, 0, 0},
+	"member/sw_median_5":        {95.48, 48, 1},
+	"member/sw_median_10":       {240.8, 80, 1},
+	"member/sw_median_20":       {717.0, 160, 1},
+	"member/sw_median_30":       {1151, 240, 1},
+	"member/sw_median_50":       {2336, 416, 1},
+	"member/sw_trim_30_30":      {1234, 240, 1},
+	"member/sw_trim_50_20":      {2317, 416, 1},
+	"member/exp_05":             {5.586, 0, 0},
+	"member/exp_10":             {5.630, 0, 0},
+	"member/exp_20":             {5.496, 0, 0},
+	"member/exp_30":             {5.449, 0, 0},
+	"member/exp_50":             {5.592, 0, 0},
+	"member/exp_75":             {5.629, 0, 0},
+	"member/exp_90":             {5.441, 0, 0},
+	"member/adapt_exp":          {15.56, 0, 0},
+	"member/adapt_mean":         {728.5, 0, 0},
+	"member/adapt_median":       {4633, 1120, 5},
+	"member/trend":              {4.386, 0, 0},
+}
+
+// measurer runs fn(iters) and reports its per-operation cost. Injectable so
+// the report plumbing is testable without timing noise.
+type measurer func(iters int, fn func(n int)) Measurement
+
+// realMeasure times fn and charges it the heap traffic observed between two
+// runtime.MemStats reads (the loops under test are allocation-free in steady
+// state, so GC noise is not a factor at these iteration counts).
+func realMeasure(iters int, fn func(n int)) Measurement {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	fn(iters)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return Measurement{
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+	}
+}
+
+// perfValues is a deterministic availability-like series for the loops.
+func perfValues(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, n)
+	v := 0.7
+	for i := range vals {
+		v += 0.05 * (rng.Float64() - 0.5)
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		vals[i] = v
+	}
+	return vals
+}
+
+type scenario struct {
+	name  string
+	iters int
+	setup func() func(n int) // returns the measured loop, post-warmup
+}
+
+func scenarios() []scenario {
+	vals := perfValues(4096)
+	warm := func(e *forecast.Engine) {
+		for _, v := range vals[:512] {
+			e.Update(v)
+		}
+	}
+	scs := []scenario{
+		{"engine_update", 100_000, func() func(int) {
+			e := forecast.NewDefaultEngine()
+			warm(e)
+			return func(n int) {
+				for i := 0; i < n; i++ {
+					e.Update(vals[i%len(vals)])
+				}
+			}
+		}},
+		{"engine_update_windowed_50", 100_000, func() func(int) {
+			e := forecast.NewWindowedEngine(forecast.ByMAE, 50, forecast.DefaultBank()...)
+			warm(e)
+			return func(n int) {
+				for i := 0; i < n; i++ {
+					e.Update(vals[i%len(vals)])
+				}
+			}
+		}},
+		{"engine_forecast", 2_000_000, func() func(int) {
+			e := forecast.NewDefaultEngine()
+			warm(e)
+			return func(n int) {
+				for i := 0; i < n; i++ {
+					e.Forecast()
+				}
+			}
+		}},
+		{"engine_forecast_interval", 1_000_000, func() func(int) {
+			e := forecast.NewDefaultEngine()
+			warm(e)
+			return func(n int) {
+				for i := 0; i < n; i++ {
+					e.ForecastInterval(0.9)
+				}
+			}
+		}},
+	}
+	for _, f := range forecast.DefaultBank() {
+		f := f
+		scs = append(scs, scenario{"member/" + f.Name(), 500_000, func() func(int) {
+			for _, v := range vals[:128] {
+				f.Update(v)
+			}
+			return func(n int) {
+				for i := 0; i < n; i++ {
+					f.Update(vals[i%len(vals)])
+					f.Forecast()
+				}
+			}
+		}})
+	}
+	return scs
+}
+
+// collect measures every scenario and assembles the report.
+func collect(measure measurer, scale float64) Report {
+	rep := Report{
+		Schema:         "nws/bench-forecast/v1",
+		Package:        "nwscpu/internal/forecast",
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		BaselineCommit: "78df1a0",
+		BaselineSource: "go test -bench 'BenchmarkEngine|BenchmarkBank' -benchmem ./internal/forecast",
+	}
+	for _, sc := range scenarios() {
+		iters := int(float64(sc.iters) * scale)
+		if iters < 1 {
+			iters = 1
+		}
+		loop := sc.setup()
+		res := Result{Name: sc.name, Current: measure(iters, loop)}
+		if base, ok := seedBaseline[sc.name]; ok {
+			b := base
+			res.Baseline = &b
+			if res.Current.NsPerOp > 0 {
+				res.Speedup = b.NsPerOp / res.Current.NsPerOp
+			}
+		}
+		if sc.name == "engine_update" {
+			before := seedBaseline[sc.name].AllocsPerOp
+			after := res.Current.AllocsPerOp
+			rep.Acceptance = Acceptance{
+				EngineUpdateAllocsBefore: before,
+				EngineUpdateAllocsAfter:  after,
+				MeetsAllocReduction5x:    after*5 <= before,
+			}
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+func writeReport(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_forecast.json", "report output path")
+	scale := flag.Float64("scale", 1.0, "iteration-count multiplier (CI smoke uses a small value)")
+	flag.Parse()
+
+	rep := collect(realMeasure, *scale)
+	if err := writeReport(*out, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "nwsperf: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Results {
+		line := fmt.Sprintf("%-28s %10.1f ns/op %8.0f B/op %6.1f allocs/op", r.Name,
+			r.Current.NsPerOp, r.Current.BytesPerOp, r.Current.AllocsPerOp)
+		if r.Speedup > 0 {
+			line += fmt.Sprintf("   %5.1fx vs seed", r.Speedup)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("wrote %s (engine_update allocs/op: %.0f -> %.1f, 5x reduction met: %v)\n",
+		*out, rep.Acceptance.EngineUpdateAllocsBefore, rep.Acceptance.EngineUpdateAllocsAfter,
+		rep.Acceptance.MeetsAllocReduction5x)
+}

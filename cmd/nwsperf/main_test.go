@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nwscpu/internal/forecast"
+)
+
+// stubMeasure returns fixed numbers without running the loop, so the report
+// plumbing is tested free of timing noise.
+func stubMeasure(m Measurement) measurer {
+	return func(iters int, fn func(n int)) Measurement {
+		fn(1) // the loop must at least be runnable
+		return m
+	}
+}
+
+func TestCollectCoversEngineAndEveryBankMember(t *testing.T) {
+	rep := collect(stubMeasure(Measurement{NsPerOp: 100, BytesPerOp: 0, AllocsPerOp: 0}), 0)
+
+	got := make(map[string]Result, len(rep.Results))
+	for _, r := range rep.Results {
+		got[r.Name] = r
+	}
+	want := []string{"engine_update", "engine_update_windowed_50", "engine_forecast", "engine_forecast_interval"}
+	for _, f := range forecast.DefaultBank() {
+		want = append(want, "member/"+f.Name())
+	}
+	for _, name := range want {
+		r, ok := got[name]
+		if !ok {
+			t.Fatalf("report missing scenario %q", name)
+		}
+		if r.Baseline == nil {
+			t.Fatalf("scenario %q has no seed baseline", name)
+		}
+		if wantSpeedup := r.Baseline.NsPerOp / 100; r.Speedup != wantSpeedup {
+			t.Fatalf("scenario %q speedup = %v, want %v", name, r.Speedup, wantSpeedup)
+		}
+	}
+	if len(rep.Results) != len(want) {
+		t.Fatalf("report has %d scenarios, want %d", len(rep.Results), len(want))
+	}
+}
+
+func TestCollectAcceptanceComparesEngineUpdateAllocs(t *testing.T) {
+	rep := collect(stubMeasure(Measurement{NsPerOp: 1, AllocsPerOp: 0}), 0)
+	acc := rep.Acceptance
+	if acc.EngineUpdateAllocsBefore != 12 {
+		t.Fatalf("baseline allocs = %v, want the seed's 12", acc.EngineUpdateAllocsBefore)
+	}
+	if acc.EngineUpdateAllocsAfter != 0 || !acc.MeetsAllocReduction5x {
+		t.Fatalf("acceptance = %+v, want 0 allocs meeting the 5x bar", acc)
+	}
+
+	rep = collect(stubMeasure(Measurement{NsPerOp: 1, AllocsPerOp: 11}), 0)
+	if rep.Acceptance.MeetsAllocReduction5x {
+		t.Fatal("11 allocs/op against a baseline of 12 must not meet the 5x bar")
+	}
+}
+
+func TestWriteReportRoundTrips(t *testing.T) {
+	rep := collect(stubMeasure(Measurement{NsPerOp: 50}), 0)
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeReport(path, rep); err != nil {
+		t.Fatalf("writeReport: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Schema != "nws/bench-forecast/v1" || back.BaselineCommit == "" {
+		t.Fatalf("round-tripped header = %q / %q", back.Schema, back.BaselineCommit)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatalf("round-tripped %d results, want %d", len(back.Results), len(rep.Results))
+	}
+}
+
+func TestRealMeasureObservesTimeAndAllocs(t *testing.T) {
+	sink := make([][]byte, 0, 64)
+	m := realMeasure(64, func(n int) {
+		for i := 0; i < n; i++ {
+			sink = append(sink, make([]byte, 128))
+		}
+	})
+	if m.NsPerOp <= 0 {
+		t.Fatalf("ns/op = %v, want > 0", m.NsPerOp)
+	}
+	if m.AllocsPerOp < 1 {
+		t.Fatalf("allocs/op = %v for an allocating loop, want >= 1", m.AllocsPerOp)
+	}
+	_ = sink
+}

@@ -23,6 +23,23 @@ const (
 // With a selection window configured it also keeps the recent absolute and
 // squared errors in rings so the selector can rank by recent accuracy, as
 // the paper describes ("most accurate over the recent set of measurements").
+//
+// All selection state is incremental: the windowed error sums are maintained
+// on push/evict instead of re-summed from the rings on every score, so
+// scoring a tracker is O(1) regardless of the selection window.
+//
+// Floating-point addition is not associative, so a maintained add/subtract
+// sum can drift a few ulps away from the freshly re-summed ring the previous
+// implementation scored with — enough to flip the argmin between two members
+// whose windows hold identical errors (selection must stay bit-compatible:
+// the paper's selection-dynamics tables ride on these tie-breaks). Each
+// tracker therefore also carries a running bound on |maintained − exact|
+// (standard FP error analysis: each add/subtract errs by at most one ulp of
+// its result). When the bound cannot separate the best member from a rival,
+// the engine resynchronizes the sums from the rings — bitwise the seed's
+// fresh summation — and re-ranks; away from such near-ties the bound proves
+// the fast path picks the identical member. Sums are additionally resynced
+// every Cap evictions so the bound (and drift) stays small forever.
 type tracker struct {
 	f          Forecaster
 	pending    float64 // forecast issued for the next value
@@ -31,33 +48,94 @@ type tracker struct {
 	sumSq      float64
 	n          int
 
-	winAbs *series.Ring // nil = cumulative selection
-	winSq  *series.Ring
+	winAbs    *series.Ring // nil = cumulative selection
+	winSq     *series.Ring
+	winSumAbs float64
+	winSumSq  float64
+	winErrAbs float64 // bound on |winSumAbs - exact window sum|
+	winErrSq  float64
+	winEvicts int // evictions since the last sum resynchronization
 }
+
+// ulp is the double-precision unit roundoff (2^-52).
+const ulp = 0x1p-52
 
 func (t *tracker) record(absErr, sqErr float64) {
 	t.sumAbs += absErr
 	t.sumSq += sqErr
 	t.n++
-	if t.winAbs != nil {
-		t.winAbs.Push(absErr)
-		t.winSq.Push(sqErr)
+	if t.winAbs == nil {
+		return
+	}
+	if t.winAbs.Full() {
+		t.winSumAbs -= t.winAbs.At(0)
+		t.winErrAbs += ulp * math.Abs(t.winSumAbs)
+		t.winSumSq -= t.winSq.At(0)
+		t.winErrSq += ulp * math.Abs(t.winSumSq)
+		t.winEvicts++
+	}
+	t.winAbs.Push(absErr)
+	t.winSq.Push(sqErr)
+	t.winSumAbs += absErr
+	t.winErrAbs += ulp * math.Abs(t.winSumAbs)
+	t.winSumSq += sqErr
+	t.winErrSq += ulp * math.Abs(t.winSumSq)
+	if t.winEvicts >= t.winAbs.Cap() {
+		t.resyncWin()
 	}
 }
 
+// resyncWin replaces the maintained window sums with fresh re-sums of the
+// rings (insertion order — bitwise the summation the seed selector used)
+// and resets the drift bounds to a fresh sum's own worst-case roundoff.
+func (t *tracker) resyncWin() {
+	if t.winAbs == nil {
+		return
+	}
+	n := float64(t.winAbs.Len())
+	t.winSumAbs = ringSum(t.winAbs)
+	t.winSumSq = ringSum(t.winSq)
+	t.winErrAbs = ulp * n * math.Abs(t.winSumAbs)
+	t.winErrSq = ulp * n * math.Abs(t.winSumSq)
+	t.winEvicts = 0
+}
+
+// ringSum re-sums a ring's contents in insertion order (the same summation
+// the seed selector performed on every score).
+func ringSum(r *series.Ring) float64 {
+	var sum float64
+	for i := 0; i < r.Len(); i++ {
+		sum += r.At(i)
+	}
+	return sum
+}
+
+// scoreBound returns a conservative bound on how far score may sit from the
+// score a fresh ring re-sum would produce: the maintained sum's drift bound,
+// a fresh sum's own worst-case roundoff, and the dividing roundoff. Zero for
+// cumulative trackers, whose sums are maintained with the exact operation
+// sequence the seed used.
+func (t *tracker) scoreBound(by SelectBy) float64 {
+	if t.winAbs == nil || t.winAbs.Len() == 0 {
+		return 0
+	}
+	n := float64(t.winAbs.Len())
+	sum, drift := t.winSumAbs, t.winErrAbs
+	if by == ByMSE {
+		sum, drift = t.winSumSq, t.winErrSq
+	}
+	mag := math.Abs(sum) + drift
+	return (drift+2*ulp*n*mag)/n + 2*ulp*(mag/n)
+}
+
 // score returns the selection criterion value: windowed recent error when a
-// window is configured, else the cumulative error.
+// window is configured, else the cumulative error. O(1) either way.
 func (t *tracker) score(by SelectBy) float64 {
 	if t.winAbs != nil && t.winAbs.Len() > 0 {
-		ring := t.winAbs
 		if by == ByMSE {
-			ring = t.winSq
+			return t.winSumSq / float64(t.winSq.Len())
 		}
-		var sum float64
-		for i := 0; i < ring.Len(); i++ {
-			sum += ring.At(i)
-		}
-		return sum / float64(ring.Len())
+		return t.winSumAbs / float64(t.winAbs.Len())
 	}
 	if by == ByMSE {
 		return t.mse()
@@ -93,17 +171,25 @@ type Prediction struct {
 // prediction of the member with the lowest cumulative error. Wolski showed
 // this choice tracks, and sometimes beats, the best single member.
 //
+// Selection is incremental: Update maintains every tracker's score and the
+// best-member index in the same O(bank) pass that absorbs the measurement
+// (amortized O(1) per bank member), and the index stays cached until the
+// next Update — scores only change when a measurement arrives — so
+// Forecast, BestMethod and ForecastInterval are O(1) and allocation-free.
+//
 // Engine is not safe for concurrent use; wrap it in a mutex if shared.
 type Engine struct {
 	trackers []*tracker
 	selectBy SelectBy
-	n        int // measurements seen
+	windowed bool // selection window configured (incremental sums in play)
+	n        int  // measurements seen
+	best     int  // cached index of the best-scoring tracker, -1 = none
 
 	// The engine's own forwarded-forecast residuals, backing the empirical
 	// prediction intervals of ForecastInterval.
 	ownForecast float64
 	ownPending  bool
-	ownErrs     *series.Ring
+	ownErrs     *series.OrderWindow
 
 	// selections counts how often each member was the one the engine
 	// forwarded (the NWS selection dynamics).
@@ -142,7 +228,13 @@ func NewWindowedEngine(selectBy SelectBy, selectWindow int, bank ...Forecaster) 
 		}
 	}
 	mEngineEngines.Inc()
-	return &Engine{trackers: ts, selectBy: selectBy, selections: make(map[string]int)}
+	return &Engine{
+		trackers:   ts,
+		selectBy:   selectBy,
+		windowed:   selectWindow > 0,
+		best:       -1,
+		selections: make(map[string]int),
+	}
 }
 
 // DefaultBank returns the standard NWS-style forecaster complement: last
@@ -205,32 +297,21 @@ func NewExtendedEngine(seasonalPeriod int) *Engine {
 }
 
 // Update feeds the next measurement: every member's outstanding forecast is
-// scored against v, then every member absorbs v.
+// scored against v, then every member absorbs v. The best-member index is
+// re-derived in the same pass — this is the only place scores change, so
+// every query between Updates reads the cached selection.
 func (e *Engine) Update(v float64) {
 	mEngineUpdates.Inc()
 	e.recordOwnError(v)
-	for _, t := range e.trackers {
+	best := -1
+	bestScore := math.Inf(1)
+	for i, t := range e.trackers {
 		if t.hasPending {
 			d := t.pending - v
 			t.record(math.Abs(d), d*d)
 		}
 		t.f.Update(v)
 		t.pending, t.hasPending = t.f.Forecast()
-	}
-	e.n++
-	e.noteOwnForecast()
-}
-
-// N returns the number of measurements seen.
-func (e *Engine) N() int { return e.n }
-
-// Forecast returns the prediction of the currently best-scoring member.
-// ok is false until at least one member can forecast.
-func (e *Engine) Forecast() (Prediction, bool) {
-	mEngineForecasts.Inc()
-	best := -1
-	bestScore := math.Inf(1)
-	for i, t := range e.trackers {
 		if !t.hasPending {
 			continue
 		}
@@ -241,10 +322,63 @@ func (e *Engine) Forecast() (Prediction, bool) {
 			best, bestScore = i, score
 		}
 	}
-	if best == -1 {
+	if e.windowed && best >= 0 && e.ambiguous(best, bestScore) {
+		// A rival's score interval overlaps the leader's: the maintained
+		// sums cannot prove which member a fresh re-sum would rank first
+		// (typically an exact tie between members tracking the series
+		// equally well). Resynchronize and re-rank on the fresh sums, which
+		// reproduce the previous implementation's scores bit for bit.
+		best = -1
+		bestScore = math.Inf(1)
+		for i, t := range e.trackers {
+			t.resyncWin()
+			if !t.hasPending {
+				continue
+			}
+			if score := t.score(e.selectBy); best == -1 || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+	}
+	e.best = best
+	e.n++
+	e.noteOwnForecast()
+}
+
+// ambiguous reports whether any rival tracker's score could, within the
+// floating-point drift bounds, rank at or ahead of the current leader's.
+func (e *Engine) ambiguous(best int, bestScore float64) bool {
+	hi := bestScore + e.trackers[best].scoreBound(e.selectBy)
+	for i, t := range e.trackers {
+		if i == best || !t.hasPending {
+			continue
+		}
+		if t.score(e.selectBy)-t.scoreBound(e.selectBy) <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+// N returns the number of measurements seen.
+func (e *Engine) N() int { return e.n }
+
+// Forecast returns the prediction of the currently best-scoring member.
+// ok is false until at least one member can forecast.
+func (e *Engine) Forecast() (Prediction, bool) {
+	mEngineForecasts.Inc()
+	return e.forecast()
+}
+
+// forecast is the unmetered selection read used internally (and by the
+// derived views BestMethod and ForecastInterval): the
+// nws_forecast_engine_forecasts_total counter must count only forecasts
+// served by Forecast itself, not the selector's own bookkeeping.
+func (e *Engine) forecast() (Prediction, bool) {
+	if e.best < 0 {
 		return Prediction{}, false
 	}
-	t := e.trackers[best]
+	t := e.trackers[e.best]
 	return Prediction{Value: t.pending, Method: t.f.Name(), MAE: t.mae(), MSE: t.mse()}, true
 }
 
@@ -270,7 +404,8 @@ func (e *Engine) Report() []MethodError {
 // SelectionCounts returns how many times each member was the engine's
 // forwarded choice, sorted by descending count — the selection dynamics the
 // NWS papers report (one method rarely dominates; the lead changes as the
-// series' character shifts).
+// series' character shifts). Ties break by ascending name, so the ordering
+// is deterministic for a given series.
 func (e *Engine) SelectionCounts() []MethodCount {
 	out := make([]MethodCount, 0, len(e.selections))
 	for name, n := range e.selections {
@@ -294,7 +429,7 @@ type MethodCount struct {
 // BestMethod returns the name of the member the engine would forward right
 // now, or "" if none has forecast yet.
 func (e *Engine) BestMethod() string {
-	p, ok := e.Forecast()
+	p, ok := e.forecast()
 	if !ok {
 		return ""
 	}

@@ -191,35 +191,6 @@ func TestEvaluateEngineForecastsAligned(t *testing.T) {
 	}
 }
 
-func BenchmarkEngineUpdate(b *testing.B) {
-	e := NewDefaultEngine()
-	rng := rand.New(rand.NewSource(1))
-	vals := make([]float64, 1024)
-	for i := range vals {
-		vals[i] = rng.Float64()
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.Update(vals[i%len(vals)])
-	}
-}
-
-func BenchmarkEngineForecast(b *testing.B) {
-	e := NewDefaultEngine()
-	rng := rand.New(rand.NewSource(2))
-	for i := 0; i < 1000; i++ {
-		e.Update(rng.Float64())
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, ok := e.Forecast(); !ok {
-			b.Fatal("no forecast")
-		}
-	}
-}
-
 func TestSelectionCounts(t *testing.T) {
 	e := NewDefaultEngine()
 	if len(e.SelectionCounts()) != 0 {

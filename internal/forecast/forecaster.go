@@ -12,8 +12,6 @@
 // to predict (generally a single value).
 package forecast
 
-import "nwscpu/internal/series"
-
 // Forecaster is a one-step-ahead predictor over a scalar time series.
 type Forecaster interface {
 	// Name identifies the method (e.g. "sw_mean_20") in reports.
@@ -103,12 +101,11 @@ func (f *ExpSmooth) Forecast() (float64, bool) { return f.state, f.seen }
 // tracking signal: gain = |smoothed error| / |smoothed absolute error|. It
 // reacts quickly to level shifts while smoothing stationary noise.
 type TriggLeach struct {
-	phi    float64 // smoothing constant for the tracking signal
-	state  float64
-	e      float64 // smoothed signed error
-	ae     float64 // smoothed absolute error
-	seen   bool
-	primed bool
+	phi   float64 // smoothing constant for the tracking signal
+	state float64
+	e     float64 // smoothed signed error
+	ae    float64 // smoothed absolute error
+	seen  bool
 }
 
 // NewTriggLeach returns the adaptive-gain smoother. phi is the smoothing
@@ -137,6 +134,8 @@ func (f *TriggLeach) Update(v float64) {
 		abs = -abs
 	}
 	f.ae += f.phi * (abs - f.ae)
+	// When the smoothed absolute error is zero (a perfectly flat stretch)
+	// the tracking ratio would be 0/0; fall back to the documented 0.5 gain.
 	gain := 0.5
 	if f.ae > 0 {
 		gain = f.e / f.ae
@@ -147,7 +146,6 @@ func (f *TriggLeach) Update(v float64) {
 			gain = 1
 		}
 	}
-	f.primed = true
 	f.state += gain * (v - f.state)
 }
 
@@ -260,13 +258,3 @@ var (
 	_ Forecaster = (*TrimmedMean)(nil)
 	_ Forecaster = (*AdaptiveWindow)(nil)
 )
-
-// ringWindow is shared storage for window-based forecasters.
-type ringWindow struct {
-	ring    *series.Ring
-	scratch []float64
-}
-
-func newRingWindow(capacity int) ringWindow {
-	return ringWindow{ring: series.NewRing(capacity), scratch: make([]float64, 0, capacity)}
-}

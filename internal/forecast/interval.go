@@ -1,9 +1,6 @@
 package forecast
 
-import (
-	"nwscpu/internal/series"
-	"nwscpu/internal/stats"
-)
+import "nwscpu/internal/series"
 
 // intervalWindow is how many recent engine-level one-step errors back the
 // empirical prediction intervals.
@@ -22,7 +19,7 @@ type Interval struct {
 func (e *Engine) recordOwnError(v float64) {
 	if e.ownPending {
 		if e.ownErrs == nil {
-			e.ownErrs = series.NewRing(intervalWindow)
+			e.ownErrs = series.NewOrderWindow(intervalWindow)
 		}
 		e.ownErrs.Push(v - e.ownForecast)
 	}
@@ -30,13 +27,16 @@ func (e *Engine) recordOwnError(v float64) {
 
 // noteOwnForecast stores the forecast the engine would forward right now so
 // the next Update can score it, and records the selection for the dynamics
-// report.
+// report. Update has just refreshed the cached best index, so this is an
+// O(1) read rather than a full re-selection.
 func (e *Engine) noteOwnForecast() {
-	if p, ok := e.Forecast(); ok {
-		e.ownForecast = p.Value
-		e.ownPending = true
-		e.selections[p.Method]++
+	if e.best < 0 {
+		return
 	}
+	t := e.trackers[e.best]
+	e.ownForecast = t.pending
+	e.ownPending = true
+	e.selections[t.f.Name()]++
 }
 
 // ForecastInterval returns the engine's forecast together with an empirical
@@ -44,8 +44,12 @@ func (e *Engine) noteOwnForecast() {
 // from the engine's recent one-step-ahead residuals. ok is false until the
 // engine has a forecast; before any residuals exist the band collapses to
 // the point forecast. Coverage outside (0, 1) is clamped to 0.9.
+//
+// The residuals live in an order-statistics window, so the quantile reads
+// are O(log w) and the call allocates nothing (the seed implementation
+// copied and sorted the residual ring twice per call).
 func (e *Engine) ForecastInterval(coverage float64) (Interval, bool) {
-	p, ok := e.Forecast()
+	p, ok := e.forecast()
 	if !ok {
 		return Interval{}, false
 	}
@@ -56,10 +60,9 @@ func (e *Engine) ForecastInterval(coverage float64) (Interval, bool) {
 	if e.ownErrs == nil || e.ownErrs.Len() == 0 {
 		return iv, true
 	}
-	resid := e.ownErrs.Values(nil)
 	alpha := (1 - coverage) / 2
-	iv.Lo = p.Value + stats.Quantile(resid, alpha)
-	iv.Hi = p.Value + stats.Quantile(resid, 1-alpha)
-	iv.N = len(resid)
+	iv.Lo = p.Value + e.ownErrs.Quantile(alpha)
+	iv.Hi = p.Value + e.ownErrs.Quantile(1-alpha)
+	iv.N = e.ownErrs.Len()
 	return iv, true
 }

@@ -13,7 +13,7 @@ var (
 		"Measurements absorbed by forecasting engines (all engines in the process).")
 	mEngineForecasts = metrics.NewCounter(
 		"nws_forecast_engine_forecasts_total",
-		"Forecasts produced by engines (internal selector calls included).")
+		"Forecasts served to Engine.Forecast callers (selector-internal reads excluded).")
 	mEngineEngines = metrics.NewCounter(
 		"nws_forecast_engines_created_total",
 		"Forecasting engines constructed.")

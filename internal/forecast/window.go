@@ -4,15 +4,17 @@ import (
 	"fmt"
 
 	"nwscpu/internal/series"
-	"nwscpu/internal/stats"
 )
 
 // SlidingMean predicts the mean of the last w measurements. The running sum
-// is maintained incrementally so Update and Forecast are O(1).
+// is maintained incrementally so Update and Forecast are O(1); to keep a
+// long-running daemon's sum from accumulating floating-point drift, it is
+// resynchronized from the ring contents every Cap evictions (amortized O(1)).
 type SlidingMean struct {
-	name string
-	ring *series.Ring
-	sum  float64
+	name   string
+	ring   *series.Ring
+	sum    float64
+	evicts int // evictions since the last resynchronization
 }
 
 // NewSlidingMean returns a sliding-window mean over windows of w values.
@@ -28,9 +30,21 @@ func (f *SlidingMean) Name() string { return f.name }
 func (f *SlidingMean) Update(v float64) {
 	if f.ring.Full() {
 		f.sum -= f.ring.At(0)
+		f.evicts++
 	}
 	f.ring.Push(v)
 	f.sum += v
+	if f.evicts >= f.ring.Cap() {
+		// Add/subtract rounding errors compound without bound on an
+		// unbounded series; a fresh sum every Cap evictions pins the drift
+		// at one window's worth of roundoff.
+		f.evicts = 0
+		var sum float64
+		for i := 0; i < f.ring.Len(); i++ {
+			sum += f.ring.At(i)
+		}
+		f.sum = sum
+	}
 }
 
 // Forecast implements Forecaster.
@@ -42,41 +56,46 @@ func (f *SlidingMean) Forecast() (float64, bool) {
 	return f.sum / float64(n), true
 }
 
-// SlidingMedian predicts the median of the last w measurements.
+// SlidingMedian predicts the median of the last w measurements. The window
+// is an incremental order-statistics structure, so Update and Forecast are
+// O(log w) with zero steady-state allocations (the seed implementation
+// copied and sorted the window on every forecast).
 type SlidingMedian struct {
 	name string
-	win  ringWindow
+	win  *series.OrderWindow
 }
 
 // NewSlidingMedian returns a sliding-window median over windows of w values.
 // It panics if w < 1.
 func NewSlidingMedian(w int) *SlidingMedian {
-	return &SlidingMedian{name: fmt.Sprintf("sw_median_%d", w), win: newRingWindow(w)}
+	return &SlidingMedian{name: fmt.Sprintf("sw_median_%d", w), win: series.NewOrderWindow(w)}
 }
 
 // Name implements Forecaster.
 func (f *SlidingMedian) Name() string { return f.name }
 
 // Update implements Forecaster.
-func (f *SlidingMedian) Update(v float64) { f.win.ring.Push(v) }
+func (f *SlidingMedian) Update(v float64) { f.win.Push(v) }
 
 // Forecast implements Forecaster.
 func (f *SlidingMedian) Forecast() (float64, bool) {
-	if f.win.ring.Len() == 0 {
+	if f.win.Len() == 0 {
 		return 0, false
 	}
-	f.win.scratch = f.win.ring.Values(f.win.scratch)
-	return stats.Median(f.win.scratch), true
+	return f.win.Median(), true
 }
 
 // TrimmedMean predicts the alpha-trimmed mean of the last w measurements:
-// the window is sorted and the lowest and highest trim fraction discarded
+// the lowest and highest trim fraction of the sorted window are discarded
 // before averaging. This is the NWS "trimmed" family, robust to the spikes a
 // briefly scheduled interactive job injects into an availability series.
+// The order-statistics window serves the trimmed span without sorting or
+// allocating; OrderWindow.TrimmedMean is bit-compatible with the seed's
+// stats.TrimmedMean over a copied window.
 type TrimmedMean struct {
 	name string
 	trim float64
-	win  ringWindow
+	win  *series.OrderWindow
 }
 
 // NewTrimmedMean returns an alpha-trimmed sliding mean. It panics if w < 1
@@ -88,7 +107,7 @@ func NewTrimmedMean(w int, trim float64) *TrimmedMean {
 	return &TrimmedMean{
 		name: fmt.Sprintf("sw_trim_%d_%02.0f", w, trim*100),
 		trim: trim,
-		win:  newRingWindow(w),
+		win:  series.NewOrderWindow(w),
 	}
 }
 
@@ -96,15 +115,14 @@ func NewTrimmedMean(w int, trim float64) *TrimmedMean {
 func (f *TrimmedMean) Name() string { return f.name }
 
 // Update implements Forecaster.
-func (f *TrimmedMean) Update(v float64) { f.win.ring.Push(v) }
+func (f *TrimmedMean) Update(v float64) { f.win.Push(v) }
 
 // Forecast implements Forecaster.
 func (f *TrimmedMean) Forecast() (float64, bool) {
-	if f.win.ring.Len() == 0 {
+	if f.win.Len() == 0 {
 		return 0, false
 	}
-	f.win.scratch = f.win.ring.Values(f.win.scratch)
-	return stats.TrimmedMean(f.win.scratch, f.trim), true
+	return f.win.TrimmedMean(f.trim), true
 }
 
 // AdaptiveWindow predicts the mean (or median) of a window whose length
@@ -112,12 +130,18 @@ func (f *TrimmedMean) Forecast() (float64, bool) {
 // window length against the value just seen and uses the cumulatively best
 // length for the next forecast. This mirrors the NWS adaptive-window
 // predictors.
+//
+// The median variant keeps one order-statistics window per candidate length,
+// so each candidate's prediction is O(log l) instead of a copy-and-sort of
+// the tail; the mean variant sums the ring tail in place. Neither variant
+// allocates after construction.
 type AdaptiveWindow struct {
 	name      string
 	useMedian bool
 	lengths   []int
 	errs      []float64 // cumulative absolute error per candidate length
-	win       ringWindow
+	ring      *series.Ring
+	wins      []*series.OrderWindow // median variant: one per candidate length
 }
 
 // NewAdaptiveWindowMean returns an adaptive-window mean predictor choosing
@@ -145,13 +169,20 @@ func newAdaptiveWindow(name string, useMedian bool, lengths []int) *AdaptiveWind
 			maxLen = l
 		}
 	}
-	return &AdaptiveWindow{
+	f := &AdaptiveWindow{
 		name:      name,
 		useMedian: useMedian,
 		lengths:   append([]int(nil), lengths...),
 		errs:      make([]float64, len(lengths)),
-		win:       newRingWindow(maxLen),
+		ring:      series.NewRing(maxLen),
 	}
+	if useMedian {
+		f.wins = make([]*series.OrderWindow, len(lengths))
+		for i, l := range f.lengths {
+			f.wins[i] = series.NewOrderWindow(l)
+		}
+	}
+	return f
 }
 
 // Name implements Forecaster.
@@ -160,50 +191,65 @@ func (f *AdaptiveWindow) Name() string { return f.name }
 // Update implements Forecaster.
 func (f *AdaptiveWindow) Update(v float64) {
 	// Score each candidate length's forecast against the arriving value,
-	// then absorb the value into the window.
-	if f.win.ring.Len() > 0 {
-		for i, l := range f.lengths {
-			p := f.predictWith(l)
-			d := p - v
+	// then absorb the value into the window(s).
+	if f.ring.Len() > 0 {
+		for i := range f.lengths {
+			d := f.predictCandidate(i) - v
 			if d < 0 {
 				d = -d
 			}
 			f.errs[i] += d
 		}
 	}
-	f.win.ring.Push(v)
+	f.ring.Push(v)
+	for _, w := range f.wins {
+		w.Push(v)
+	}
 }
 
 // Forecast implements Forecaster.
 func (f *AdaptiveWindow) Forecast() (float64, bool) {
-	if f.win.ring.Len() == 0 {
+	if f.ring.Len() == 0 {
 		return 0, false
 	}
-	best := 0
-	for i := range f.lengths {
-		if f.errs[i] < f.errs[best] {
-			best = i
-		}
-	}
-	return f.predictWith(f.lengths[best]), true
+	return f.predictCandidate(f.bestIdx()), true
 }
 
 // BestLength returns the currently selected window length (for diagnostics
 // and ablation reporting).
-func (f *AdaptiveWindow) BestLength() int {
+func (f *AdaptiveWindow) BestLength() int { return f.lengths[f.bestIdx()] }
+
+func (f *AdaptiveWindow) bestIdx() int {
 	best := 0
 	for i := range f.lengths {
 		if f.errs[i] < f.errs[best] {
 			best = i
 		}
 	}
-	return f.lengths[best]
+	return best
 }
 
-func (f *AdaptiveWindow) predictWith(l int) float64 {
-	f.win.scratch = f.win.ring.Tail(l, f.win.scratch)
+// predictCandidate forecasts with candidate window i: the median of its
+// order window, or the mean of the last lengths[i] ring values (Kahan
+// compensated, matching stats.Mean over the copied tail bit for bit).
+func (f *AdaptiveWindow) predictCandidate(i int) float64 {
 	if f.useMedian {
-		return stats.Median(f.win.scratch)
+		return f.wins[i].Median()
 	}
-	return stats.Mean(f.win.scratch)
+	n := f.ring.Len()
+	k := f.lengths[i]
+	if k > n {
+		k = n
+	}
+	if k == 0 {
+		return 0
+	}
+	var sum, c float64
+	for j := n - k; j < n; j++ {
+		y := f.ring.At(j) - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum / float64(k)
 }

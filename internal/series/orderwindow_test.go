@@ -1,0 +1,207 @@
+package series
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refMedian / refQuantile / refTrimmed replicate the stats package's
+// copy-and-sort arithmetic so the equivalence checks below can assert exact
+// (bitwise) agreement without importing stats (which would cycle).
+
+func refSorted(xs []float64) []float64 {
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	return tmp
+}
+
+func refMedian(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	tmp := refSorted(xs)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+func refKahanMean(xs []float64) float64 {
+	var sum, c float64
+	for _, x := range xs {
+		y := x - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum / float64(len(xs))
+}
+
+func refQuantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	tmp := refSorted(xs)
+	if n == 1 {
+		return tmp[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if frac == 0 {
+		return tmp[lo]
+	}
+	return tmp[lo]*(1-frac) + tmp[lo+1]*frac
+}
+
+func refTrimmed(xs []float64, frac float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if frac <= 0 {
+		return refKahanMean(xs)
+	}
+	if frac >= 0.5 {
+		return refMedian(xs)
+	}
+	tmp := refSorted(xs)
+	k := int(float64(n) * frac)
+	if 2*k >= n {
+		return refMedian(xs)
+	}
+	return refKahanMean(tmp[k : n-k])
+}
+
+func TestOrderWindowMatchesSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, capacity := range []int{1, 2, 3, 5, 8, 50, 200} {
+		w := NewOrderWindow(capacity)
+		window := make([]float64, 0, capacity)
+		for i := 0; i < 3000; i++ {
+			var v float64
+			switch i % 5 {
+			case 0:
+				v = float64(rng.Intn(4)) // force duplicates
+			default:
+				v = rng.NormFloat64() * 100
+			}
+			w.Push(v)
+			window = append(window, v)
+			if len(window) > capacity {
+				window = window[1:]
+			}
+			if w.Len() != len(window) {
+				t.Fatalf("cap %d step %d: Len = %d, want %d", capacity, i, w.Len(), len(window))
+			}
+			sorted := refSorted(window)
+			for k, want := range sorted {
+				if got := w.Kth(k); got != want {
+					t.Fatalf("cap %d step %d: Kth(%d) = %v, want %v", capacity, i, k, got, want)
+				}
+			}
+			if got, want := w.Median(), refMedian(window); got != want {
+				t.Fatalf("cap %d step %d: Median = %v, want %v", capacity, i, got, want)
+			}
+			for _, q := range []float64{0, 0.05, 0.25, 0.5, 0.77, 0.95, 1} {
+				if got, want := w.Quantile(q), refQuantile(window, q); got != want {
+					t.Fatalf("cap %d step %d: Quantile(%v) = %v, want %v", capacity, i, q, got, want)
+				}
+			}
+			for _, f := range []float64{0, 0.1, 0.2, 0.3, 0.49} {
+				if got, want := w.TrimmedMean(f), refTrimmed(window, f); got != want {
+					t.Fatalf("cap %d step %d: TrimmedMean(%v) = %v, want %v", capacity, i, f, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOrderWindowEmptyAndClamps(t *testing.T) {
+	w := NewOrderWindow(4)
+	if w.Median() != 0 || w.Quantile(0.5) != 0 || w.TrimmedMean(0.2) != 0 {
+		t.Fatal("empty window should report 0 like the stats package")
+	}
+	w.Push(7)
+	if w.Quantile(-3) != 7 || w.Quantile(9) != 7 {
+		t.Fatal("Quantile should clamp q into [0,1]")
+	}
+	if w.TrimmedMean(0.9) != 7 {
+		t.Fatal("TrimmedMean with frac >= 0.5 should fall back to the median")
+	}
+}
+
+func TestOrderWindowReset(t *testing.T) {
+	w := NewOrderWindow(3)
+	for _, v := range []float64{5, 1, 9, 2} {
+		w.Push(v)
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	for _, v := range []float64{4, 8} {
+		w.Push(v)
+	}
+	if got := w.Median(); got != 6 {
+		t.Fatalf("Median after Reset+Push = %v, want 6", got)
+	}
+}
+
+func TestOrderWindowPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero capacity": func() { NewOrderWindow(0) },
+		"Kth range":     func() { NewOrderWindow(2).Kth(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// The whole point of OrderWindow: a full window must run without touching
+// the allocator.
+func TestOrderWindowSteadyStateAllocs(t *testing.T) {
+	w := NewOrderWindow(50)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		w.Push(rng.Float64())
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		w.Push(float64(i%97) * 0.125)
+		_ = w.Median()
+		_ = w.Quantile(0.9)
+		_ = w.TrimmedMean(0.2)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", allocs)
+	}
+}
+
+func BenchmarkOrderWindowPushMedian50(b *testing.B) {
+	w := NewOrderWindow(50)
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	for _, v := range vals[:64] {
+		w.Push(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Push(vals[i%len(vals)])
+		_ = w.Median()
+	}
+}
