@@ -3,9 +3,9 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test test-race chaos vet bench bench-forecast bench-forecast-smoke bench-paper experiments report clean
+.PHONY: all build test test-race chaos vet bench bench-forecast bench-forecast-smoke bench-memory bench-memory-smoke bench-paper experiments report clean
 
-all: build vet test bench-forecast-smoke
+all: build vet test bench-forecast-smoke bench-memory-smoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,19 @@ bench-forecast:
 bench-forecast-smoke:
 	$(GO) test -race -run - -bench 'BenchmarkEngine|BenchmarkBank' -benchtime 1x -benchmem ./internal/forecast
 	$(GO) run ./cmd/nwsperf -scale 0.01 -out /tmp/BENCH_forecast.smoke.json
+
+# Memory serving-path baseline: the nwsload closed-loop generator at the
+# acceptance workload (64 writers over 256 series at steady-state eviction),
+# regenerating BENCH_memory.json — the sharded serving path measured next to
+# the embedded seed single-mutex implementation, both fresh.
+bench-memory:
+	$(GO) run ./cmd/nwsload -out BENCH_memory.json
+
+# CI smoke for the same path: a ~1 s down-scaled closed loop under the race
+# detector, writing to a scratch file (guards the generator and the serving
+# path's concurrency, not perf).
+bench-memory-smoke:
+	$(GO) run -race ./cmd/nwsload -smoke -out /tmp/BENCH_memory.smoke.json
 
 # One iteration of every table/figure/ablation benchmark at 6-hour scale.
 bench:

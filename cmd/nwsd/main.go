@@ -35,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -129,7 +130,18 @@ func run(o daemonOpts, logger *log.Logger) error {
 		if o.memory == "" {
 			return fmt.Errorf("forecaster needs -memory")
 		}
-		return serve(o, nwsnet.NewForecasterServiceReplicas(memoryAddrs(o), 0), logger)
+		fs := nwsnet.NewForecasterServiceReplicas(memoryAddrs(o), 0)
+		// Catch up on existing history in one batched round trip before
+		// serving, so the first query per series is not the expensive one.
+		// Best effort: an empty or unreachable memory just starts cold.
+		warmCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if n, err := fs.Warm(warmCtx, nil); err != nil {
+			logger.Printf("forecaster warm-up skipped: %v", err)
+		} else if n > 0 {
+			logger.Printf("forecaster warmed with %d points", n)
+		}
+		cancel()
+		return serve(o, fs, logger)
 	case "reflector":
 		r := netsensor.NewReflector()
 		addr, err := r.Listen(o.listen)

@@ -1,0 +1,474 @@
+// Command nwsload is a closed-loop load generator for the NWS memory
+// serving path: N client workers hammer stores and fetches over a fixed set
+// of series and the tool reports sustained throughput and latency quantiles
+// per scenario, writing a machine-readable report (BENCH_memory.json by
+// default).
+//
+// The report carries its own baseline: the seed implementation of the memory
+// — one global mutex over append-slice series, with an O(capacity) copy
+// evicting every point past the bound — is embedded here (lock-corrected so
+// the tool itself is race-clean) and measured fresh each run next to the
+// sharded ring-buffer implementation, so the speedup is regenerated from
+// scratch by anyone running `make bench-memory` rather than trusted from a
+// committed number.
+//
+// Two levels are measured:
+//
+//   - serve_store/* drive Memory.Handle directly, isolating the serving
+//     path the shard/ring rework changed; this is the acceptance pair.
+//   - wire_* run the full closed loop — JSON framing, TCP loopback,
+//     pooled connections — against a live Server, for end-to-end context
+//     and the batch-envelope amortization numbers.
+//
+// Usage:
+//
+//	nwsload [-clients 64] [-series 256] [-capacity 10000] [-duration 2s]
+//	        [-out BENCH_memory.json] [-smoke]
+//
+// -smoke shrinks everything to a ~1 s run for the race-enabled CI pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"nwscpu/internal/nwsnet"
+	"nwscpu/internal/series"
+)
+
+// seedMemory reproduces the seed memory server's cost shape: a single
+// global mutex over every series, append-slice storage, and an O(capacity)
+// copy per store once a series is at its bound. Unlike the real seed code it
+// holds the lock across the whole fetch (the seed read the series tail
+// outside it — the data race this PR fixed), so the generator itself stays
+// race-clean while preserving the contention and eviction costs.
+type seedMemory struct {
+	capacity int
+	mu       sync.Mutex
+	store    map[string]*series.Series
+}
+
+func newSeedMemory(capacity int) *seedMemory {
+	return &seedMemory{capacity: capacity, store: make(map[string]*series.Series)}
+}
+
+func (m *seedMemory) Handle(req nwsnet.Request) nwsnet.Response {
+	switch req.Op {
+	case nwsnet.OpStore:
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		s := m.store[req.Series]
+		if s == nil {
+			s = series.New(req.Series, "fraction")
+			m.store[req.Series] = s
+		}
+		for _, tv := range req.Points {
+			// The seed rejected t < last ("out-of-order append"); the
+			// workload never sends that, so plain Append matches its cost.
+			if err := s.Append(tv[0], tv[1]); err != nil {
+				return nwsnet.Response{Error: err.Error()}
+			}
+		}
+		// The seed's circular bound: a full reallocation and copy of the
+		// retained window on every overflowing store.
+		if extra := s.Len() - m.capacity; extra > 0 {
+			s.Points = append(s.Points[:0:0], s.Points[extra:]...)
+		}
+		return nwsnet.Response{OK: true}
+	case nwsnet.OpFetch:
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		s := m.store[req.Series]
+		if s == nil {
+			return nwsnet.Response{Error: "unknown series"}
+		}
+		to := req.To
+		if to == 0 {
+			if last, ok := s.Last(); ok {
+				to = last.T + 1
+			}
+		}
+		sub := s.Slice(req.From, to)
+		pts := sub.Points
+		if req.Max > 0 && len(pts) > req.Max {
+			pts = pts[len(pts)-req.Max:]
+		}
+		out := make([][2]float64, len(pts))
+		for i, p := range pts {
+			out[i] = [2]float64{p.T, p.V}
+		}
+		return nwsnet.Response{OK: true, Points: out}
+	default:
+		return nwsnet.Response{Error: "unsupported"}
+	}
+}
+
+// config is one run's workload shape.
+type config struct {
+	Clients  int     `json:"clients"`
+	Series   int     `json:"series"`
+	Capacity int     `json:"capacity"`
+	Duration float64 `json:"duration_seconds"` // per scenario
+}
+
+// Measurement is one scenario's sustained observed performance.
+type Measurement struct {
+	Ops          int64   `json:"ops"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	P50Micros    float64 `json:"p50_us"`
+	P90Micros    float64 `json:"p90_us"`
+	P99Micros    float64 `json:"p99_us"`
+}
+
+// Result is one scenario's row in the report.
+type Result struct {
+	Name    string      `json:"name"`
+	Current Measurement `json:"current"`
+}
+
+// Acceptance states the PR's headline criterion in checkable form: the
+// sharded serving path must sustain at least 5x the seed single-mutex
+// store throughput under the standard 64-writers/256-series workload.
+type Acceptance struct {
+	StoreOpsPerSecSeed     float64 `json:"store_ops_per_sec_seed"`
+	StoreOpsPerSecSharded  float64 `json:"store_ops_per_sec_sharded"`
+	StoreSpeedup           float64 `json:"store_speedup"`
+	Meets5xStoreThroughput bool    `json:"meets_5x_store_throughput"`
+}
+
+// Report is the BENCH_memory.json document.
+type Report struct {
+	Schema         string     `json:"schema"`
+	Package        string     `json:"package"`
+	GoVersion      string     `json:"go_version"`
+	GOOS           string     `json:"goos"`
+	GOARCH         string     `json:"goarch"`
+	NumCPU         int        `json:"num_cpu"`
+	BaselineCommit string     `json:"baseline_commit"`
+	BaselineSource string     `json:"baseline_source"`
+	Config         config     `json:"config"`
+	Acceptance     Acceptance `json:"acceptance"`
+	Results        []Result   `json:"results"`
+}
+
+// latSampleEvery thins latency sampling so the timer calls do not dominate
+// sub-microsecond operations; throughput counts every op regardless.
+const latSampleEvery = 8
+
+// worker owns a disjoint subset of the series (so per-series timestamps
+// stay monotonic without coordination) and runs one closed loop.
+type worker struct {
+	keys []string
+	next []float64 // next timestamp per owned series
+
+	ops  int64
+	lats []float64 // sampled latencies, microseconds
+}
+
+// run loops body until the deadline, counting ops and sampling latency.
+// body performs one operation on the i-th owned series rotation.
+func (w *worker) run(deadline time.Time, body func(rot int)) {
+	rot := 0
+	for i := 0; ; i++ {
+		if i%64 == 0 && time.Now().After(deadline) {
+			return
+		}
+		if i%latSampleEvery == 0 {
+			t0 := time.Now()
+			body(rot)
+			w.lats = append(w.lats, float64(time.Since(t0).Nanoseconds())/1e3)
+		} else {
+			body(rot)
+		}
+		w.ops++
+		rot = (rot + 1) % len(w.keys)
+	}
+}
+
+// makeWorkers splits the series evenly across n workers, with per-series
+// timestamp counters starting just past the prefill.
+func makeWorkers(cfg config, prefill int) []*worker {
+	ws := make([]*worker, cfg.Clients)
+	for i := range ws {
+		ws[i] = &worker{}
+	}
+	for s := 0; s < cfg.Series; s++ {
+		w := ws[s%cfg.Clients]
+		w.keys = append(w.keys, fmt.Sprintf("load/host%03d/cpu", s))
+		w.next = append(w.next, float64(prefill+1))
+	}
+	return ws
+}
+
+// prefill loads every series to capacity so store scenarios run at
+// steady-state eviction — the regime where the seed implementation pays its
+// O(capacity) copy on every single-point store.
+func prefill(h nwsnet.Handler, cfg config) {
+	pts := make([][2]float64, cfg.Capacity)
+	for i := range pts {
+		pts[i] = [2]float64{float64(i + 1), 0.5}
+	}
+	for s := 0; s < cfg.Series; s++ {
+		key := fmt.Sprintf("load/host%03d/cpu", s)
+		if resp := h.Handle(nwsnet.Request{Op: nwsnet.OpStore, Series: key, Points: pts}); resp.Error != "" {
+			panic("nwsload: prefill: " + resp.Error)
+		}
+	}
+}
+
+// collect drives every worker concurrently and folds their counts into one
+// Measurement. pointsPerOp scales the points/s figure (0 omits it).
+func collect(cfg config, ws []*worker, pointsPerOp int, body func(w *worker, rot int)) Measurement {
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(time.Duration(cfg.Duration * float64(time.Second)))
+	for _, w := range ws {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(deadline, func(rot int) { body(w, rot) })
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var m Measurement
+	var lats []float64
+	for _, w := range ws {
+		m.Ops += w.ops
+		lats = append(lats, w.lats...)
+	}
+	m.OpsPerSec = float64(m.Ops) / elapsed
+	if pointsPerOp > 0 {
+		m.PointsPerSec = m.OpsPerSec * float64(pointsPerOp)
+	}
+	sort.Float64s(lats)
+	q := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	m.P50Micros, m.P90Micros, m.P99Micros = q(0.50), q(0.90), q(0.99)
+	return m
+}
+
+// storeBody returns a closed-loop body storing one point per op through h.
+func storeBody(h nwsnet.Handler) func(w *worker, rot int) {
+	return func(w *worker, rot int) {
+		t := w.next[rot]
+		w.next[rot] = t + 1
+		resp := h.Handle(nwsnet.Request{Op: nwsnet.OpStore, Series: w.keys[rot],
+			Points: [][2]float64{{t, 0.5}}})
+		if resp.Error != "" {
+			panic("nwsload: store: " + resp.Error)
+		}
+	}
+}
+
+// serveScenario measures handler-level stores: the serving path in
+// isolation, no wire in the way.
+func serveScenario(cfg config, h nwsnet.Handler) Measurement {
+	prefill(h, cfg)
+	ws := makeWorkers(cfg, cfg.Capacity)
+	return collect(cfg, ws, 1, storeBody(h))
+}
+
+// startServer brings up a protocol server over h and returns its address
+// with a shutdown func.
+func startServer(h nwsnet.Handler) (string, func()) {
+	srv := nwsnet.NewServer(h, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		panic("nwsload: listen: " + err.Error())
+	}
+	return addr, func() { srv.Close() }
+}
+
+// newWireClients gives every worker its own pooled client so each keeps a
+// live connection, the shape of a fleet of sensor daemons.
+func newWireClients(n int) []*nwsnet.Client {
+	cs := make([]*nwsnet.Client, n)
+	for i := range cs {
+		cs[i] = nwsnet.NewClientOptions(nwsnet.ClientOptions{
+			Timeout:        10 * time.Second,
+			MaxIdlePerAddr: 1,
+		})
+	}
+	return cs
+}
+
+// wireStoreScenario is the full closed loop: one point per op per client
+// over TCP.
+func wireStoreScenario(cfg config, h nwsnet.Handler) Measurement {
+	prefill(h, cfg)
+	addr, stop := startServer(h)
+	defer stop()
+	ws := makeWorkers(cfg, cfg.Capacity)
+	clients := newWireClients(cfg.Clients)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	byWorker := make(map[*worker]*nwsnet.Client, len(ws))
+	for i, w := range ws {
+		byWorker[w] = clients[i]
+	}
+	return collect(cfg, ws, 1, func(w *worker, rot int) {
+		t := w.next[rot]
+		w.next[rot] = t + 1
+		if err := byWorker[w].Store(addr, w.keys[rot], [][2]float64{{t, 0.5}}); err != nil {
+			panic("nwsload: wire store: " + err.Error())
+		}
+	})
+}
+
+// wireStoreBatchScenario stores one point on every owned series per op
+// through the batch envelope — the sensor daemon's per-tick shape.
+func wireStoreBatchScenario(cfg config, h nwsnet.Handler) Measurement {
+	prefill(h, cfg)
+	addr, stop := startServer(h)
+	defer stop()
+	ws := makeWorkers(cfg, cfg.Capacity)
+	clients := newWireClients(cfg.Clients)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	byWorker := make(map[*worker]*nwsnet.Client, len(ws))
+	for i, w := range ws {
+		byWorker[w] = clients[i]
+	}
+	perOp := len(ws[0].keys)
+	return collect(cfg, ws, perOp, func(w *worker, _ int) {
+		stores := make([]nwsnet.BatchStore, len(w.keys))
+		for i, k := range w.keys {
+			stores[i] = nwsnet.BatchStore{Series: k, Points: [][2]float64{{w.next[i], 0.5}}}
+			w.next[i]++
+		}
+		if _, err := byWorker[w].StoreBatch(addr, stores); err != nil {
+			panic("nwsload: wire batch store: " + err.Error())
+		}
+	})
+}
+
+// wireFetchScenario reads the latest 100 points per op over TCP.
+func wireFetchScenario(cfg config, h nwsnet.Handler) Measurement {
+	prefill(h, cfg)
+	addr, stop := startServer(h)
+	defer stop()
+	ws := makeWorkers(cfg, cfg.Capacity)
+	clients := newWireClients(cfg.Clients)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	byWorker := make(map[*worker]*nwsnet.Client, len(ws))
+	for i, w := range ws {
+		byWorker[w] = clients[i]
+	}
+	return collect(cfg, ws, 100, func(w *worker, rot int) {
+		pts, err := byWorker[w].Fetch(addr, w.keys[rot], 0, 0, 100)
+		if err != nil {
+			panic("nwsload: wire fetch: " + err.Error())
+		}
+		if len(pts) == 0 {
+			panic("nwsload: wire fetch returned no points")
+		}
+	})
+}
+
+// runAll executes every scenario and assembles the report.
+func runAll(cfg config) Report {
+	rep := Report{
+		Schema:         "nws/bench-memory/v1",
+		Package:        "nwscpu/internal/nwsnet",
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		BaselineCommit: "86fd0a6",
+		BaselineSource: "embedded seed single-mutex memory (lock-corrected), measured fresh each run",
+		Config:         cfg,
+	}
+	add := func(name string, m Measurement) Measurement {
+		rep.Results = append(rep.Results, Result{Name: name, Current: m})
+		return m
+	}
+
+	seed := add("serve_store/seed", serveScenario(cfg, newSeedMemory(cfg.Capacity)))
+	sharded := add("serve_store/sharded", serveScenario(cfg, nwsnet.NewMemory(cfg.Capacity)))
+	add("wire_store/seed", wireStoreScenario(cfg, newSeedMemory(cfg.Capacity)))
+	add("wire_store/sharded", wireStoreScenario(cfg, nwsnet.NewMemory(cfg.Capacity)))
+	add("wire_store_batch/sharded", wireStoreBatchScenario(cfg, nwsnet.NewMemory(cfg.Capacity)))
+	add("wire_fetch/seed", wireFetchScenario(cfg, newSeedMemory(cfg.Capacity)))
+	add("wire_fetch/sharded", wireFetchScenario(cfg, nwsnet.NewMemory(cfg.Capacity)))
+
+	rep.Acceptance = Acceptance{
+		StoreOpsPerSecSeed:    seed.OpsPerSec,
+		StoreOpsPerSecSharded: sharded.OpsPerSec,
+	}
+	if seed.OpsPerSec > 0 {
+		rep.Acceptance.StoreSpeedup = sharded.OpsPerSec / seed.OpsPerSec
+	}
+	rep.Acceptance.Meets5xStoreThroughput = rep.Acceptance.StoreSpeedup >= 5
+	return rep
+}
+
+func writeReport(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+func main() {
+	clients := flag.Int("clients", 64, "concurrent client workers")
+	nSeries := flag.Int("series", 256, "distinct series, split across clients")
+	capacity := flag.Int("capacity", 10000, "per-series point bound (stores run at steady-state eviction)")
+	duration := flag.Duration("duration", 2*time.Second, "closed-loop time per scenario")
+	out := flag.String("out", "BENCH_memory.json", "report output path")
+	smoke := flag.Bool("smoke", false, "tiny CI run: shrinks clients/series/capacity/duration")
+	flag.Parse()
+
+	cfg := config{Clients: *clients, Series: *nSeries, Capacity: *capacity,
+		Duration: duration.Seconds()}
+	if *smoke {
+		cfg = config{Clients: 8, Series: 32, Capacity: 256, Duration: 0.1}
+	}
+	if cfg.Series < cfg.Clients {
+		fmt.Fprintln(os.Stderr, "nwsload: -series must be >= -clients")
+		os.Exit(2)
+	}
+
+	rep := runAll(cfg)
+	if err := writeReport(*out, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "nwsload: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Results {
+		line := fmt.Sprintf("%-26s %12.0f ops/s  p50 %7.1fus  p99 %7.1fus",
+			r.Name, r.Current.OpsPerSec, r.Current.P50Micros, r.Current.P99Micros)
+		if r.Current.PointsPerSec > 0 && r.Current.PointsPerSec != r.Current.OpsPerSec {
+			line += fmt.Sprintf("  (%.0f points/s)", r.Current.PointsPerSec)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("wrote %s (store serving path: %.0f -> %.0f ops/s, %.1fx, 5x met: %v)\n",
+		*out, rep.Acceptance.StoreOpsPerSecSeed, rep.Acceptance.StoreOpsPerSecSharded,
+		rep.Acceptance.StoreSpeedup, rep.Acceptance.Meets5xStoreThroughput)
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nwscpu/internal/nwsnet"
+)
+
+// tiny is a sub-second workload for exercising the generator's plumbing.
+var tiny = config{Clients: 2, Series: 4, Capacity: 64, Duration: 0.02}
+
+func TestSeedMemoryMatchesShardedResults(t *testing.T) {
+	// The embedded baseline must be semantically interchangeable with the
+	// real memory on the generator's workload, or the comparison is
+	// measuring different work.
+	seed, sharded := newSeedMemory(16), nwsnet.NewMemory(16)
+	for _, h := range []nwsnet.Handler{seed, sharded} {
+		for i := 1; i <= 40; i++ {
+			if resp := h.Handle(nwsnet.Request{Op: nwsnet.OpStore, Series: "k",
+				Points: [][2]float64{{float64(i), float64(i)}}}); resp.Error != "" {
+				t.Fatal(resp.Error)
+			}
+		}
+	}
+	a := seed.Handle(nwsnet.Request{Op: nwsnet.OpFetch, Series: "k", Max: 10})
+	b := sharded.Handle(nwsnet.Request{Op: nwsnet.OpFetch, Series: "k", Max: 10})
+	if a.Error != "" || b.Error != "" {
+		t.Fatalf("fetch errors: %q / %q", a.Error, b.Error)
+	}
+	if len(a.Points) != 10 || len(b.Points) != 10 {
+		t.Fatalf("lens = %d / %d, want 10", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d: seed %v vs sharded %v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestWorkersPartitionSeriesDisjointly(t *testing.T) {
+	ws := makeWorkers(config{Clients: 4, Series: 10, Capacity: 8}, 8)
+	seen := map[string]bool{}
+	total := 0
+	for _, w := range ws {
+		if len(w.keys) != len(w.next) {
+			t.Fatalf("keys/next mismatch: %d vs %d", len(w.keys), len(w.next))
+		}
+		for i, k := range w.keys {
+			if seen[k] {
+				t.Fatalf("series %q owned by two workers", k)
+			}
+			seen[k] = true
+			if w.next[i] != 9 {
+				t.Fatalf("next timestamp = %v, want prefill+1 = 9", w.next[i])
+			}
+		}
+		total += len(w.keys)
+	}
+	if total != 10 {
+		t.Fatalf("workers own %d series, want 10", total)
+	}
+}
+
+func TestRunAllProducesEveryScenarioAndAcceptance(t *testing.T) {
+	rep := runAll(tiny)
+	want := []string{
+		"serve_store/seed", "serve_store/sharded",
+		"wire_store/seed", "wire_store/sharded",
+		"wire_store_batch/sharded",
+		"wire_fetch/seed", "wire_fetch/sharded",
+	}
+	if len(rep.Results) != len(want) {
+		t.Fatalf("report has %d scenarios, want %d", len(rep.Results), len(want))
+	}
+	for i, name := range want {
+		r := rep.Results[i]
+		if r.Name != name {
+			t.Fatalf("scenario %d = %q, want %q", i, r.Name, name)
+		}
+		if r.Current.Ops <= 0 || r.Current.OpsPerSec <= 0 {
+			t.Fatalf("scenario %q measured nothing: %+v", name, r.Current)
+		}
+	}
+	acc := rep.Acceptance
+	if acc.StoreOpsPerSecSeed <= 0 || acc.StoreOpsPerSecSharded <= 0 {
+		t.Fatalf("acceptance missing throughputs: %+v", acc)
+	}
+	if got := acc.StoreOpsPerSecSharded / acc.StoreOpsPerSecSeed; acc.StoreSpeedup != got {
+		t.Fatalf("speedup = %v, want ratio %v", acc.StoreSpeedup, got)
+	}
+	if acc.Meets5xStoreThroughput != (acc.StoreSpeedup >= 5) {
+		t.Fatalf("acceptance flag inconsistent with speedup %v", acc.StoreSpeedup)
+	}
+}
+
+func TestWriteReportRoundTrips(t *testing.T) {
+	rep := runAll(tiny)
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeReport(path, rep); err != nil {
+		t.Fatalf("writeReport: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Schema != "nws/bench-memory/v1" || back.BaselineCommit == "" {
+		t.Fatalf("round-tripped header = %q / %q", back.Schema, back.BaselineCommit)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatalf("round-tripped %d results, want %d", len(back.Results), len(rep.Results))
+	}
+}

@@ -39,7 +39,7 @@ func chaosFront(t *testing.T, sched chaos.Schedule) (*Memory, *chaos.Proxy, stri
 // read failover must carry the stream with zero measurement loss, and the
 // retry and health metrics must report the event.
 func TestChaosPrimaryReplicaKilledMidRun(t *testing.T) {
-	retries0 := mClientRetries.With(string(OpStore)).Value()
+	retries0 := mClientRetries.With(string(OpBatch)).Value()
 	fo0 := mReplicaFailovers.Value()
 
 	_, proxy, primaryAddr := chaosFront(t, nil)
@@ -76,8 +76,8 @@ func TestChaosPrimaryReplicaKilledMidRun(t *testing.T) {
 	if got := mReplicaHealthy.With(primaryAddr).Value(); got != 0 {
 		t.Fatalf("nws_replica_healthy{%s} = %g during outage, want 0", primaryAddr, got)
 	}
-	if got := mClientRetries.With(string(OpStore)).Value() - retries0; got == 0 {
-		t.Fatal("nws_client_retries_total{store} did not report the outage")
+	if got := mClientRetries.With(string(OpBatch)).Value() - retries0; got == 0 {
+		t.Fatal("nws_client_retries_total{batch} did not report the outage")
 	}
 
 	// A reader whose preferred replica is the dead primary must fail over
@@ -228,5 +228,61 @@ func TestChaosSeededScheduleIsDeterministic(t *testing.T) {
 	}
 	if !ok || !fail {
 		t.Fatalf("seeded schedule produced a degenerate run: %v", a)
+	}
+}
+
+// TestChaosReplicaTimeoutMidBatchIdempotentRetry is the end-to-end
+// idempotency scenario behind the memory server's store dedup: a replica
+// applies a batched store but the client never sees the ack (the proxy
+// truncates the response mid-exchange), so the retry redelivers the whole
+// envelope. The group call must succeed, and every replica must end up with
+// exactly one copy of each point — no duplicated tails, no wedged
+// "out-of-order append".
+func TestChaosReplicaTimeoutMidBatchIdempotentRetry(t *testing.T) {
+	deduped0 := mMemoryPointsDeduped.Value()
+
+	// Replica 0's first connection is truncated AFTER the request reaches
+	// the server: applied, but unacknowledged. Later connections pass.
+	chaosMem, _, chaosAddr := chaosFront(t, chaos.NewScript(chaos.Action{Fault: chaos.Truncate}))
+	mems, _, addrs := startReplicaSet(t, 1)
+	group := []string{chaosAddr, addrs[0]}
+
+	c := NewClientOptions(ClientOptions{
+		Timeout: time.Second,
+		Retry:   resilience.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond},
+		// Faults are drawn per connection: fresh connection per attempt
+		// keeps the schedule aligned (truncate first, pass after).
+		MaxIdlePerAddr: -1,
+	})
+	defer c.Close()
+	g := NewReplicaGroup(c, group, 2) // both replicas must ack
+
+	stores := []BatchStore{
+		{Series: "chaos/a", Points: [][2]float64{{1, 0.1}, {2, 0.2}}},
+		{Series: "chaos/b", Points: [][2]float64{{1, 0.5}}},
+		{Series: "chaos/c", Points: [][2]float64{{1, 0.7}, {2, 0.8}, {3, 0.9}}},
+	}
+	subErrs, err := g.StoreBatch(context.Background(), stores)
+	if err != nil {
+		t.Fatalf("batch store through truncating replica: %v (subs %v)", err, subErrs)
+	}
+	for i, e := range subErrs {
+		if e != nil {
+			t.Fatalf("sub %d: %v", i, e)
+		}
+	}
+
+	// Exactly one copy of each point on every replica.
+	for name, m := range map[string]*Memory{"chaos-fronted": chaosMem, "clean": mems[0]} {
+		for _, st := range stores {
+			if n := m.Len(st.Series); n != len(st.Points) {
+				t.Fatalf("%s replica holds %d points of %s, want exactly %d",
+					name, n, st.Series, len(st.Points))
+			}
+		}
+	}
+	// The redelivered envelope's points were absorbed by the dedup.
+	if got := mMemoryPointsDeduped.Value() - deduped0; got != 6 {
+		t.Fatalf("nws_memory_points_deduped_total grew by %d, want 6 (full redelivered batch)", got)
 	}
 }

@@ -257,6 +257,97 @@ func (c *Client) StoreCtx(ctx context.Context, memAddr, key string, points [][2]
 	return err
 }
 
+// BatchStore is one store sub-request of a batched memory call.
+type BatchStore struct {
+	Series string
+	Points [][2]float64 // [t, v] pairs
+}
+
+// BatchFetch is one fetch sub-request of a batched memory call. The range
+// semantics match Fetch: [From, To) with To == 0 meaning "through the
+// latest point", keeping only the most recent Max points when Max > 0.
+type BatchFetch struct {
+	Series   string
+	From, To float64
+	Max      int
+}
+
+// FetchResult is one sub-result of a batched fetch: the points, or the
+// protocol-level rejection for that sub-request alone.
+type FetchResult struct {
+	Points [][2]float64
+	Err    error
+}
+
+// StoreBatch stores several series in one round trip via the batch
+// envelope. The returned slice has one entry per input — nil on success,
+// the server's rejection otherwise; the second return value reports
+// envelope-level failures (transport errors, a malformed batch), in which
+// case the per-sub slice is nil.
+func (c *Client) StoreBatch(memAddr string, stores []BatchStore) ([]error, error) {
+	return c.StoreBatchCtx(context.Background(), memAddr, stores)
+}
+
+// StoreBatchCtx is StoreBatch honoring a caller context.
+func (c *Client) StoreBatchCtx(ctx context.Context, memAddr string, stores []BatchStore) ([]error, error) {
+	if len(stores) == 0 {
+		return nil, nil
+	}
+	subs := make([]Request, len(stores))
+	for i, s := range stores {
+		subs[i] = Request{Op: OpStore, Series: s.Series, Points: s.Points}
+	}
+	resp, err := c.do(ctx, memAddr, Request{Op: OpBatch, Batch: subs})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Batch) != len(subs) {
+		return nil, fmt.Errorf("nwsnet: batch store returned %d sub-responses, want %d", len(resp.Batch), len(subs))
+	}
+	errs := make([]error, len(subs))
+	for i, r := range resp.Batch {
+		if r.Error != "" {
+			errs[i] = errors.New(r.Error)
+		}
+	}
+	return errs, nil
+}
+
+// FetchBatch reads several series ranges in one round trip via the batch
+// envelope. The returned slice has one entry per input; per-sub rejections
+// (an unknown series, say) land in that entry's Err without failing the
+// others. The second return value reports envelope-level failures.
+func (c *Client) FetchBatch(memAddr string, fetches []BatchFetch) ([]FetchResult, error) {
+	return c.FetchBatchCtx(context.Background(), memAddr, fetches)
+}
+
+// FetchBatchCtx is FetchBatch honoring a caller context.
+func (c *Client) FetchBatchCtx(ctx context.Context, memAddr string, fetches []BatchFetch) ([]FetchResult, error) {
+	if len(fetches) == 0 {
+		return nil, nil
+	}
+	subs := make([]Request, len(fetches))
+	for i, f := range fetches {
+		subs[i] = Request{Op: OpFetch, Series: f.Series, From: f.From, To: f.To, Max: f.Max}
+	}
+	resp, err := c.do(ctx, memAddr, Request{Op: OpBatch, Batch: subs})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Batch) != len(subs) {
+		return nil, fmt.Errorf("nwsnet: batch fetch returned %d sub-responses, want %d", len(resp.Batch), len(subs))
+	}
+	out := make([]FetchResult, len(subs))
+	for i, r := range resp.Batch {
+		if r.Error != "" {
+			out[i].Err = errors.New(r.Error)
+			continue
+		}
+		out[i].Points = r.Points
+	}
+	return out, nil
+}
+
 // Fetch reads back points of a series with t in [from, to) (to == 0 means
 // "through the latest point"), limited to the most recent max points when
 // max > 0.

@@ -56,6 +56,70 @@ func NewForecasterServiceReplicas(memAddrs []string, timeout time.Duration) *For
 // Replicas reports the health of the forecaster's memory replica group.
 func (f *ForecasterService) Replicas() []ReplicaHealth { return f.group.Health() }
 
+// Warm primes per-series engines by batch-fetching every series' unseen
+// history in one round trip per replica attempt instead of one fetch per
+// series — the history catch-up a restarted forecaster owes for each series
+// before its first query. keys == nil warms every series the memory
+// currently holds. It returns the number of points consumed; per-series
+// rejections are skipped, and the error is non-nil only when the memory
+// group was unreachable.
+func (f *ForecasterService) Warm(ctx context.Context, keys []string) (int, error) {
+	if keys == nil {
+		var err error
+		keys, err = f.group.Series(ctx)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	fetches := make([]BatchFetch, len(keys))
+	states := make([]*engineState, len(keys))
+	f.mu.Lock()
+	for i, k := range keys {
+		states[i] = f.engine(k)
+		fetches[i] = BatchFetch{Series: k, From: nextAfter(states[i].lastT)}
+	}
+	f.mu.Unlock()
+
+	results, err := f.group.FetchBatch(ctx, fetches)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		st := states[i]
+		for _, tv := range res.Points {
+			if tv[0] <= st.lastT {
+				continue
+			}
+			st.eng.Update(tv[1])
+			st.lastT = tv[0]
+			total++
+		}
+	}
+	mFcPointsPulled.Add(uint64(total))
+	return total, nil
+}
+
+// engine returns (creating on first use) the state for key. Callers must
+// hold f.mu.
+func (f *ForecasterService) engine(key string) *engineState {
+	st := f.engines[key]
+	if st == nil {
+		st = &engineState{eng: forecast.NewDefaultEngine(), lastT: -1}
+		f.engines[key] = st
+		mFcEngines.Set(float64(len(f.engines)))
+	}
+	return st
+}
+
 // Handle implements Handler.
 func (f *ForecasterService) Handle(req Request) Response {
 	switch req.Op {
@@ -83,12 +147,7 @@ func (f *ForecasterService) Handle(req Request) Response {
 
 func (f *ForecasterService) handleForecast(key string) Response {
 	f.mu.Lock()
-	st := f.engines[key]
-	if st == nil {
-		st = &engineState{eng: forecast.NewDefaultEngine(), lastT: -1}
-		f.engines[key] = st
-		mFcEngines.Set(float64(len(f.engines)))
-	}
+	st := f.engine(key)
 	f.mu.Unlock()
 
 	// Pull only points newer than what the engine has consumed. The group

@@ -1,0 +1,49 @@
+package nwsnet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeRequest feeds arbitrary wire lines through the same decode path
+// the server uses and executes whatever decodes against a live Memory. The
+// handler must never panic, whatever the envelope contains — the seed code
+// failed this for a plain fetch with From > To (a remotely triggerable slice
+// bounds panic), which is exactly the class of bug this guards. The batch
+// envelope is in the corpus so sub-request execution (including nesting and
+// mixed invalid subs) is fuzzed too.
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		`{"op":"ping"}`,
+		`{"op":"store","series":"k","points":[[1,0.5],[2,0.6]]}`,
+		`{"op":"fetch","series":"k"}`,
+		`{"op":"fetch","series":"k","from":5,"to":2}`, // inverted range: panicked in the seed code
+		`{"op":"fetch","series":"k","from":2,"to":5,"max":1}`,
+		`{"op":"series"}`,
+		`{"op":"batch","batch":[{"op":"store","series":"a","points":[[1,1]]},{"op":"fetch","series":"a"}]}`,
+		`{"op":"batch","batch":[{"op":"batch","batch":[{"op":"ping"}]}]}`,
+		`{"op":"batch","batch":[]}`,
+		`{"op":"batch","batch":[{"op":"store"},{"op":"fetch","series":"k","from":9,"to":-3,"max":-1}]}`,
+		`{"op":"nonsense"}`,
+		`{"op":"store","series":"k","points":[[2,1],[1,1],[2,2]]}`,
+		`not json at all`,
+		`{"op":"fetch","series":"k","from":1e308,"to":-1e308}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s + "\n"))
+	}
+	m := NewMemory(16)
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var req Request
+		if err := readMsg(bufio.NewReader(bytes.NewReader(line)), &req); err != nil {
+			return // undecodable input never reaches the handler
+		}
+		resp := m.Handle(req)
+		// Whatever came back must survive the encode half of the wire.
+		if _, err := json.Marshal(resp); err != nil {
+			t.Fatalf("unmarshalable response %+v: %v", resp, err)
+		}
+	})
+}

@@ -3,19 +3,51 @@ package nwsnet
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nwscpu/internal/series"
 )
 
+// memShardCount is the number of lock stripes a Memory spreads its series
+// over. A power of two so the key hash maps to a shard with a mask. 32
+// stripes keep contention negligible well past the core counts this serves
+// on while costing ~a map header each.
+const memShardCount = 32
+
+// batchMaxWorkers bounds the goroutines executing one batch envelope's
+// sub-requests; small batches below batchInlineLimit run inline on the
+// connection goroutine instead.
+const (
+	batchMaxWorkers  = 8
+	batchInlineLimit = 4
+)
+
 // Memory is the NWS persistent-state server: it stores bounded measurement
 // series by key and serves range queries over them. Each series keeps at
-// most its configured capacity of most-recent points, like the circular
-// files of the real NWS memory.
+// most its configured capacity of most-recent points in a ring buffer, like
+// the circular files of the real NWS memory, so steady-state eviction is
+// O(1) per point rather than a copy of the whole series.
+//
+// The store is sharded: series keys hash onto memShardCount independent
+// lock stripes (a sync.RWMutex over a map each), so concurrent stores and
+// fetches of different series proceed in parallel and fetches of the same
+// series only share a read lock.
+//
+// Stores are idempotent under redelivery: points at or before a series'
+// last stored timestamp are skipped (counted in
+// nws_memory_points_deduped_total), so a timed-out-but-applied batch that a
+// retry policy redelivers leaves exactly one copy of each point instead of
+// duplicating the tail or wedging the writer on "out-of-order append".
 type Memory struct {
 	capacity int
-	mu       sync.Mutex
-	store    map[string]*series.Series
+	nSeries  atomic.Int64
+	shards   [memShardCount]memShard
+}
+
+type memShard struct {
+	mu    sync.RWMutex
+	store map[string]*series.PointRing
 }
 
 // NewMemory returns a Memory keeping up to capacity points per series
@@ -24,7 +56,25 @@ func NewMemory(capacity int) *Memory {
 	if capacity <= 0 {
 		capacity = 100000
 	}
-	return &Memory{capacity: capacity, store: make(map[string]*series.Series)}
+	m := &Memory{capacity: capacity}
+	for i := range m.shards {
+		m.shards[i].store = make(map[string]*series.PointRing)
+	}
+	return m
+}
+
+// shard returns the lock stripe owning key (FNV-1a over the key bytes).
+func (m *Memory) shard(key string) *memShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &m.shards[h&(memShardCount-1)]
 }
 
 // Handle implements Handler.
@@ -49,14 +99,9 @@ func (m *Memory) handle(req Request) Response {
 	case OpFetch:
 		return m.handleFetch(req)
 	case OpSeries:
-		m.mu.Lock()
-		names := make([]string, 0, len(m.store))
-		for k := range m.store {
-			names = append(names, k)
-		}
-		m.mu.Unlock()
-		sort.Strings(names)
-		return Response{Names: names}
+		return m.handleSeries()
+	case OpBatch:
+		return m.handleBatch(req)
 	default:
 		return errResp("memory: unsupported op %q", req.Op)
 	}
@@ -69,28 +114,36 @@ func (m *Memory) handleStore(req Request) Response {
 	if len(req.Points) == 0 {
 		return errResp("store requires points")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := m.store[req.Series]
-	if s == nil {
-		s = series.New(req.Series, "fraction")
-		m.store[req.Series] = s
-		mMemorySeries.Set(float64(len(m.store)))
+	sh := m.shard(req.Series)
+	sh.mu.Lock()
+	r := sh.store[req.Series]
+	created := false
+	if r == nil {
+		r = series.NewPointRing(m.capacity)
+		sh.store[req.Series] = r
+		created = true
 	}
-	appended := 0
+	var appended, deduped, evicted uint64
 	for _, tv := range req.Points {
-		if err := s.Append(tv[0], tv[1]); err != nil {
-			mMemoryPointsStored.Add(uint64(appended))
-			return errResp("store: %v", err)
+		// Idempotent under redelivery: a point at or before the stored
+		// frontier was already applied (or is stale) — skip it rather than
+		// duplicating the tail or rejecting the whole batch.
+		if last, ok := r.Last(); ok && tv[0] <= last.T {
+			deduped++
+			continue
+		}
+		if r.Push(series.Point{T: tv[0], V: tv[1]}) {
+			evicted++
 		}
 		appended++
 	}
-	mMemoryPointsStored.Add(uint64(appended))
-	// Enforce the circular bound.
-	if extra := s.Len() - m.capacity; extra > 0 {
-		s.Points = append(s.Points[:0:0], s.Points[extra:]...)
-		mMemoryPointsEvicted.Add(uint64(extra))
+	sh.mu.Unlock()
+	if created {
+		mMemorySeries.Set(float64(m.nSeries.Add(1)))
 	}
+	mMemoryPointsStored.Add(appended)
+	mMemoryPointsDeduped.Add(deduped)
+	mMemoryPointsEvicted.Add(evicted)
 	return Response{}
 }
 
@@ -98,39 +151,115 @@ func (m *Memory) handleFetch(req Request) Response {
 	if req.Series == "" {
 		return errResp("fetch requires a series key")
 	}
-	m.mu.Lock()
-	s := m.store[req.Series]
-	m.mu.Unlock()
-	if s == nil {
+	sh := m.shard(req.Series)
+	sh.mu.RLock()
+	r := sh.store[req.Series]
+	if r == nil {
+		sh.mu.RUnlock()
 		return errResp("unknown series %q", req.Series)
 	}
-	to := req.To
-	if to == 0 {
-		if last, ok := s.Last(); ok {
-			to = last.T + 1
-		}
+	// Range [from, to): to == 0 means "through the latest point". An
+	// inverted range (to < from) yields an empty result instead of a slice
+	// panic.
+	lo := r.SearchT(req.From)
+	hi := r.Len()
+	if req.To != 0 {
+		hi = r.SearchT(req.To)
 	}
-	m.mu.Lock()
-	sub := s.Slice(req.From, to)
-	m.mu.Unlock()
-	pts := sub.Points
-	if req.Max > 0 && len(pts) > req.Max {
-		pts = pts[len(pts)-req.Max:]
+	if hi < lo {
+		hi = lo
 	}
-	out := make([][2]float64, len(pts))
-	for i, p := range pts {
-		out[i] = [2]float64{p.T, p.V}
+	if req.Max > 0 && hi-lo > req.Max {
+		lo = hi - req.Max
 	}
+	out := make([][2]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		p := r.At(i)
+		out[i-lo] = [2]float64{p.T, p.V}
+	}
+	sh.mu.RUnlock()
 	mMemoryPointsFetched.Add(uint64(len(out)))
 	return Response{Points: out}
 }
 
+func (m *Memory) handleSeries() Response {
+	names := make([]string, 0, m.nSeries.Load())
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for k := range sh.store {
+			names = append(names, k)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(names)
+	return Response{Names: names}
+}
+
+// handleBatch executes the envelope's sub-requests — with bounded
+// concurrency for large batches, inline for small ones — and returns their
+// responses in request order. The shards make concurrent sub-execution
+// safe; ordering across sub-requests of one envelope is only guaranteed to
+// the extent their series differ, which is how callers use it (one
+// sub-store per series).
+func (m *Memory) handleBatch(req Request) Response {
+	if len(req.Batch) == 0 {
+		return errResp("batch requires sub-requests")
+	}
+	mMemoryBatchSize.Observe(float64(len(req.Batch)))
+	out := make([]Response, len(req.Batch))
+	run := func(i int) {
+		sub := req.Batch[i]
+		op := opLabel(sub.Op)
+		mMemoryBatchSubs.With(op).Inc()
+		var r Response
+		if sub.Op == OpBatch {
+			r = errResp("batch: nested batch envelopes are not allowed")
+		} else {
+			r = m.handle(sub)
+		}
+		if r.Error != "" {
+			mMemoryBatchSubErrors.With(op).Inc()
+		}
+		r.OK = r.Error == ""
+		out[i] = r
+	}
+	if len(req.Batch) <= batchInlineLimit {
+		for i := range req.Batch {
+			run(i)
+		}
+		return Response{Batch: out}
+	}
+	workers := batchMaxWorkers
+	if workers > len(req.Batch) {
+		workers = len(req.Batch)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(req.Batch) {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return Response{Batch: out}
+}
+
 // Len reports the number of stored points for a series key (0 if absent).
 func (m *Memory) Len(key string) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if s := m.store[key]; s != nil {
-		return s.Len()
+	sh := m.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if r := sh.store[key]; r != nil {
+		return r.Len()
 	}
 	return 0
 }

@@ -75,6 +75,19 @@ var (
 	mMemoryPointsEvicted = metrics.NewCounter(
 		"nws_memory_points_evicted_total",
 		"Points dropped to enforce the per-series circular capacity.")
+	mMemoryPointsDeduped = metrics.NewCounter(
+		"nws_memory_points_deduped_total",
+		"Stored points skipped because their timestamp was at or before the series frontier (idempotent redelivery absorption).")
+	mMemoryBatchSubs = metrics.NewCounterVec(
+		"nws_memory_batch_subrequests_total",
+		"Sub-requests executed inside batch envelopes, by operation.", "op")
+	mMemoryBatchSubErrors = metrics.NewCounterVec(
+		"nws_memory_batch_suberrors_total",
+		"Batch sub-requests answered with an error, by operation.", "op")
+	mMemoryBatchSize = metrics.NewHistogram(
+		"nws_memory_batch_size",
+		"Sub-requests per batch envelope.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
 	mMemorySeries = metrics.NewGauge(
 		"nws_memory_series",
 		"Series currently stored.")

@@ -147,8 +147,14 @@ func TestMemoryValidation(t *testing.T) {
 	if err := c.Store(addr, "k", [][2]float64{{5, 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Store(addr, "k", [][2]float64{{1, 1}}); err == nil {
-		t.Fatal("out-of-order store accepted")
+	// Stores are idempotent: points at or before the stored frontier are
+	// absorbed silently (a retried delivery must not error or duplicate).
+	if err := c.Store(addr, "k", [][2]float64{{1, 1}}); err != nil {
+		t.Fatalf("stale store errored instead of deduping: %v", err)
+	}
+	got, err := c.Fetch(addr, "k", 0, 0, 0)
+	if err != nil || len(got) != 1 || got[0][0] != 5 {
+		t.Fatalf("after stale store: %v, %v (want only {5,1})", got, err)
 	}
 }
 

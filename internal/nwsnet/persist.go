@@ -113,14 +113,29 @@ func readLog(path string) ([][2]float64, error) {
 }
 
 // Handle implements Handler: stores are applied to the in-memory series
-// first (validating them) and then appended to the log.
+// first (validating them) and then appended to the log. Batch envelopes are
+// unwrapped so every accepted sub-store is logged too; points the memory
+// deduped are still logged (replay dedups them again), which only costs log
+// bytes until the next compaction.
 func (pm *PersistentMemory) Handle(req Request) Response {
 	resp := pm.Memory.Handle(req)
-	if req.Op != OpStore || resp.Error != "" {
-		return resp
-	}
-	if err := pm.append(req.Series, req.Points); err != nil {
-		return errResp("store: persistence: %v", err)
+	switch req.Op {
+	case OpStore:
+		if resp.Error != "" {
+			return resp
+		}
+		if err := pm.append(req.Series, req.Points); err != nil {
+			return errResp("store: persistence: %v", err)
+		}
+	case OpBatch:
+		for i, sub := range req.Batch {
+			if sub.Op != OpStore || i >= len(resp.Batch) || resp.Batch[i].Error != "" {
+				continue
+			}
+			if err := pm.append(sub.Series, sub.Points); err != nil {
+				resp.Batch[i] = errResp("store: persistence: %v", err)
+			}
+		}
 	}
 	return resp
 }

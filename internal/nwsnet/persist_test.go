@@ -58,10 +58,11 @@ func TestPersistentMemoryValidationStillApplies(t *testing.T) {
 		t.Fatal(resp.Error)
 	}
 	resp = pm.Handle(Request{Op: OpStore, Series: "k", Points: [][2]float64{{1, 1}}})
-	if resp.Error == "" {
-		t.Fatal("out-of-order store accepted")
+	if resp.Error != "" {
+		t.Fatalf("stale store errored instead of deduping: %v", resp.Error)
 	}
-	// The rejected point must not be in the log.
+	// The deduped point may land in the log (replay dedups it again), but it
+	// must not survive into the replayed series.
 	pm.Close()
 	pm2, err := NewPersistentMemory(0, pm.dir)
 	if err != nil {

@@ -48,6 +48,7 @@ const (
 	OpStore    Op = "store"    // memory: append points to a series
 	OpFetch    Op = "fetch"    // memory: read back a series range
 	OpSeries   Op = "series"   // memory: list stored series keys
+	OpBatch    Op = "batch"    // memory: execute sub-requests in one round trip
 	OpForecast Op = "forecast" // forecaster: predict the next measurement
 )
 
@@ -57,7 +58,7 @@ const (
 // per arbitrary op string and grow registry memory without bound.
 func opLabel(op Op) string {
 	switch op {
-	case OpPing, OpRegister, OpLookup, OpList, OpStore, OpFetch, OpSeries, OpForecast:
+	case OpPing, OpRegister, OpLookup, OpList, OpStore, OpFetch, OpSeries, OpBatch, OpForecast:
 		return string(op)
 	}
 	return "other"
@@ -98,8 +99,13 @@ type Request struct {
 	Series string       `json:"series,omitempty"`
 	Points [][2]float64 `json:"points,omitempty"` // [t, v] pairs
 	From   float64      `json:"from,omitempty"`
-	To     float64      `json:"to,omitempty"`
+	To     float64      `json:"to,omitempty"`  // fetch: exclusive upper bound (0 = open-ended)
 	Max    int          `json:"max,omitempty"` // fetch: most recent N (0 = all in range)
+
+	// Batch envelope: the sub-requests an OpBatch executes server-side in
+	// one round trip. Nesting is rejected. Responses come back in the same
+	// order in Response.Batch.
+	Batch []Request `json:"batch,omitempty"`
 }
 
 // ForecastResult carries a forecaster answer.
@@ -118,6 +124,11 @@ type Response struct {
 	Points   [][2]float64    `json:"points,omitempty"`
 	Names    []string        `json:"names,omitempty"`
 	Forecast *ForecastResult `json:"forecast,omitempty"`
+
+	// Batch holds one response per sub-request of an OpBatch envelope, in
+	// request order. The envelope's own Error is empty unless the envelope
+	// itself was malformed; per-sub failures live in Batch[i].Error.
+	Batch []Response `json:"batch,omitempty"`
 }
 
 // errResp builds an error response.

@@ -143,80 +143,75 @@ func (g *ReplicaGroup) CheckHealth(ctx context.Context) []ReplicaHealth {
 }
 
 // Store fans the points out to every replica and succeeds once the quorum
-// acknowledges. Replicas are written in configuration order so failure
-// sequences are deterministic under test schedules.
-//
-// Store is idempotent under redelivery: batches retried from a sensor
-// backlog overlap points a replica already accepted during the failed
-// round, which the memory rejects as out-of-order. Those rejections are
-// resolved per replica by trimming the batch to the replica's current
-// frontier (see storeOne) — without this, one quorum failure would wedge
-// the group forever, every replica slightly ahead of every retried batch.
+// acknowledges — a batch of one; see StoreBatch for the semantics.
 func (g *ReplicaGroup) Store(ctx context.Context, key string, points [][2]float64) error {
-	acks := 0
+	errs, err := g.StoreBatch(ctx, []BatchStore{{Series: key, Points: points}})
+	if len(errs) == 1 && errs[0] != nil {
+		return errs[0]
+	}
+	return err
+}
+
+// StoreBatch fans a batch envelope of sub-stores out to every replica in
+// configuration order (so failure sequences are deterministic under test
+// schedules); each sub-store succeeds once at least Quorum replicas
+// acknowledge it. The returned slice has one entry per input — nil when
+// that sub-store met its quorum, an error otherwise; the overall error is
+// non-nil when any sub-store missed quorum.
+//
+// Redelivery is safe end to end: the memory server skips points at or
+// before each series' stored frontier, so a batch retried after a
+// timed-out-but-applied round converges to exactly one copy of each point
+// on every replica instead of wedging on "out-of-order append".
+func (g *ReplicaGroup) StoreBatch(ctx context.Context, stores []BatchStore) ([]error, error) {
+	if len(stores) == 0 {
+		return nil, nil
+	}
+	acks := make([]int, len(stores))
+	subErr := make([]error, len(stores))
 	var firstErr error
 	replicas := g.snapshot()
 	for _, r := range replicas {
-		err := g.storeOne(ctx, r.addr, key, points)
-		g.mark(r, err == nil)
-		if err == nil {
-			acks++
-		} else if firstErr == nil {
-			firstErr = err
+		errs, err := g.client.StoreBatchCtx(ctx, r.addr, stores)
+		if err != nil {
+			g.mark(r, false)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
-	}
-	if acks >= g.quorum {
-		return nil
-	}
-	mReplicaQuorumFailures.Inc()
-	return fmt.Errorf("nwsnet: replicated store %q: %d/%d acks, quorum %d: %w",
-		key, acks, len(replicas), g.quorum, firstErr)
-}
-
-// storeOne writes one batch to one replica, converging on redelivery: if
-// the replica rejects the batch at the protocol level (typically
-// "out-of-order append" because it already holds a prefix from an earlier
-// partial round), the batch is trimmed to the points past the replica's
-// last stored timestamp and retried once. An empty remainder means the
-// replica already has everything and counts as an acknowledgement.
-func (g *ReplicaGroup) storeOne(ctx context.Context, addr, key string, points [][2]float64) error {
-	err := g.client.StoreCtx(ctx, addr, key, points)
-	if err == nil || !isProtocolError(err) {
-		return err
-	}
-	last, ferr := g.client.FetchCtx(ctx, addr, key, 0, 0, 1)
-	if ferr != nil || len(last) == 0 {
-		return err
-	}
-	frontier := last[len(last)-1][0]
-	fresh := points
-	for len(fresh) > 0 && fresh[0][0] <= frontier {
-		fresh = fresh[1:]
-	}
-	overlap := points[:len(points)-len(fresh)]
-	if len(overlap) == 0 {
-		return err // nothing overlapped; the rejection was genuine
-	}
-	// Only trim a true redelivery: every overlapped point must already be
-	// stored verbatim. A batch that is merely older than the frontier (a
-	// misbehaving writer, not a retry) keeps its rejection.
-	stored, ferr := g.client.FetchCtx(ctx, addr, key, overlap[0][0], 0, 0)
-	if ferr != nil {
-		return err
-	}
-	have := make(map[[2]float64]bool, len(stored))
-	for _, p := range stored {
-		have[p] = true
-	}
-	for _, p := range overlap {
-		if !have[p] {
-			return err
+		clean := true
+		for i, e := range errs {
+			if e == nil {
+				acks[i]++
+				continue
+			}
+			clean = false
+			if subErr[i] == nil {
+				subErr[i] = e
+			}
 		}
+		g.mark(r, clean)
 	}
-	if len(fresh) == 0 {
-		return nil // the replica already holds the whole batch
+	out := make([]error, len(stores))
+	failed := 0
+	for i := range stores {
+		if acks[i] >= g.quorum {
+			continue
+		}
+		failed++
+		mReplicaQuorumFailures.Inc()
+		cause := subErr[i]
+		if cause == nil {
+			cause = firstErr
+		}
+		out[i] = fmt.Errorf("nwsnet: replicated store %q: %d/%d acks, quorum %d: %w",
+			stores[i].Series, acks[i], len(replicas), g.quorum, cause)
 	}
-	return g.client.StoreCtx(ctx, addr, key, fresh)
+	if failed > 0 {
+		return out, fmt.Errorf("nwsnet: replicated batch store: %d/%d sub-stores missed quorum", failed, len(stores))
+	}
+	return out, nil
 }
 
 // read runs op against replicas in health order until one succeeds.
@@ -266,6 +261,64 @@ func (g *ReplicaGroup) Fetch(ctx context.Context, key string, from, to float64, 
 		return nil, err
 	}
 	return pts, nil
+}
+
+// FetchBatch reads several series ranges in one round trip per replica
+// attempt, failing over per sub-request: a replica's transport failure
+// demotes it and moves every still-pending sub to the next replica, while a
+// per-sub rejection (a diverged replica missing one series, say) retries
+// just that sub downstream. The returned slice has one entry per input; the
+// overall error is non-nil only when no replica answered at all.
+func (g *ReplicaGroup) FetchBatch(ctx context.Context, fetches []BatchFetch) ([]FetchResult, error) {
+	if len(fetches) == 0 {
+		return nil, nil
+	}
+	out := make([]FetchResult, len(fetches))
+	pending := make([]int, len(fetches))
+	for i := range pending {
+		pending[i] = i
+	}
+	answered := false
+	var firstErr error
+	for ri, r := range g.ordered() {
+		subset := make([]BatchFetch, len(pending))
+		for j, i := range pending {
+			subset[j] = fetches[i]
+		}
+		results, err := g.client.FetchBatchCtx(ctx, r.addr, subset)
+		if err != nil {
+			g.mark(r, isProtocolError(err))
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		g.mark(r, true)
+		if !answered && ri > 0 {
+			mReplicaFailovers.Inc()
+		}
+		answered = true
+		var still []int
+		for j, res := range results {
+			i := pending[j]
+			if res.Err != nil {
+				if out[i].Err == nil {
+					out[i].Err = res.Err
+				}
+				still = append(still, i)
+				continue
+			}
+			out[i] = res
+		}
+		pending = still
+		if len(pending) == 0 {
+			break
+		}
+	}
+	if !answered {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // Series lists stored series keys with failover.

@@ -182,8 +182,8 @@ func TestReplicaGroupDivergedReplicaFallsThrough(t *testing.T) {
 func TestReplicaGroupRedeliveryConverges(t *testing.T) {
 	// Redelivering a backlog batch must converge on a replica that already
 	// holds a prefix of it (it acked during a failed quorum round): the
-	// overlap is trimmed to the replica's frontier instead of wedging every
-	// future store on "out-of-order append".
+	// memory server dedups points at or before its frontier instead of
+	// wedging every future store on "out-of-order append".
 	mems, _, addrs := startReplicaSet(t, 2)
 	g := NewReplicaGroup(fastClient(), addrs, 2) // both replicas must ack
 	ctx := context.Background()
@@ -206,10 +206,15 @@ func TestReplicaGroupRedeliveryConverges(t *testing.T) {
 		}
 	}
 
-	// A genuinely out-of-order batch (older than every replica) must still
-	// be rejected, not silently trimmed away.
-	if err := g.Store(ctx, "k", [][2]float64{{0, 0.9}}); err == nil {
-		t.Fatal("stale batch accepted")
+	// A fully stale batch (older than every replica) is absorbed by the
+	// server-side dedup: no error, and no replica's series changes.
+	if err := g.Store(ctx, "k", [][2]float64{{0, 0.9}}); err != nil {
+		t.Fatalf("stale batch errored instead of deduping: %v", err)
+	}
+	for i, m := range mems {
+		if m.Len("k") != 3 {
+			t.Fatalf("replica %d holds %d points after stale batch, want 3", i, m.Len("k"))
+		}
 	}
 }
 

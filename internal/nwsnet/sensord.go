@@ -102,34 +102,45 @@ func (d *SensorDaemon) Register(nsAddr, addr string) error {
 	})
 }
 
-// Step takes one measurement with every sensor and stores the results,
-// together with any backlog from previous failed deliveries. Undeliverable
-// measurements are buffered (bounded; oldest dropped first, each drop
-// counted in nws_sensor_backlog_dropped_total) and the error reported — the
-// daemon keeps measuring through memory-server outages and backfills when
-// the server returns.
+// Step takes one measurement with every sensor and stores the results —
+// every series plus its backlog from previous failed deliveries in ONE
+// batched round trip per replica. Undeliverable measurements are buffered
+// per series (bounded; oldest dropped first, each drop counted in
+// nws_sensor_backlog_dropped_total) and the error reported — the daemon
+// keeps measuring through memory-server outages and backfills when the
+// server returns; server-side dedup makes the redelivered batches
+// idempotent.
 func (d *SensorDaemon) Step() error {
 	t := d.host.Now()
-	var firstErr error
-	for _, s := range d.sensors {
+	stores := make([]BatchStore, len(d.sensors))
+	for i, s := range d.sensors {
 		v := s.Measure()
 		mSensorMeasurements.With(s.Name()).Inc()
 		key := SeriesKey(d.hostName, s.Name())
-		batch := append(d.backlog[key], [2]float64{t, v})
-		if err := d.group.Store(context.Background(), key, batch); err != nil {
-			mSensorDeliveryFailures.Inc()
-			if dropped := len(batch) - d.backlogCap; dropped > 0 {
-				batch = batch[dropped:]
-				d.noteDropped(dropped)
-			}
-			d.backlog[key] = batch
-			if firstErr == nil {
-				firstErr = fmt.Errorf("nwsnet: sensor %s: %w", key, err)
-			}
+		stores[i] = BatchStore{Series: key, Points: append(d.backlog[key], [2]float64{t, v})}
+	}
+	subErrs, err := d.group.StoreBatch(context.Background(), stores)
+	var firstErr error
+	for i, st := range stores {
+		serr := err
+		if subErrs != nil {
+			serr = subErrs[i]
+		}
+		if serr == nil {
+			mSensorDeliveries.Inc()
+			delete(d.backlog, st.Series)
 			continue
 		}
-		mSensorDeliveries.Inc()
-		delete(d.backlog, key)
+		mSensorDeliveryFailures.Inc()
+		batch := st.Points
+		if dropped := len(batch) - d.backlogCap; dropped > 0 {
+			batch = batch[dropped:]
+			d.noteDropped(dropped)
+		}
+		d.backlog[st.Series] = batch
+		if firstErr == nil {
+			firstErr = fmt.Errorf("nwsnet: sensor %s: %w", st.Series, serr)
+		}
 	}
 	d.noteOutcome(firstErr)
 	mSensorBacklog.With(d.hostName).Set(float64(d.Backlogged()))
