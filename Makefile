@@ -2,10 +2,13 @@
 
 GO ?= go
 GOFMT ?= gofmt
+# Per-fuzzer budget for fuzz-smoke; raise locally for a deeper run, e.g.
+#   make fuzz-smoke FUZZTIME=2m
+FUZZTIME ?= 5s
 
-.PHONY: all build test test-race chaos vet bench bench-forecast bench-forecast-smoke bench-memory bench-memory-smoke bench-paper experiments report clean
+.PHONY: all build test test-race chaos vet fuzz-smoke bench bench-forecast bench-forecast-smoke bench-memory bench-memory-smoke bench-paper experiments report clean
 
-all: build vet test bench-forecast-smoke bench-memory-smoke
+all: build vet test fuzz-smoke bench-forecast-smoke bench-memory-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +35,14 @@ test-race:
 chaos:
 	$(GO) test -race ./internal/resilience/...
 	$(GO) test -race -run 'Chaos' -v ./internal/nwsnet
+
+# Bounded fuzzing of both halves of the wire protocol: the server-side
+# request decode/execute path and the client-side response decode and
+# shed/busy error classification. Go fuzzers must run one at a time, so
+# each gets its own invocation of $(FUZZTIME).
+fuzz-smoke:
+	$(GO) test -run - -fuzz 'FuzzDecodeRequest$$' -fuzztime $(FUZZTIME) ./internal/nwsnet
+	$(GO) test -run - -fuzz 'FuzzDecodeResponse$$' -fuzztime $(FUZZTIME) ./internal/nwsnet
 
 # Forecaster hot-path baseline: the Go benchmark suite with allocation
 # accounting, then the nwsperf harness regenerating BENCH_forecast.json

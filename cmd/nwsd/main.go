@@ -27,6 +27,13 @@
 //
 //	nwsd -role memory -listen :8091 -metrics :9100
 //
+// Server roles accept overload-protection flags — -max-conns, -max-inflight,
+// -queue-wait, -idle-timeout, -write-timeout — that bound what the daemon
+// takes on before shedding excess load with a retryable busy error instead
+// of collapsing; see the "Overload behavior" section of docs/ARCHITECTURE.md:
+//
+//	nwsd -role memory -listen :8091 -max-conns 512 -max-inflight 64
+//
 // The sensor role measures either the live Linux machine (default) or a
 // simulated host running one of the paper's workload profiles (-sim thing1,
 // thing2, conundrum, beowulf, gremlin, kongo); in simulation mode virtual
@@ -72,6 +79,11 @@ func main() {
 	reflector := flag.String("reflector", "", "sensor: also probe network latency/bandwidth against this reflector")
 	ttl := flag.Duration("ttl", 0, "nameserver: registration expiry (0 = never; sensors re-register each period)")
 	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics, /metrics.json, /debug/vars, /debug/pprof (empty = disabled)")
+	maxConns := flag.Int("max-conns", 0, "server roles: max concurrent connections; excess shed with a retryable busy error (0 = unlimited)")
+	maxInFlight := flag.Int("max-inflight", 0, "server roles: max requests executing at once; excess queued up to -queue-wait then shed (0 = unlimited)")
+	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "server roles: how long a request may wait for an in-flight slot before being shed (with -max-inflight)")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "server roles: disconnect connections idle this long (0 = never)")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "server roles: disconnect clients that stall reading a response this long (0 = never)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "nwsd: ", log.LstdFlags)
@@ -80,6 +92,13 @@ func main() {
 		hostName: *hostName, period: *period, simProfile: *simProfile,
 		capacity: *capacity, stateDir: *stateDir, ttl: *ttl, reflector: *reflector,
 		metricsAddr: *metricsAddr, replicas: *replicas,
+		limits: nwsnet.ServerLimits{
+			MaxConns:     *maxConns,
+			MaxInFlight:  *maxInFlight,
+			QueueWait:    *queueWait,
+			IdleTimeout:  *idleTimeout,
+			WriteTimeout: *writeTimeout,
+		},
 	}
 	if err := run(opts, logger); err != nil {
 		logger.Fatal(err)
@@ -96,6 +115,9 @@ type daemonOpts struct {
 	ttl                              time.Duration
 	capacity                         int
 	replicas                         int
+	// limits is the server-role overload protection; the zero value (what
+	// tests constructing daemonOpts directly get) imposes no limits.
+	limits nwsnet.ServerLimits
 
 	// Test hooks: stop (when non-nil) replaces signal delivery as the
 	// shutdown trigger, and notify (when non-nil) reports each bound
@@ -235,7 +257,7 @@ func runMemory(o daemonOpts, logger *log.Logger) error {
 		if err != nil {
 			return err
 		}
-		srv := nwsnet.NewServer(h, logger)
+		srv := nwsnet.NewServerLimits(h, logger, o.limits)
 		addr, err := srv.Listen(listen)
 		if err != nil {
 			return err
@@ -293,7 +315,7 @@ func runMemory(o daemonOpts, logger *log.Logger) error {
 }
 
 func serve(o daemonOpts, h nwsnet.Handler, logger *log.Logger) error {
-	srv := nwsnet.NewServer(h, logger)
+	srv := nwsnet.NewServerLimits(h, logger, o.limits)
 	addr, err := srv.Listen(o.listen)
 	if err != nil {
 		return err

@@ -2,8 +2,12 @@ package nwsnet
 
 import (
 	"context"
+	"io"
 	"math"
 	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -284,5 +288,243 @@ func TestChaosReplicaTimeoutMidBatchIdempotentRetry(t *testing.T) {
 	// The redelivered envelope's points were absorbed by the dedup.
 	if got := mMemoryPointsDeduped.Value() - deduped0; got != 6 {
 		t.Fatalf("nws_memory_points_deduped_total grew by %d, want 6 (full redelivered batch)", got)
+	}
+}
+
+// TestChaosOverloadFloodShedsKeepsSensorQuorum is the overload-protection
+// headline: one replica of a quorum-2 pair runs with tight ServerLimits and
+// is hit with a connection flood plus stalled readers (the chaos stall
+// fault) while a sensor daemon keeps storing through it and greedy fetchers
+// pile on. The server must shed the excess with retryable busy errors (never
+// silently), the fetch client's breaker must open against the drowning
+// replica, and once the flood stops the sensor backlog must drain to zero
+// measurement loss on BOTH replicas while the breaker recovers through
+// half-open back to closed.
+func TestChaosOverloadFloodShedsKeepsSensorQuorum(t *testing.T) {
+	const (
+		maxConns    = 10
+		maxInFlight = 1
+		queueWait   = 10 * time.Millisecond
+	)
+	m0 := NewMemory(0)
+	// Handler time above the queue-wait budget: with one in-flight slot, any
+	// two concurrent requests push the loser past QueueWait into a shed.
+	slow := handlerFunc(func(req Request) Response {
+		time.Sleep(3 * queueWait)
+		return m0.Handle(req)
+	})
+	srv0 := NewServerLimits(slow, nil, ServerLimits{
+		MaxConns:     maxConns,
+		MaxInFlight:  maxInFlight,
+		QueueWait:    queueWait,
+		IdleTimeout:  250 * time.Millisecond,
+		WriteTimeout: 250 * time.Millisecond,
+	})
+	addr0, err := srv0.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv0.Close()
+	m1 := NewMemory(0)
+	srv1 := NewServer(m1, nil)
+	addr1, err := srv1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv1.Close()
+
+	// Quorum 2 of 2: every measurement must eventually land on both
+	// replicas, including the one being flooded.
+	h := simos.New(simos.DefaultConfig())
+	h.Spawn(simos.ProcSpec{Name: "bg", Demand: math.Inf(1), WallLimit: 7200})
+	d := NewSensorDaemonReplicas("floodhost", sensors.SimHost{H: h}, []string{addr0, addr1}, 2, sensors.HybridConfig{})
+	defer d.Close()
+
+	steps := 0
+	step := func() error {
+		h.RunUntil(h.Now() + 10)
+		err := d.Step()
+		steps++
+		return err
+	}
+
+	// Pre-flood: the healthy path must work.
+	for i := 0; i < 3; i++ {
+		if err := step(); err != nil {
+			t.Fatalf("pre-flood step: %v", err)
+		}
+	}
+
+	shedConns0 := mServerShed.With(shedConns).Value()
+	shedQueue0 := mServerShed.With(shedQueue).Value()
+	openT0 := mBreakerTransitions.With(addr0, "open").Value()
+	closedT0 := mBreakerTransitions.With(addr0, "closed").Value()
+
+	// Greedy fetchers warmed before the flood so their pooled connections
+	// hold seats inside the connection cap and exercise the in-flight queue.
+	fetchClient := NewClientOptions(ClientOptions{
+		Timeout:        500 * time.Millisecond,
+		Retry:          resilience.Policy{MaxAttempts: 1},
+		MaxIdlePerAddr: 4, // keep several seats inside the connection cap
+	})
+	defer fetchClient.Close()
+	key := SeriesKey("floodhost", "vmstat")
+	if _, err := fetchClient.Fetch(addr0, key, 0, 0, 0); err != nil {
+		t.Fatalf("pre-flood fetch: %v", err)
+	}
+
+	stopFlood := make(chan struct{})
+	var flood sync.WaitGroup
+	var busySeen int64
+	// Connection flood: holders that dial, park, and redial when cut.
+	for i := 0; i < 24; i++ {
+		flood.Add(1)
+		go func() {
+			defer flood.Done()
+			for {
+				select {
+				case <-stopFlood:
+					return
+				default:
+				}
+				c, err := net.Dial("tcp", addr0)
+				if err == nil {
+					c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+					io.Copy(io.Discard, c) // park until the server sheds or idles us out
+					c.Close()
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	// Fetch pressure through the pooled client: overflows the in-flight
+	// queue and must be answered with retryable busy errors.
+	for i := 0; i < 8; i++ {
+		flood.Add(1)
+		go func() {
+			defer flood.Done()
+			for {
+				select {
+				case <-stopFlood:
+					return
+				default:
+				}
+				if _, err := fetchClient.Fetch(addr0, key, 0, 0, 0); err != nil {
+					if IsBusy(err) {
+						atomic.AddInt64(&busySeen, 1)
+						if resilience.IsTerminal(err) {
+							t.Error("busy shed classified terminal (not retryable)")
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	// Stalled readers: requests forwarded, responses never drained.
+	stallSched := chaos.NewScript(
+		chaos.Action{Fault: chaos.Stall},
+		chaos.Action{Fault: chaos.Stall},
+		chaos.Action{Fault: chaos.Stall},
+	)
+	stallProxy := chaos.NewProxy(addr0, stallSched)
+	stallAddr, err := stallProxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stallProxy.Close()
+	for i := 0; i < 3; i++ {
+		flood.Add(1)
+		go func() {
+			defer flood.Done()
+			c := NewClientOptions(ClientOptions{Timeout: 300 * time.Millisecond, Retry: resilience.Policy{MaxAttempts: 1}})
+			defer c.Close()
+			c.Fetch(stallAddr, key, 0, 0, 0) // times out: the proxy never reads the reply
+		}()
+	}
+
+	// A separate client with a breaker watches the flooded replica: the
+	// sheds and timeouts must trip it open.
+	const openFor = 150 * time.Millisecond
+	brkClient := NewClientOptions(ClientOptions{
+		Timeout: 300 * time.Millisecond,
+		Retry:   resilience.Policy{MaxAttempts: 1},
+		Breaker: &resilience.BreakerConfig{Window: 6, MinSamples: 3, OpenFor: openFor},
+	})
+	defer brkClient.Close()
+
+	// Under the flood: keep the sensor storing (failures are buffered by
+	// store-and-forward and are acceptable here) until the breaker opens.
+	deadline := time.Now().Add(15 * time.Second)
+	for brkClient.BreakerState(addr0) != resilience.BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never opened under the flood")
+		}
+		step() // errors tolerated: the backlog buffers them
+		brkClient.Fetch(addr0, key, 0, 0, 0)
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	close(stopFlood)
+	flood.Wait()
+	stallProxy.Close()
+
+	if got := mServerShed.With(shedConns).Value() - shedConns0; got == 0 {
+		t.Error("flood produced no connection sheds")
+	}
+	if got := mServerShed.With(shedQueue).Value() - shedQueue0; got == 0 {
+		t.Error("fetch pressure produced no queue sheds")
+	}
+	if atomic.LoadInt64(&busySeen) == 0 {
+		t.Error("no fetcher ever observed a retryable busy error")
+	}
+	if got := mBreakerTransitions.With(addr0, "open").Value() - openT0; got == 0 {
+		t.Error("nws_client_breaker_transitions_total{open} did not grow")
+	}
+
+	// Drain: with the flood gone, the backlog must flush and every
+	// measurement must land on both replicas — zero loss, exactly once.
+	drained := false
+	for i := 0; i < 100; i++ {
+		err := step()
+		if err == nil && d.Backlogged() == 0 {
+			drained = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !drained {
+		t.Fatalf("backlog never drained after the flood: %d points still buffered", d.Backlogged())
+	}
+	for _, method := range []string{"load_average", "vmstat", "nws_hybrid"} {
+		k := SeriesKey("floodhost", method)
+		if n := m0.Len(k); n != steps {
+			t.Errorf("flooded replica holds %d %s points, want %d (measurement loss)", n, method, steps)
+		}
+		if n := m1.Len(k); n != steps {
+			t.Errorf("healthy replica holds %d %s points, want %d (measurement loss)", n, method, steps)
+		}
+	}
+
+	// Breaker recovery: after OpenFor a probe is admitted (half-open) and a
+	// now-healthy replica closes the circuit.
+	time.Sleep(openFor + 20*time.Millisecond)
+	recovered := false
+	recoverDeadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(recoverDeadline) {
+		if _, err := brkClient.Fetch(addr0, key, 0, 0, 0); err == nil {
+			recovered = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("breaker client never recovered after the flood cleared")
+	}
+	if got := brkClient.BreakerState(addr0); got != resilience.BreakerClosed {
+		t.Fatalf("breaker state after recovery = %v, want closed", got)
+	}
+	if got := mBreakerTransitions.With(addr0, "closed").Value() - closedT0; got == 0 {
+		t.Error("nws_client_breaker_transitions_total{closed} did not grow")
 	}
 }

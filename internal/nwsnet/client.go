@@ -43,6 +43,13 @@ type ClientOptions struct {
 	// IdleTimeout reaps pooled connections parked longer than this
 	// (0 selects 90 s; negative disables reaping).
 	IdleTimeout time.Duration
+	// Breaker, when non-nil, enables a per-endpoint circuit breaker with
+	// this configuration (nil disables breaking entirely). Transport
+	// failures and server "busy" sheds count against an endpoint; any other
+	// answered response counts as a success, because a server rejecting a
+	// request is still alive. A breaker denial surfaces as a terminal error
+	// wrapping resilience.ErrBreakerOpen without touching the endpoint.
+	Breaker *resilience.BreakerConfig
 }
 
 // Client performs protocol calls against nwsnet servers. Connections are
@@ -56,9 +63,11 @@ type Client struct {
 	maxIdle     int
 	maxActive   int
 	idleTimeout time.Duration
+	breakerCfg  *resilience.BreakerConfig
 
-	mu    sync.Mutex
-	pools map[string]*resilience.Pool
+	mu       sync.Mutex
+	pools    map[string]*resilience.Pool
+	breakers map[string]*resilience.Breaker
 }
 
 // NewClient returns a client whose call attempts time out after the given
@@ -83,7 +92,9 @@ func NewClientOptions(o ClientOptions) *Client {
 		maxIdle:     o.MaxIdlePerAddr,
 		maxActive:   o.MaxActivePerAddr,
 		idleTimeout: o.IdleTimeout,
+		breakerCfg:  o.Breaker,
 		pools:       make(map[string]*resilience.Pool),
+		breakers:    make(map[string]*resilience.Breaker),
 	}
 }
 
@@ -122,6 +133,43 @@ func (c *Client) pool(addr string) *resilience.Pool {
 		c.pools[addr] = p
 	}
 	return p
+}
+
+// breakerFor returns (creating on first use) the circuit breaker for addr,
+// or nil when breaking is disabled. Breakers survive Close: breaker state is
+// knowledge about the endpoint, not a held resource.
+func (c *Client) breakerFor(addr string) *resilience.Breaker {
+	if c.breakerCfg == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[addr]
+	if b == nil {
+		cfg := *c.breakerCfg
+		cfg.OnTransition = func(_, to resilience.BreakerState) {
+			mBreakerState.With(addr).Set(float64(to))
+			mBreakerTransitions.With(addr, to.String()).Inc()
+		}
+		b = resilience.NewBreaker(cfg)
+		c.breakers[addr] = b
+	}
+	return b
+}
+
+// BreakerState reports the circuit-breaker position for addr. It is
+// BreakerClosed when breaking is disabled or addr has never been called.
+func (c *Client) BreakerState(addr string) resilience.BreakerState {
+	if c.breakerCfg == nil {
+		return resilience.BreakerClosed
+	}
+	c.mu.Lock()
+	b := c.breakers[addr]
+	c.mu.Unlock()
+	if b == nil {
+		return resilience.BreakerClosed
+	}
+	return b.State()
 }
 
 // Close releases every pooled connection. The client remains usable; later
@@ -170,21 +218,38 @@ func (c *Client) exchange(ctx context.Context, addr string, req Request) (Respon
 
 // do performs a call under the retry policy and converts protocol-level
 // errors to Go errors. Protocol errors (the server answered, rejecting the
-// request) are terminal; transport errors are retried with backoff until
-// the policy or ctx gives up.
+// request) are terminal; transport errors and server "busy" sheds are
+// retried with backoff until the policy or ctx gives up. With a breaker
+// configured, every attempt asks the endpoint's breaker first and feeds its
+// outcome back; a denial returns immediately (terminal, wrapping
+// resilience.ErrBreakerOpen) without touching the endpoint.
 func (c *Client) do(ctx context.Context, addr string, req Request) (resp Response, err error) {
 	t0 := time.Now()
 	defer func() { observeCall(req.Op, t0, err) }()
+	brk := c.breakerFor(addr)
 	policy := c.retry
 	op := opLabel(req.Op)
 	policy.OnRetry = func(int, time.Duration, error) { mClientRetries.With(op).Inc() }
 	err = policy.Do(ctx, func(ctx context.Context) error {
+		if brk != nil && !brk.Allow() {
+			return resilience.Permanent(fmt.Errorf("nwsnet: %s: %w", addr, resilience.ErrBreakerOpen))
+		}
 		r, e := c.exchange(ctx, addr, req)
 		if e != nil {
+			if brk != nil {
+				brk.Record(false)
+			}
 			return e
 		}
-		if r.Error != "" {
-			return resilience.Permanent(errors.New(r.Error))
+		rerr := respError(addr, r)
+		if brk != nil {
+			// A busy shed is a failure for breaker purposes; any other
+			// answered response — acceptance or rejection — is proof of
+			// life for the endpoint.
+			brk.Record(!IsBusy(rerr))
+		}
+		if rerr != nil {
+			return rerr
 		}
 		resp = r
 		return nil
@@ -193,6 +258,20 @@ func (c *Client) do(ctx context.Context, addr string, req Request) (resp Respons
 		return Response{}, err
 	}
 	return resp, nil
+}
+
+// respError converts an answered response into its caller-facing error: nil
+// for success, a retryable busy-classified error for a load shed, and a
+// terminal error for an ordinary protocol rejection (the server understood
+// the request and said no — retrying it verbatim cannot help).
+func respError(addr string, r Response) error {
+	if r.Code == CodeBusy {
+		return fmt.Errorf("nwsnet: %s: %s: %w", addr, r.Error, errBusySentinel)
+	}
+	if r.Error != "" {
+		return resilience.Permanent(errors.New(r.Error))
+	}
+	return nil
 }
 
 // Ping checks a component is alive.

@@ -75,6 +75,11 @@ func (pc *Conn) Do(req Request) (Response, error) {
 	}
 	if resp.Error != "" {
 		err := fmt.Errorf("nwsnet: %s: %s", pc.addr, resp.Error)
+		if resp.Code == CodeBusy {
+			// Keep the shed recognizable (IsBusy) so callers can back off
+			// and retry instead of treating it as a bad request.
+			err = fmt.Errorf("nwsnet: %s: %s: %w", pc.addr, resp.Error, errBusySentinel)
+		}
 		observeCall(req.Op, t0, err)
 		return Response{}, err
 	}

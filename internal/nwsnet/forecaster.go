@@ -45,6 +45,11 @@ func NewForecasterServiceReplicas(memAddrs []string, timeout time.Duration) *For
 		// One in-call retry per replica; replica failover is the main
 		// recovery path for reads.
 		Retry: resilience.Policy{MaxAttempts: 2, BaseDelay: 25 * time.Millisecond},
+		// Probe-limiter mode (see NewSensorDaemonReplicas): never delays a
+		// sequential caller, but bounds concurrent hammering of a replica
+		// that keeps failing, and lets ReplicaGroup order open-breaker
+		// replicas last.
+		Breaker: &resilience.BreakerConfig{OpenFor: -1},
 	})
 	return &ForecasterService{
 		group:   NewReplicaGroup(client, memAddrs, 0),

@@ -5,6 +5,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"nwscpu/internal/resilience"
 )
 
 // FuzzDecodeRequest feeds arbitrary wire lines through the same decode path
@@ -44,6 +46,59 @@ func FuzzDecodeRequest(f *testing.F) {
 		// Whatever came back must survive the encode half of the wire.
 		if _, err := json.Marshal(resp); err != nil {
 			t.Fatalf("unmarshalable response %+v: %v", resp, err)
+		}
+	})
+}
+
+// FuzzDecodeResponse feeds arbitrary wire lines through the client-side
+// decode and error-classification path — the half of the protocol a
+// malicious or confused *server* controls. Whatever comes back, the client
+// must neither panic nor misclassify: a response carrying the busy code is
+// always a retryable, busy-recognizable error (never terminal, so retry
+// policies back off instead of giving up), an ordinary rejection is always
+// terminal, and a clean response classifies as no error at all.
+func FuzzDecodeResponse(f *testing.F) {
+	seeds := []string{
+		`{"ok":true}`,
+		`{"ok":false,"error":"no such series"}`,
+		`{"ok":false,"error":"server at connection capacity; retry","code":"busy"}`,
+		`{"ok":false,"error":"","code":"busy"}`,
+		`{"ok":true,"error":"","code":"nonsense"}`,
+		`{"ok":true,"points":[[1,0.5],[2,0.6]]}`,
+		`{"ok":true,"batch":[{"ok":false,"error":"x","code":"busy"},{"ok":true}]}`,
+		`{"ok":true,"forecast":{"value":0.5,"method":"sw_avg","mae":0.01,"n":64}}`,
+		`{"code":"busy"}`,
+		`not json at all`,
+		`{"ok":true,"points":[[1e308,-1e308]]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s + "\n"))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var resp Response
+		if err := readMsg(bufio.NewReader(bytes.NewReader(line)), &resp); err != nil {
+			return // undecodable responses surface as transport errors
+		}
+		err := respError("fuzz:0", resp)
+		switch {
+		case resp.Code == CodeBusy:
+			if err == nil || !IsBusy(err) {
+				t.Fatalf("busy response classified %v, want busy", err)
+			}
+			if resilience.IsTerminal(err) {
+				t.Fatalf("busy response classified terminal: %v", err)
+			}
+		case resp.Error != "":
+			if err == nil || !resilience.IsTerminal(err) {
+				t.Fatalf("protocol rejection classified %v, want terminal", err)
+			}
+			if IsBusy(err) {
+				t.Fatalf("plain rejection classified busy: %v", err)
+			}
+		default:
+			if err != nil {
+				t.Fatalf("clean response classified as error: %v", err)
+			}
 		}
 	})
 }

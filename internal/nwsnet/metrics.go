@@ -21,6 +21,15 @@ var (
 	mServerRequests = metrics.NewCounterVec(
 		"nws_server_requests_total",
 		"Protocol requests handled, by operation.", "op")
+	mServerShed = metrics.NewCounterVec(
+		"nws_server_shed_total",
+		"Load shed by the protocol server, by reason: connections (accepted past MaxConns), queue (no in-flight slot within the queue-wait budget), idle (connection idle past IdleTimeout), write (response write past WriteTimeout).", "reason")
+	mServerInFlight = metrics.NewGauge(
+		"nws_server_inflight_requests",
+		"Requests currently executing in handlers (bounded by MaxInFlight when configured).")
+	mServerQueueDepth = metrics.NewGauge(
+		"nws_server_queue_depth",
+		"Requests waiting for an in-flight slot within the queue-wait budget.")
 
 	// Protocol clients (Client and Conn outbound calls).
 	mClientCalls = metrics.NewCounterVec(
@@ -35,6 +44,12 @@ var (
 	mClientRetries = metrics.NewCounterVec(
 		"nws_client_retries_total",
 		"Outbound protocol call attempts retried after a transient failure, by operation.", "op")
+	mBreakerState = metrics.NewGaugeVec(
+		"nws_client_breaker_state",
+		"Client circuit-breaker position per endpoint: 0 closed, 1 half-open, 2 open.", "addr")
+	mBreakerTransitions = metrics.NewCounterVec(
+		"nws_client_breaker_transitions_total",
+		"Client circuit-breaker state changes, by endpoint and destination state.", "addr", "to")
 
 	// Connection pools (one per dialed server address; addresses come from
 	// local configuration, so the label set is bounded).
@@ -94,6 +109,9 @@ var (
 	mMemoryCompactions = metrics.NewCounter(
 		"nws_memory_log_compactions_total",
 		"Durable per-series logs rewritten to drop points beyond the circular capacity.")
+	mMemoryLogTruncations = metrics.NewCounter(
+		"nws_memory_log_truncations_total",
+		"Durable logs truncated at startup to drop a corrupt or torn trailing line (crash mid-append recovery).")
 
 	// Name server.
 	mNSRegistrations = metrics.NewCounter(

@@ -3,6 +3,7 @@ package nwsnet
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -63,9 +64,19 @@ func (pm *PersistentMemory) replay() error {
 		if err != nil {
 			return fmt.Errorf("nwsnet: undecodable log name %q: %w", name, err)
 		}
-		pts, err := readLog(filepath.Join(pm.dir, name))
+		path := filepath.Join(pm.dir, name)
+		pts, trunc, err := readLog(path)
 		if err != nil {
 			return err
+		}
+		if trunc >= 0 {
+			// The log ends in a corrupt or torn line — a crash mid-append.
+			// Everything before it replayed cleanly, so cut the tail and
+			// keep serving rather than refuse to start.
+			if err := os.Truncate(path, trunc); err != nil {
+				return fmt.Errorf("nwsnet: truncating torn log %s: %w", path, err)
+			}
+			mMemoryLogTruncations.Inc()
 		}
 		if len(pts) == 0 {
 			continue
@@ -79,37 +90,64 @@ func (pm *PersistentMemory) replay() error {
 	return nil
 }
 
-func readLog(path string) ([][2]float64, error) {
+// readLog parses a per-series append log. It tolerates a damaged tail — the
+// signature of a crash mid-append: a line that does not parse, or a final
+// line without its terminating newline (the writer always appends whole
+// "t,v\n" records, so an unterminated line is torn even if its prefix
+// happens to parse). On damage it returns the points read so far plus the
+// byte offset the caller should truncate the file to; truncateAt is -1 when
+// the log is clean. Damage is only forgiven at the tail: a malformed line
+// with valid lines after it means the rest of the log is unreachable, and
+// the truncation silently discards those later points.
+func readLog(path string) (pts [][2]float64, truncateAt int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("nwsnet: opening log: %w", err)
+		return nil, -1, fmt.Errorf("nwsnet: opening log: %w", err)
 	}
 	defer f.Close()
-	var pts [][2]float64
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	r := bufio.NewReader(f)
+	var offset int64 // byte offset of the start of the current line
+	for {
+		line, rerr := r.ReadString('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, -1, fmt.Errorf("nwsnet: reading log %s: %w", path, rerr)
 		}
-		parts := strings.SplitN(line, ",", 2)
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("nwsnet: malformed log line %q in %s", line, path)
+		if line == "" && rerr == io.EOF {
+			return pts, -1, nil
 		}
-		t, err := strconv.ParseFloat(parts[0], 64)
-		if err != nil {
-			return nil, fmt.Errorf("nwsnet: bad log timestamp in %s: %w", path, err)
+		terminated := strings.HasSuffix(line, "\n")
+		if !terminated {
+			return pts, offset, nil
 		}
-		v, err := strconv.ParseFloat(parts[1], 64)
-		if err != nil {
-			return nil, fmt.Errorf("nwsnet: bad log value in %s: %w", path, err)
+		if s := strings.TrimSpace(line); s != "" {
+			t, v, perr := parseLogLine(s)
+			if perr != nil {
+				return pts, offset, nil
+			}
+			pts = append(pts, [2]float64{t, v})
 		}
-		pts = append(pts, [2]float64{t, v})
+		offset += int64(len(line))
+		if rerr == io.EOF {
+			return pts, -1, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("nwsnet: reading log %s: %w", path, err)
+}
+
+// parseLogLine parses one trimmed, non-empty "t,v" log record.
+func parseLogLine(s string) (t, v float64, err error) {
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("nwsnet: malformed log line %q", s)
 	}
-	return pts, nil
+	t, err = strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("nwsnet: bad log timestamp: %w", err)
+	}
+	v, err = strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("nwsnet: bad log value: %w", err)
+	}
+	return t, v, nil
 }
 
 // Handle implements Handler: stores are applied to the in-memory series
@@ -227,15 +265,39 @@ func (pm *PersistentMemory) compactLocked(key string) error {
 		f.Close()
 		return err
 	}
+	// Sync the temp file before the rename and the directory after it:
+	// without the first, a crash right after the rename can leave the new
+	// name pointing at unwritten data (losing the retained window); without
+	// the second, the rename itself may not survive the crash.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
 	if err := f.Close(); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, pm.logPath(key)); err != nil {
 		return err
 	}
+	if err := syncDir(pm.dir); err != nil {
+		return err
+	}
 	pm.counts[key] = len(resp.Points)
 	mMemoryCompactions.Inc()
 	return nil
+}
+
+// syncDir fsyncs a directory, making renames inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 var _ Handler = (*PersistentMemory)(nil)

@@ -74,21 +74,104 @@ func TestPersistentMemoryValidationStillApplies(t *testing.T) {
 	}
 }
 
-func TestPersistentMemoryMalformedLog(t *testing.T) {
-	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, "k.log"), []byte("garbage\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := NewPersistentMemory(0, dir); err == nil {
-		t.Fatal("malformed log accepted")
-	}
-	for _, content := range []string{"x,1\n", "1,x\n"} {
+func TestPersistentMemoryCorruptTrailingLineRecovers(t *testing.T) {
+	// A corrupt trailing line (whatever the flavor of corruption) must not
+	// keep the memory from starting: replay truncates back to the last valid
+	// line, counts the truncation, and keeps serving.
+	for _, tail := range []string{"garbage\n", "x,1\n", "1,x\n"} {
+		dir := t.TempDir()
+		content := "10,0.9\n20,0.8\n" + tail
 		if err := os.WriteFile(filepath.Join(dir, "k.log"), []byte(content), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := NewPersistentMemory(0, dir); err == nil {
-			t.Fatalf("log %q accepted", content)
+		trunc0 := mMemoryLogTruncations.Value()
+		pm, err := NewPersistentMemory(0, dir)
+		if err != nil {
+			t.Fatalf("tail %q: replay failed: %v", tail, err)
 		}
+		if got := pm.Len("k"); got != 2 {
+			t.Fatalf("tail %q: replayed %d points, want 2", tail, got)
+		}
+		if got := mMemoryLogTruncations.Value() - trunc0; got != 1 {
+			t.Fatalf("tail %q: truncations delta = %d, want 1", tail, got)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "k.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != "10,0.9\n20,0.8\n" {
+			t.Fatalf("tail %q: log after recovery = %q, want the valid prefix", tail, data)
+		}
+		pm.Close()
+	}
+}
+
+func TestPersistentMemoryTornTrailingLineRecovers(t *testing.T) {
+	// Crash mid-append: the final line is missing its newline. Even when the
+	// torn prefix happens to parse (the writer always terminates records, so
+	// an unterminated line cannot be trusted), replay must cut it and restart
+	// cleanly — and the restarted memory must keep accepting appends.
+	dir := t.TempDir()
+	pm, err := NewPersistentMemory(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := pm.Handle(Request{Op: OpStore, Series: "k", Points: [][2]float64{{10, 0.9}, {20, 0.8}}})
+	if resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+	if err := pm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(pm.logPath("k"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("30,0.7"); err != nil { // half-line: no newline
+		t.Fatal(err)
+	}
+	f.Close()
+
+	trunc0 := mMemoryLogTruncations.Value()
+	pm2, err := NewPersistentMemory(0, dir)
+	if err != nil {
+		t.Fatalf("replay after torn append failed: %v", err)
+	}
+	defer pm2.Close()
+	if got := pm2.Len("k"); got != 2 {
+		t.Fatalf("replayed %d points, want 2 (torn line dropped)", got)
+	}
+	if got := mMemoryLogTruncations.Value() - trunc0; got != 1 {
+		t.Fatalf("truncations delta = %d, want 1", got)
+	}
+	resp = pm2.Handle(Request{Op: OpStore, Series: "k", Points: [][2]float64{{30, 0.7}}})
+	if resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+	pm2.Close()
+	pm3, err := NewPersistentMemory(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pm3.Close()
+	if got := pm3.Len("k"); got != 3 {
+		t.Fatalf("after re-append and restart: %d points, want 3", got)
+	}
+}
+
+func TestPersistentMemoryCleanLogNotTruncated(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "k.log"), []byte("10,0.9\n20,0.8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trunc0 := mMemoryLogTruncations.Value()
+	pm, err := NewPersistentMemory(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pm.Close()
+	if got := mMemoryLogTruncations.Value() - trunc0; got != 0 {
+		t.Fatalf("clean log counted %d truncations", got)
 	}
 }
 
@@ -109,9 +192,12 @@ func TestPersistentMemoryCompact(t *testing.T) {
 	if err := pm.Compact("k"); err != nil {
 		t.Fatal(err)
 	}
-	pts, err := readLog(pm.logPath("k"))
+	pts, trunc, err := readLog(pm.logPath("k"))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if trunc >= 0 {
+		t.Fatalf("compacted log reported damage at offset %d", trunc)
 	}
 	if len(pts) != 3 || pts[0][0] != 7 {
 		t.Fatalf("compacted log = %v, want the last 3 points", pts)
@@ -147,7 +233,7 @@ func TestPersistentMemoryAutoCompaction(t *testing.T) {
 	if got := mMemoryCompactions.Value() - comp0; got != 1 {
 		t.Errorf("compactions delta = %d, want 1", got)
 	}
-	logPts, err := readLog(pm.logPath("k"))
+	logPts, _, err := readLog(pm.logPath("k"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,7 @@ package nwsnet
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -116,10 +117,36 @@ type ForecastResult struct {
 	N      int     `json:"n"` // measurements behind the forecast
 }
 
+// Response codes carried in Response.Code beside the human-readable Error.
+// CodeBusy distinguishes "overloaded, back off and retry" from "bad
+// request": the client retry policy treats busy responses as retryable
+// (with backoff) where ordinary protocol errors are terminal, and the
+// client circuit breaker counts them as failures of the endpoint.
+const CodeBusy = "busy"
+
+// errBusySentinel is wrapped into errors built from responses carrying
+// CodeBusy so IsBusy can recognize them across wrapping.
+var errBusySentinel = errors.New("nwsnet: server overloaded")
+
+// IsBusy reports whether err came from a server shedding load (a response
+// with code "busy"): the request was refused to protect the server, not
+// because it was invalid, so retrying after backoff is expected to work.
+func IsBusy(err error) bool { return errors.Is(err, errBusySentinel) }
+
+// busyResp builds a load-shedding response: a protocol-level error carrying
+// the retryable busy code.
+func busyResp(format string, args ...any) Response {
+	return Response{Error: fmt.Sprintf(format, args...), Code: CodeBusy}
+}
+
 // Response is the server-to-client message.
 type Response struct {
-	OK       bool            `json:"ok"`
-	Error    string          `json:"error,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code distinguishes machine-readable error classes; today the only
+	// code is CodeBusy ("overloaded, retry after backoff"). Empty on
+	// success and on ordinary (terminal) protocol errors.
+	Code     string          `json:"code,omitempty"`
 	Entries  []Registration  `json:"entries,omitempty"`
 	Points   [][2]float64    `json:"points,omitempty"`
 	Names    []string        `json:"names,omitempty"`

@@ -2,7 +2,9 @@ package nwsnet
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"nwscpu/internal/resilience"
@@ -103,22 +105,28 @@ func (g *ReplicaGroup) snapshot() []*replicaState {
 	return append([]*replicaState(nil), g.replicas...)
 }
 
-// ordered returns the replicas healthy-first, preserving configuration
-// order within each class — the read failover order.
+// ordered returns the replicas in read-failover order: replicas whose
+// circuit breaker is open come last (the client has fresh evidence they are
+// down or overloaded, and trying them first would spend the failover budget
+// on denials), then healthy before unhealthy, preserving configuration order
+// within each class.
 func (g *ReplicaGroup) ordered() []*replicaState {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	out := make([]*replicaState, 0, len(g.replicas))
-	for _, r := range g.replicas {
-		if r.healthy {
-			out = append(out, r)
-		}
-	}
-	for _, r := range g.replicas {
+	out = append(out, g.replicas...)
+	class := make(map[*replicaState]int, len(out))
+	for _, r := range out {
+		c := 0
 		if !r.healthy {
-			out = append(out, r)
+			c = 1
 		}
+		if g.client.BreakerState(r.addr) == resilience.BreakerOpen {
+			c = 2
+		}
+		class[r] = c
 	}
+	g.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return class[out[i]] < class[out[j]] })
 	return out
 }
 
@@ -134,10 +142,22 @@ func (g *ReplicaGroup) Health() []ReplicaHealth {
 	return out
 }
 
+// isBreakerDenial reports whether err is a call the client's circuit
+// breaker refused without attempting. A denial carries no new information
+// about the replica, so health tracking must ignore it — otherwise an open
+// breaker would keep re-confirming the unhealthy mark it caused.
+func isBreakerDenial(err error) bool {
+	return errors.Is(err, resilience.ErrBreakerOpen)
+}
+
 // CheckHealth pings every replica, refreshing the health states it returns.
 func (g *ReplicaGroup) CheckHealth(ctx context.Context) []ReplicaHealth {
 	for _, r := range g.snapshot() {
-		g.mark(r, g.client.PingCtx(ctx, r.addr) == nil)
+		err := g.client.PingCtx(ctx, r.addr)
+		if isBreakerDenial(err) {
+			continue
+		}
+		g.mark(r, err == nil)
 	}
 	return g.Health()
 }
@@ -174,7 +194,9 @@ func (g *ReplicaGroup) StoreBatch(ctx context.Context, stores []BatchStore) ([]e
 	for _, r := range replicas {
 		errs, err := g.client.StoreBatchCtx(ctx, r.addr, stores)
 		if err != nil {
-			g.mark(r, false)
+			if !isBreakerDenial(err) {
+				g.mark(r, false)
+			}
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -220,7 +242,7 @@ func (g *ReplicaGroup) StoreBatch(ctx context.Context, stores []BatchStore) ([]e
 // still fall through, because a diverged replica may simply not hold the
 // series yet. Failovers past the preferred replica are counted.
 func (g *ReplicaGroup) read(op func(addr string) error) error {
-	var firstErr error
+	var firstErr, deniedErr error
 	for i, r := range g.ordered() {
 		err := op(r.addr)
 		if err == nil {
@@ -230,11 +252,22 @@ func (g *ReplicaGroup) read(op func(addr string) error) error {
 			}
 			return nil
 		}
+		if isBreakerDenial(err) {
+			// Not an observation of the replica; keep its health and prefer
+			// reporting a real failure from another replica.
+			if deniedErr == nil {
+				deniedErr = err
+			}
+			continue
+		}
 		// A replica that answered with a rejection is alive.
 		g.mark(r, isProtocolError(err))
 		if firstErr == nil {
 			firstErr = err
 		}
+	}
+	if firstErr == nil {
+		firstErr = deniedErr
 	}
 	return firstErr
 }
@@ -287,8 +320,12 @@ func (g *ReplicaGroup) FetchBatch(ctx context.Context, fetches []BatchFetch) ([]
 		}
 		results, err := g.client.FetchBatchCtx(ctx, r.addr, subset)
 		if err != nil {
-			g.mark(r, isProtocolError(err))
-			if firstErr == nil {
+			if !isBreakerDenial(err) {
+				g.mark(r, isProtocolError(err))
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else if firstErr == nil {
 				firstErr = err
 			}
 			continue

@@ -3,6 +3,8 @@ package nwsnet
 import (
 	"context"
 	"math"
+	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -314,5 +316,72 @@ func TestReplicaGroupCheckHealthRecovers(t *testing.T) {
 	}
 	if got := mReplicaHealthy.With(addr).Value(); got != 1 {
 		t.Fatalf("nws_replica_healthy{%s} = %g, want 1", addr, got)
+	}
+}
+
+func TestReplicaOrderingConsultsBreakerBeforeHealth(t *testing.T) {
+	// Replica A is preferred by configuration and still marked healthy, but
+	// its circuit breaker is open: failover must order it last and serve
+	// reads from B without spending an attempt on A — and a breaker denial
+	// must not flip A's health mark (it is not an observation of A).
+	var dials int64
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			atomic.AddInt64(&dials, 1)
+			c.Close()
+		}
+	}()
+	deadAddr := l.Addr().String()
+
+	mems, _, addrs := startReplicaSet(t, 1)
+	liveAddr := addrs[0]
+	mems[0].Handle(Request{Op: OpStore, Series: "k", Points: [][2]float64{{1, 0.5}}})
+
+	c := NewClientOptions(ClientOptions{
+		Timeout: 500 * time.Millisecond,
+		Retry:   resilience.Policy{MaxAttempts: 1},
+		Breaker: &resilience.BreakerConfig{Window: 2, MinSamples: 2, OpenFor: time.Hour},
+	})
+	g := NewReplicaGroup(c, []string{deadAddr, liveAddr}, 1)
+
+	// Trip A's breaker directly (two observed failures) while its health
+	// mark still says healthy from initialization.
+	for i := 0; i < 2; i++ {
+		c.breakerFor(deadAddr).Record(false)
+	}
+	if got := c.BreakerState(deadAddr); got != resilience.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+	if !g.Health()[0].Healthy {
+		t.Fatal("test setup: A should still be marked healthy")
+	}
+
+	ord := g.ordered()
+	if ord[0].addr != liveAddr {
+		t.Fatalf("read order starts with %s, want the live replica %s (open breaker must sort last)", ord[0].addr, liveAddr)
+	}
+
+	before := atomic.LoadInt64(&dials)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		pts, err := g.Fetch(ctx, "k", 0, 0, 0)
+		if err != nil || len(pts) != 1 {
+			t.Fatalf("fetch %d = %v, %v; want the stored point", i, pts, err)
+		}
+	}
+	if got := atomic.LoadInt64(&dials); got != before {
+		t.Fatalf("fetches dialed the open-breaker replica %d times", got-before)
+	}
+	if !g.Health()[0].Healthy {
+		t.Fatal("breaker denial flipped A's health mark")
 	}
 }

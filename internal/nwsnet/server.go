@@ -15,11 +15,54 @@ type Handler interface {
 	Handle(req Request) Response
 }
 
+// Shed reasons, the label values of nws_server_shed_total.
+const (
+	shedConns = "connections" // accepted past MaxConns
+	shedQueue = "queue"       // no in-flight slot within QueueWait
+	shedIdle  = "idle"        // connection silent past IdleTimeout
+	shedWrite = "write"       // response write blocked past WriteTimeout
+)
+
+// ServerLimits bounds what a Server will take on before it starts shedding
+// load. The zero value imposes no limits — exactly the pre-limits behavior.
+// Shedding is always explicit on the wire: a shed request or connection is
+// answered with a response carrying CodeBusy, which clients classify as
+// retryable ("overloaded, back off"), never silently dropped. Every shed is
+// counted in nws_server_shed_total by reason; see docs/ARCHITECTURE.md,
+// "Overload behavior".
+type ServerLimits struct {
+	// MaxConns caps concurrent connections. A connection accepted past the
+	// cap is immediately answered with a busy response and closed (reason
+	// "connections"). 0 = unlimited.
+	MaxConns int
+	// MaxInFlight caps requests executing in handlers at once. A request
+	// that cannot get a slot within QueueWait is answered with a busy
+	// response on its own connection (reason "queue"); the connection
+	// stays open for retries. 0 = unlimited.
+	MaxInFlight int
+	// QueueWait bounds how long a request may wait for an in-flight slot
+	// before being shed — the knee between queueing and collapsing. Only
+	// meaningful with MaxInFlight > 0 (then 0 selects 100 ms). Shedding
+	// answers within this budget instead of letting the client time out.
+	QueueWait time.Duration
+	// IdleTimeout disconnects a connection that sends no request for this
+	// long (reason "idle") — the defense against clients that connect and
+	// never send, which would otherwise pin a goroutine forever. 0 = no
+	// idle deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response (reason "write") — the
+	// defense against stalled readers that stop draining their socket
+	// while the server blocks mid-write. 0 = no write deadline.
+	WriteTimeout time.Duration
+}
+
 // Server accepts JSON-line connections and dispatches them to a Handler.
 // A connection may carry any number of request/response exchanges.
 type Server struct {
-	handler Handler
-	logger  *log.Logger
+	handler  Handler
+	logger   *log.Logger
+	limits   ServerLimits
+	inflight chan struct{} // in-flight request slots; nil when unlimited
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -28,13 +71,27 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// NewServer wraps handler. logger may be nil to disable logging.
+// NewServer wraps handler with no limits. logger may be nil to disable
+// logging.
 func NewServer(handler Handler, logger *log.Logger) *Server {
-	return &Server{
+	return NewServerLimits(handler, logger, ServerLimits{})
+}
+
+// NewServerLimits wraps handler with overload protection per limits.
+func NewServerLimits(handler Handler, logger *log.Logger, limits ServerLimits) *Server {
+	if limits.MaxInFlight > 0 && limits.QueueWait <= 0 {
+		limits.QueueWait = 100 * time.Millisecond
+	}
+	s := &Server{
 		handler: handler,
 		logger:  logger,
+		limits:  limits,
 		conns:   make(map[net.Conn]struct{}),
 	}
+	if limits.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, limits.MaxInFlight)
+	}
+	return s
 }
 
 // Listen binds addr ("host:port"; ":0" for an ephemeral port) and starts
@@ -71,11 +128,35 @@ func (s *Server) acceptLoop(l net.Listener) {
 			conn.Close()
 			return
 		}
+		if s.limits.MaxConns > 0 && len(s.conns) >= s.limits.MaxConns {
+			s.mu.Unlock()
+			mServerShed.With(shedConns).Inc()
+			s.wg.Add(1)
+			go s.shedConn(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
+}
+
+// shedConn answers a connection accepted past MaxConns with a retryable
+// busy response and closes it. The response is written before the close and
+// the inbound side is drained briefly so an in-flight request line does not
+// turn the close into a reset that loses the response.
+func (s *Server) shedConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(time.Second))
+	w := bufio.NewWriter(conn)
+	resp := busyResp("server at connection capacity; retry")
+	writeMsg(w, resp)
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	io.Copy(io.Discard, conn)
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -92,23 +173,78 @@ func (s *Server) serveConn(conn net.Conn) {
 	reader := bufio.NewReaderSize(conn, 64<<10)
 	writer := bufio.NewWriter(conn)
 	for {
+		if s.limits.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.limits.IdleTimeout))
+		}
 		var req Request
 		if err := readMsg(reader, &req); err != nil {
-			if err != io.EOF && s.logger != nil && !s.isClosed() {
-				s.logger.Printf("nwsnet: read: %v", err)
+			if err != io.EOF && !s.isClosed() {
+				if isTimeout(err) {
+					// The idle deadline fired with no request in flight:
+					// disconnect the silent client instead of pinning this
+					// goroutine forever.
+					mServerShed.With(shedIdle).Inc()
+				} else if s.logger != nil {
+					s.logger.Printf("nwsnet: read: %v", err)
+				}
 			}
 			return
 		}
 		mServerRequests.With(opLabel(req.Op)).Inc()
-		resp := s.handler.Handle(req)
+		resp := s.dispatch(req)
 		resp.OK = resp.Error == ""
+		if s.limits.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.limits.WriteTimeout))
+		}
 		if err := writeMsg(writer, resp); err != nil {
-			if s.logger != nil {
+			if isTimeout(err) {
+				// A stalled reader: the client stopped draining its socket
+				// while we were mid-response. Cut the connection rather
+				// than block the handler goroutine on its buffer.
+				mServerShed.With(shedWrite).Inc()
+			} else if s.logger != nil {
 				s.logger.Printf("nwsnet: write: %v", err)
 			}
 			return
 		}
 	}
+}
+
+// dispatch runs one request through the handler, bounded by the in-flight
+// budget when one is configured: a request that cannot get a slot within
+// QueueWait is shed with a retryable busy response instead of queueing
+// without bound.
+func (s *Server) dispatch(req Request) Response {
+	if s.inflight == nil {
+		return s.handler.Handle(req)
+	}
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		mServerQueueDepth.Inc()
+		t := time.NewTimer(s.limits.QueueWait)
+		select {
+		case s.inflight <- struct{}{}:
+			t.Stop()
+			mServerQueueDepth.Dec()
+		case <-t.C:
+			mServerQueueDepth.Dec()
+			mServerShed.With(shedQueue).Inc()
+			return busyResp("server overloaded: no in-flight slot within %v; retry", s.limits.QueueWait)
+		}
+	}
+	mServerInFlight.Inc()
+	defer func() {
+		mServerInFlight.Dec()
+		<-s.inflight
+	}()
+	return s.handler.Handle(req)
+}
+
+// isTimeout reports whether err is a network deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func (s *Server) isClosed() bool {

@@ -9,6 +9,9 @@
 //	drop      consume the request, then close without replying
 //	delay     pause before forwarding, then behave like pass
 //	truncate  forward the request, return half of the first response, die
+//	stall     forward the request but never read the response — a stalled
+//	          reader from the server's point of view, holding its write
+//	          path until the action's Delay (or proxy close)
 //
 // SetDown flaps the whole proxy: live connections are severed and new ones
 // refused until SetDown(false) — a full host outage on demand, used by the
@@ -38,6 +41,7 @@ const (
 	Drop     Fault = "drop"
 	Delay    Fault = "delay"
 	Truncate Fault = "truncate"
+	Stall    Fault = "stall"
 )
 
 // Connection outcomes counted beyond the scheduled faults: "down" is a
@@ -320,6 +324,10 @@ func (p *Proxy) handle(client net.Conn, action Action) {
 		p.truncate(client, upstream)
 		return
 	}
+	if action.Fault == Stall {
+		p.stall(client, upstream, action.Delay)
+		return
+	}
 
 	// Full duplex pass-through; either side closing tears down both.
 	done := make(chan struct{}, 2)
@@ -339,6 +347,24 @@ func (p *Proxy) truncate(client, upstream net.Conn) {
 		return
 	}
 	client.Write(buf[:n/2])
+}
+
+// stall forwards the client's bytes upstream but never reads the response:
+// the server sees a reader that stopped draining and must rely on its write
+// deadline to shake the connection off. The stall holds for d (forever when
+// d <= 0) or until the proxy closes.
+func (p *Proxy) stall(client, upstream net.Conn, d time.Duration) {
+	go func() { io.Copy(upstream, client); upstream.Close() }()
+	var expire <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case <-expire:
+	case <-p.stop:
+	}
 }
 
 func containsNewline(b []byte) bool {

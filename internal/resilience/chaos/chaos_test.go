@@ -223,3 +223,55 @@ func TestProxyCloseIdempotent(t *testing.T) {
 		t.Fatal("Listen after Close succeeded")
 	}
 }
+
+func TestStallForwardsRequestButNeverResponds(t *testing.T) {
+	// The request must reach the upstream (a stalled reader, not a dead
+	// connection), but the client never sees the reply and times out.
+	received := make(chan string, 1)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		sc := bufio.NewScanner(c)
+		if sc.Scan() {
+			received <- sc.Text()
+			c.Write([]byte("reply\n")) // sent, but the proxy never forwards it
+		}
+		// Hold the upstream side open like a real server would.
+		for sc.Scan() {
+		}
+	}()
+
+	p := startProxy(t, l.Addr().String(), NewScript(Action{Fault: Stall}))
+	if _, err := exchange(t, p.Addr(), "hello"); err == nil {
+		t.Fatal("stalled exchange returned a reply")
+	}
+	select {
+	case got := <-received:
+		if got != "hello" {
+			t.Fatalf("upstream received %q, want %q", got, "hello")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("request never reached the upstream through the stall")
+	}
+}
+
+func TestStallReleasesAtDelay(t *testing.T) {
+	// With a bounded Delay the stall ends on its own: the connection is torn
+	// down and the proxy keeps serving later connections normally.
+	addr := startEcho(t)
+	p := startProxy(t, addr, NewScript(Action{Fault: Stall, Delay: 50 * time.Millisecond}))
+	if _, err := exchange(t, p.Addr(), "a"); err == nil {
+		t.Fatal("stalled exchange returned a reply")
+	}
+	if got, err := exchange(t, p.Addr(), "b"); err != nil || got != "b" {
+		t.Fatalf("post-stall exchange = %q, %v; want pass-through", got, err)
+	}
+}
