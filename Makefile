@@ -6,9 +6,9 @@ GOFMT ?= gofmt
 #   make fuzz-smoke FUZZTIME=2m
 FUZZTIME ?= 5s
 
-.PHONY: all build test test-race chaos vet fuzz-smoke bench bench-forecast bench-forecast-smoke bench-memory bench-memory-smoke bench-paper experiments report clean
+.PHONY: all build test test-race chaos vet docs-check fuzz-smoke bench bench-forecast bench-forecast-smoke bench-memory bench-memory-smoke bench-wire-smoke bench-paper experiments report clean
 
-all: build vet test fuzz-smoke bench-forecast-smoke bench-memory-smoke
+all: build vet docs-check test fuzz-smoke bench-forecast-smoke bench-memory-smoke bench-wire-smoke
 
 build:
 	$(GO) build ./...
@@ -36,13 +36,23 @@ chaos:
 	$(GO) test -race ./internal/resilience/...
 	$(GO) test -race -run 'Chaos' -v ./internal/nwsnet
 
-# Bounded fuzzing of both halves of the wire protocol: the server-side
-# request decode/execute path and the client-side response decode and
-# shed/busy error classification. Go fuzzers must run one at a time, so
-# each gets its own invocation of $(FUZZTIME).
+# Doc drift gate: docs/PROTOCOL.md (the normative wire spec) is compared
+# against the codec — the opcode tables both ways, and the worked hex/JSON
+# examples byte for byte.
+docs-check:
+	$(GO) test -run 'TestProtocolDoc' -count=1 ./internal/nwsnet
+
+# Bounded fuzzing of both halves of the wire protocol in both codecs: the
+# server-side request decode/execute path and the client-side response
+# decode and shed/busy error classification, for the v1 JSON line codec
+# (which also cross-checks v2 round-trips of whatever JSON decodes) and the
+# v2 binary frame codec. Go fuzzers must run one at a time, so each gets
+# its own invocation of $(FUZZTIME).
 fuzz-smoke:
 	$(GO) test -run - -fuzz 'FuzzDecodeRequest$$' -fuzztime $(FUZZTIME) ./internal/nwsnet
 	$(GO) test -run - -fuzz 'FuzzDecodeResponse$$' -fuzztime $(FUZZTIME) ./internal/nwsnet
+	$(GO) test -run - -fuzz 'FuzzDecodeBinaryRequest$$' -fuzztime $(FUZZTIME) ./internal/nwsnet
+	$(GO) test -run - -fuzz 'FuzzDecodeBinaryResponse$$' -fuzztime $(FUZZTIME) ./internal/nwsnet
 
 # Forecaster hot-path baseline: the Go benchmark suite with allocation
 # accounting, then the nwsperf harness regenerating BENCH_forecast.json
@@ -70,6 +80,12 @@ bench-memory:
 # path's concurrency, not perf).
 bench-memory-smoke:
 	$(GO) run -race ./cmd/nwsload -smoke -out /tmp/BENCH_memory.smoke.json
+
+# Wire-path CI smoke: the json/binary/binary-pipelined closed loops only, a
+# ~1 s down-scaled run under the race detector writing to a scratch file
+# (guards both codecs' serving and client paths under concurrency, not perf).
+bench-wire-smoke:
+	$(GO) run -race ./cmd/nwsload -smoke -wire-only -out /tmp/BENCH_wire.smoke.json
 
 # One iteration of every table/figure/ablation benchmark at 6-hour scale.
 bench:

@@ -27,6 +27,13 @@
 //
 //	nwsd -role memory -listen :8091 -metrics :9100
 //
+// Client-side roles (forecaster, sensor) accept -codec {binary,json} to pick
+// the wire codec they speak to the memory servers: binary (wire protocol v2,
+// the default) pipelines length-prefixed frames, json (v1) is the lockstep
+// line protocol kept for pre-v2 servers — see docs/PROTOCOL.md:
+//
+//	nwsd -role sensor -host mybox -memory oldbox:8091 -codec json
+//
 // Server roles accept overload-protection flags — -max-conns, -max-inflight,
 // -queue-wait, -idle-timeout, -write-timeout — that bound what the daemon
 // takes on before shedding excess load with a retryable busy error instead
@@ -79,6 +86,7 @@ func main() {
 	reflector := flag.String("reflector", "", "sensor: also probe network latency/bandwidth against this reflector")
 	ttl := flag.Duration("ttl", 0, "nameserver: registration expiry (0 = never; sensors re-register each period)")
 	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics, /metrics.json, /debug/vars, /debug/pprof (empty = disabled)")
+	codec := flag.String("codec", "", "client roles: wire codec to the memory servers, binary (v2, default) or json (v1, for pre-v2 servers)")
 	maxConns := flag.Int("max-conns", 0, "server roles: max concurrent connections; excess shed with a retryable busy error (0 = unlimited)")
 	maxInFlight := flag.Int("max-inflight", 0, "server roles: max requests executing at once; excess queued up to -queue-wait then shed (0 = unlimited)")
 	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "server roles: how long a request may wait for an in-flight slot before being shed (with -max-inflight)")
@@ -91,7 +99,7 @@ func main() {
 		role: *role, listen: *listen, memory: *memory, nameserver: *nameserver,
 		hostName: *hostName, period: *period, simProfile: *simProfile,
 		capacity: *capacity, stateDir: *stateDir, ttl: *ttl, reflector: *reflector,
-		metricsAddr: *metricsAddr, replicas: *replicas,
+		metricsAddr: *metricsAddr, replicas: *replicas, codec: nwsnet.Codec(*codec),
 		limits: nwsnet.ServerLimits{
 			MaxConns:     *maxConns,
 			MaxInFlight:  *maxInFlight,
@@ -115,6 +123,9 @@ type daemonOpts struct {
 	ttl                              time.Duration
 	capacity                         int
 	replicas                         int
+	// codec is the wire codec client roles speak to the memory servers; the
+	// zero value selects the binary (v2) default.
+	codec nwsnet.Codec
 	// limits is the server-role overload protection; the zero value (what
 	// tests constructing daemonOpts directly get) imposes no limits.
 	limits nwsnet.ServerLimits
@@ -134,6 +145,11 @@ func (o daemonOpts) note(component, addr string) {
 }
 
 func run(o daemonOpts, logger *log.Logger) error {
+	switch o.codec {
+	case "", nwsnet.CodecBinary, nwsnet.CodecJSON:
+	default:
+		return fmt.Errorf("unknown -codec %q (want %q or %q)", o.codec, nwsnet.CodecBinary, nwsnet.CodecJSON)
+	}
 	if o.metricsAddr != "" {
 		ds, err := metrics.ServeDebug(o.metricsAddr, metrics.Default)
 		if err != nil {
@@ -152,7 +168,7 @@ func run(o daemonOpts, logger *log.Logger) error {
 		if o.memory == "" {
 			return fmt.Errorf("forecaster needs -memory")
 		}
-		fs := nwsnet.NewForecasterServiceReplicas(memoryAddrs(o), 0)
+		fs := nwsnet.NewForecasterServiceReplicasCodec(memoryAddrs(o), 0, o.codec)
 		// Catch up on existing history in one batched round trip before
 		// serving, so the first query per series is not the expensive one.
 		// Best effort: an empty or unreachable memory just starts cold.
@@ -358,7 +374,7 @@ func runSensor(o daemonOpts, logger *log.Logger) error {
 	}
 
 	memAddrs := memoryAddrs(o)
-	daemon := nwsnet.NewSensorDaemonReplicas(hostName, host, memAddrs, 0, sensors.HybridConfig{})
+	daemon := nwsnet.NewSensorDaemonReplicasCodec(hostName, host, memAddrs, 0, sensors.HybridConfig{}, o.codec)
 	daemon.SetLogger(logger)
 	defer daemon.Close()
 
@@ -371,7 +387,7 @@ func runSensor(o daemonOpts, logger *log.Logger) error {
 		defer lat.Close()
 		bw = netsensor.NewBandwidthSensor(o.reflector, 0, 0)
 		defer bw.Close()
-		netConn = nwsnet.NewConn(memAddrs[0], 0)
+		netConn = nwsnet.NewConnCodec(memAddrs[0], 0, o.codec)
 		defer netConn.Close()
 		logger.Printf("probing network against %s", o.reflector)
 	}

@@ -91,10 +91,20 @@ func TestMemoryReplicasRole(t *testing.T) {
 			t.Fatalf("replica %s: %v", addr, err)
 		}
 	}
-	// The whole set must be resolvable as one logical endpoint.
-	reg, err := c.Lookup(nsAddr, "memory")
-	if err != nil {
-		t.Fatal(err)
+	// The whole set must be resolvable as one logical endpoint. The daemon
+	// registers after reporting its bound addresses, so give the
+	// registration a moment to land.
+	var reg nwsnet.Registration
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		reg, err = c.Lookup(nsAddr, "memory")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	if reg.Kind != nwsnet.KindMemory || len(reg.Endpoints()) != 3 {
 		t.Fatalf("registered group = %+v", reg)

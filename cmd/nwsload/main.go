@@ -15,17 +15,24 @@
 // Two levels are measured:
 //
 //   - serve_store/* drive Memory.Handle directly, isolating the serving
-//     path the shard/ring rework changed; this is the acceptance pair.
-//   - wire_* run the full closed loop — JSON framing, TCP loopback,
-//     pooled connections — against a live Server, for end-to-end context
-//     and the batch-envelope amortization numbers.
+//     path the shard/ring rework changed; this is the first acceptance pair.
+//   - wire_* run the full closed loop over TCP loopback against a live
+//     Server, in both wire codecs (see docs/PROTOCOL.md): */json is wire
+//     protocol v1 (JSON lines, lockstep), */binary is v2 (length-prefixed
+//     binary frames), and */binary-pipelined keeps -pipeline requests in
+//     flight per worker, workers sharing multiplexed v2 connections eight
+//     to a wire. The
+//     json-vs-binary-pipelined store pair is the second acceptance pair —
+//     the wire/in-process gap the binary codec exists to close.
 //
 // Usage:
 //
 //	nwsload [-clients 64] [-series 256] [-capacity 10000] [-duration 2s]
-//	        [-out BENCH_memory.json] [-smoke]
+//	        [-codec both] [-pipeline 64] [-out BENCH_memory.json]
+//	        [-smoke] [-wire-only] [-cpuprofile prof.out]
 //
-// -smoke shrinks everything to a ~1 s run for the race-enabled CI pass.
+// -smoke shrinks everything to a ~1 s run for the race-enabled CI pass;
+// -wire-only skips the handler-level scenarios (make bench-wire-smoke).
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -115,6 +123,9 @@ type config struct {
 	Series   int     `json:"series"`
 	Capacity int     `json:"capacity"`
 	Duration float64 `json:"duration_seconds"` // per scenario
+	Codec    string  `json:"codec"`            // json | binary | both
+	Pipeline int     `json:"pipeline"`         // in-flight requests per worker, pipelined scenarios
+	WireOnly bool    `json:"wire_only,omitempty"`
 }
 
 // Measurement is one scenario's sustained observed performance.
@@ -133,14 +144,22 @@ type Result struct {
 	Current Measurement `json:"current"`
 }
 
-// Acceptance states the PR's headline criterion in checkable form: the
-// sharded serving path must sustain at least 5x the seed single-mutex
-// store throughput under the standard 64-writers/256-series workload.
+// Acceptance states the headline criteria in checkable form: the sharded
+// serving path must sustain at least 5x the seed single-mutex store
+// throughput, and the pipelined binary wire path at least 10x the v1 JSON
+// lockstep store throughput, under the standard 64-writers/256-series
+// workload. Fields for scenarios a restricted -codec / -wire-only run
+// skipped are left zero.
 type Acceptance struct {
 	StoreOpsPerSecSeed     float64 `json:"store_ops_per_sec_seed"`
 	StoreOpsPerSecSharded  float64 `json:"store_ops_per_sec_sharded"`
 	StoreSpeedup           float64 `json:"store_speedup"`
 	Meets5xStoreThroughput bool    `json:"meets_5x_store_throughput"`
+
+	WireStoreOpsPerSecJSON      float64 `json:"wire_store_ops_per_sec_json"`
+	WireStoreOpsPerSecBinary    float64 `json:"wire_store_ops_per_sec_binary"` // binary-pipelined
+	WireSpeedup                 float64 `json:"wire_speedup"`
+	Meets10xWireStoreThroughput bool    `json:"meets_10x_wire_store_throughput"`
 }
 
 // Report is the BENCH_memory.json document.
@@ -296,25 +315,26 @@ func startServer(h nwsnet.Handler) (string, func()) {
 
 // newWireClients gives every worker its own pooled client so each keeps a
 // live connection, the shape of a fleet of sensor daemons.
-func newWireClients(n int) []*nwsnet.Client {
+func newWireClients(n int, codec nwsnet.Codec) []*nwsnet.Client {
 	cs := make([]*nwsnet.Client, n)
 	for i := range cs {
 		cs[i] = nwsnet.NewClientOptions(nwsnet.ClientOptions{
 			Timeout:        10 * time.Second,
 			MaxIdlePerAddr: 1,
+			Codec:          codec,
 		})
 	}
 	return cs
 }
 
 // wireStoreScenario is the full closed loop: one point per op per client
-// over TCP.
-func wireStoreScenario(cfg config, h nwsnet.Handler) Measurement {
+// over TCP, one request in flight per worker (the lockstep client).
+func wireStoreScenario(cfg config, h nwsnet.Handler, codec nwsnet.Codec) Measurement {
 	prefill(h, cfg)
 	addr, stop := startServer(h)
 	defer stop()
 	ws := makeWorkers(cfg, cfg.Capacity)
-	clients := newWireClients(cfg.Clients)
+	clients := newWireClients(cfg.Clients, codec)
 	defer func() {
 		for _, c := range clients {
 			c.Close()
@@ -333,14 +353,121 @@ func wireStoreScenario(cfg config, h nwsnet.Handler) Measurement {
 	})
 }
 
-// wireStoreBatchScenario stores one point on every owned series per op
-// through the batch envelope — the sensor daemon's per-tick shape.
-func wireStoreBatchScenario(cfg config, h nwsnet.Handler) Measurement {
+// pipeWorker is one pipelined worker's private state: its multiplexed
+// connection and the window of in-flight calls. Only the owning goroutine
+// touches it during a run.
+type pipeWorker struct {
+	mux *nwsnet.MuxConn
+	q   []*nwsnet.MuxCall
+}
+
+// push issues one request, first completing the oldest call when the window
+// is full. check validates each completed response.
+func (p *pipeWorker) push(window int, req nwsnet.Request, check func(nwsnet.Response)) {
+	if len(p.q) >= window {
+		resp, err := p.q[0].Wait()
+		if err != nil {
+			panic("nwsload: pipelined call: " + err.Error())
+		}
+		check(resp)
+		p.q = p.q[1:]
+	}
+	p.q = append(p.q, p.mux.Go(req))
+}
+
+// drain completes whatever is still in flight after the deadline.
+func (p *pipeWorker) drain(check func(nwsnet.Response)) {
+	for _, c := range p.q {
+		resp, err := c.Wait()
+		if err != nil {
+			panic("nwsload: pipelined drain: " + err.Error())
+		}
+		check(resp)
+	}
+	p.q = nil
+}
+
+// pipelinedScenario is the shared harness for the binary-pipelined rows:
+// every worker keeps cfg.Pipeline requests in flight, and workers share
+// multiplexed connections eight to a MuxConn — the deployment shape the v2
+// protocol is built for (many logical callers funneled over few wires), and
+// what lets the client group-commit whole windows per write syscall. Sampled
+// latencies measure the closed-loop issue slot (time to admit one more
+// request, including waiting out the oldest), not a single request's RTT —
+// under a full window that is the inter-completion time, which is the figure
+// that matters for throughput.
+func pipelinedScenario(cfg config, h nwsnet.Handler, pointsPerOp int,
+	reqFor func(w *worker, rot int) nwsnet.Request, check func(nwsnet.Response)) Measurement {
+
 	prefill(h, cfg)
 	addr, stop := startServer(h)
 	defer stop()
 	ws := makeWorkers(cfg, cfg.Capacity)
-	clients := newWireClients(cfg.Clients)
+	window := cfg.Pipeline
+	if window < 1 {
+		window = 1
+	}
+	nConns := (len(ws) + 7) / 8
+	conns := make([]*nwsnet.MuxConn, nConns)
+	for i := range conns {
+		mux, err := nwsnet.DialMux(addr, 10*time.Second)
+		if err != nil {
+			panic("nwsload: dial mux: " + err.Error())
+		}
+		defer mux.Close()
+		conns[i] = mux
+	}
+	pipes := make(map[*worker]*pipeWorker, len(ws))
+	for i, w := range ws {
+		pipes[w] = &pipeWorker{mux: conns[i%nConns]}
+	}
+	m := collect(cfg, ws, pointsPerOp, func(w *worker, rot int) {
+		pipes[w].push(window, reqFor(w, rot), check)
+	})
+	for _, p := range pipes {
+		p.drain(check)
+	}
+	return m
+}
+
+// wireStorePipelinedScenario stores one point per op with cfg.Pipeline
+// requests in flight per worker.
+func wireStorePipelinedScenario(cfg config, h nwsnet.Handler) Measurement {
+	return pipelinedScenario(cfg, h, 1, func(w *worker, rot int) nwsnet.Request {
+		t := w.next[rot]
+		w.next[rot] = t + 1
+		return nwsnet.Request{Op: nwsnet.OpStore, Series: w.keys[rot],
+			Points: [][2]float64{{t, 0.5}}}
+	}, func(resp nwsnet.Response) {
+		if resp.Error != "" {
+			panic("nwsload: pipelined store: " + resp.Error)
+		}
+	})
+}
+
+// wireFetchPipelinedScenario reads the latest 100 points per op with
+// cfg.Pipeline requests in flight per worker.
+func wireFetchPipelinedScenario(cfg config, h nwsnet.Handler) Measurement {
+	return pipelinedScenario(cfg, h, 100, func(w *worker, rot int) nwsnet.Request {
+		return nwsnet.Request{Op: nwsnet.OpFetch, Series: w.keys[rot], Max: 100}
+	}, func(resp nwsnet.Response) {
+		if resp.Error != "" {
+			panic("nwsload: pipelined fetch: " + resp.Error)
+		}
+		if len(resp.Points) == 0 {
+			panic("nwsload: pipelined fetch returned no points")
+		}
+	})
+}
+
+// wireStoreBatchScenario stores one point on every owned series per op
+// through the batch envelope — the sensor daemon's per-tick shape.
+func wireStoreBatchScenario(cfg config, h nwsnet.Handler, codec nwsnet.Codec) Measurement {
+	prefill(h, cfg)
+	addr, stop := startServer(h)
+	defer stop()
+	ws := makeWorkers(cfg, cfg.Capacity)
+	clients := newWireClients(cfg.Clients, codec)
 	defer func() {
 		for _, c := range clients {
 			c.Close()
@@ -364,12 +491,12 @@ func wireStoreBatchScenario(cfg config, h nwsnet.Handler) Measurement {
 }
 
 // wireFetchScenario reads the latest 100 points per op over TCP.
-func wireFetchScenario(cfg config, h nwsnet.Handler) Measurement {
+func wireFetchScenario(cfg config, h nwsnet.Handler, codec nwsnet.Codec) Measurement {
 	prefill(h, cfg)
 	addr, stop := startServer(h)
 	defer stop()
 	ws := makeWorkers(cfg, cfg.Capacity)
-	clients := newWireClients(cfg.Clients)
+	clients := newWireClients(cfg.Clients, codec)
 	defer func() {
 		for _, c := range clients {
 			c.Close()
@@ -390,10 +517,13 @@ func wireFetchScenario(cfg config, h nwsnet.Handler) Measurement {
 	})
 }
 
-// runAll executes every scenario and assembles the report.
+// runAll executes every scenario the config selects and assembles the
+// report. -codec restricts the wire rows to one codec; -wire-only skips the
+// handler-level rows (and the JSON-codec seed-memory context rows with
+// them). Acceptance ratios are computed only when both of their rows ran.
 func runAll(cfg config) Report {
 	rep := Report{
-		Schema:         "nws/bench-memory/v1",
+		Schema:         "nws/bench-memory/v2",
 		Package:        "nwscpu/internal/nwsnet",
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
@@ -407,23 +537,45 @@ func runAll(cfg config) Report {
 		rep.Results = append(rep.Results, Result{Name: name, Current: m})
 		return m
 	}
+	doJSON := cfg.Codec == "json" || cfg.Codec == "both"
+	doBin := cfg.Codec == "binary" || cfg.Codec == "both"
 
-	seed := add("serve_store/seed", serveScenario(cfg, newSeedMemory(cfg.Capacity)))
-	sharded := add("serve_store/sharded", serveScenario(cfg, nwsnet.NewMemory(cfg.Capacity)))
-	add("wire_store/seed", wireStoreScenario(cfg, newSeedMemory(cfg.Capacity)))
-	add("wire_store/sharded", wireStoreScenario(cfg, nwsnet.NewMemory(cfg.Capacity)))
-	add("wire_store_batch/sharded", wireStoreBatchScenario(cfg, nwsnet.NewMemory(cfg.Capacity)))
-	add("wire_fetch/seed", wireFetchScenario(cfg, newSeedMemory(cfg.Capacity)))
-	add("wire_fetch/sharded", wireFetchScenario(cfg, nwsnet.NewMemory(cfg.Capacity)))
+	if !cfg.WireOnly {
+		seed := add("serve_store/seed", serveScenario(cfg, newSeedMemory(cfg.Capacity)))
+		sharded := add("serve_store/sharded", serveScenario(cfg, nwsnet.NewMemory(cfg.Capacity)))
+		rep.Acceptance.StoreOpsPerSecSeed = seed.OpsPerSec
+		rep.Acceptance.StoreOpsPerSecSharded = sharded.OpsPerSec
+		if seed.OpsPerSec > 0 {
+			rep.Acceptance.StoreSpeedup = sharded.OpsPerSec / seed.OpsPerSec
+		}
+		rep.Acceptance.Meets5xStoreThroughput = rep.Acceptance.StoreSpeedup >= 5
+		if doJSON {
+			// Seed-memory wire context rows, v1 codec as they always were.
+			add("wire_store/seed", wireStoreScenario(cfg, newSeedMemory(cfg.Capacity), nwsnet.CodecJSON))
+			add("wire_fetch/seed", wireFetchScenario(cfg, newSeedMemory(cfg.Capacity), nwsnet.CodecJSON))
+		}
+	}
 
-	rep.Acceptance = Acceptance{
-		StoreOpsPerSecSeed:    seed.OpsPerSec,
-		StoreOpsPerSecSharded: sharded.OpsPerSec,
+	var jsonStore, binPipeStore Measurement
+	if doJSON {
+		jsonStore = add("wire_store/json", wireStoreScenario(cfg, nwsnet.NewMemory(cfg.Capacity), nwsnet.CodecJSON))
+		add("wire_store_batch/json", wireStoreBatchScenario(cfg, nwsnet.NewMemory(cfg.Capacity), nwsnet.CodecJSON))
+		add("wire_fetch/json", wireFetchScenario(cfg, nwsnet.NewMemory(cfg.Capacity), nwsnet.CodecJSON))
 	}
-	if seed.OpsPerSec > 0 {
-		rep.Acceptance.StoreSpeedup = sharded.OpsPerSec / seed.OpsPerSec
+	if doBin {
+		add("wire_store/binary", wireStoreScenario(cfg, nwsnet.NewMemory(cfg.Capacity), nwsnet.CodecBinary))
+		binPipeStore = add("wire_store/binary-pipelined", wireStorePipelinedScenario(cfg, nwsnet.NewMemory(cfg.Capacity)))
+		add("wire_store_batch/binary", wireStoreBatchScenario(cfg, nwsnet.NewMemory(cfg.Capacity), nwsnet.CodecBinary))
+		add("wire_fetch/binary", wireFetchScenario(cfg, nwsnet.NewMemory(cfg.Capacity), nwsnet.CodecBinary))
+		add("wire_fetch/binary-pipelined", wireFetchPipelinedScenario(cfg, nwsnet.NewMemory(cfg.Capacity)))
 	}
-	rep.Acceptance.Meets5xStoreThroughput = rep.Acceptance.StoreSpeedup >= 5
+
+	rep.Acceptance.WireStoreOpsPerSecJSON = jsonStore.OpsPerSec
+	rep.Acceptance.WireStoreOpsPerSecBinary = binPipeStore.OpsPerSec
+	if doJSON && doBin && jsonStore.OpsPerSec > 0 {
+		rep.Acceptance.WireSpeedup = binPipeStore.OpsPerSec / jsonStore.OpsPerSec
+		rep.Acceptance.Meets10xWireStoreThroughput = rep.Acceptance.WireSpeedup >= 10
+	}
 	return rep
 }
 
@@ -443,15 +595,43 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "closed-loop time per scenario")
 	out := flag.String("out", "BENCH_memory.json", "report output path")
 	smoke := flag.Bool("smoke", false, "tiny CI run: shrinks clients/series/capacity/duration")
+	codec := flag.String("codec", "both", "wire codec(s) to measure: json, binary, or both")
+	pipeline := flag.Int("pipeline", 64, "in-flight requests per worker in */binary-pipelined scenarios")
+	wireOnly := flag.Bool("wire-only", false, "skip the handler-level serve_store and seed-memory scenarios")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nwsload: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nwsload: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	switch *codec {
+	case "json", "binary", "both":
+	default:
+		fmt.Fprintf(os.Stderr, "nwsload: -codec %q (want json, binary, or both)\n", *codec)
+		os.Exit(2)
+	}
 	cfg := config{Clients: *clients, Series: *nSeries, Capacity: *capacity,
-		Duration: duration.Seconds()}
+		Duration: duration.Seconds(), Codec: *codec, Pipeline: *pipeline, WireOnly: *wireOnly}
 	if *smoke {
-		cfg = config{Clients: 8, Series: 32, Capacity: 256, Duration: 0.1}
+		cfg = config{Clients: 8, Series: 32, Capacity: 256, Duration: 0.1,
+			Codec: *codec, Pipeline: min(*pipeline, 8), WireOnly: *wireOnly}
 	}
 	if cfg.Series < cfg.Clients {
 		fmt.Fprintln(os.Stderr, "nwsload: -series must be >= -clients")
+		os.Exit(2)
+	}
+	if cfg.Pipeline < 1 {
+		fmt.Fprintln(os.Stderr, "nwsload: -pipeline must be >= 1")
 		os.Exit(2)
 	}
 
@@ -468,7 +648,15 @@ func main() {
 		}
 		fmt.Println(line)
 	}
-	fmt.Printf("wrote %s (store serving path: %.0f -> %.0f ops/s, %.1fx, 5x met: %v)\n",
-		*out, rep.Acceptance.StoreOpsPerSecSeed, rep.Acceptance.StoreOpsPerSecSharded,
-		rep.Acceptance.StoreSpeedup, rep.Acceptance.Meets5xStoreThroughput)
+	if !cfg.WireOnly {
+		fmt.Printf("store serving path: %.0f -> %.0f ops/s (%.1fx, 5x met: %v)\n",
+			rep.Acceptance.StoreOpsPerSecSeed, rep.Acceptance.StoreOpsPerSecSharded,
+			rep.Acceptance.StoreSpeedup, rep.Acceptance.Meets5xStoreThroughput)
+	}
+	if cfg.Codec == "both" {
+		fmt.Printf("wire store path: json %.0f -> binary-pipelined %.0f ops/s (%.1fx, 10x met: %v)\n",
+			rep.Acceptance.WireStoreOpsPerSecJSON, rep.Acceptance.WireStoreOpsPerSecBinary,
+			rep.Acceptance.WireSpeedup, rep.Acceptance.Meets10xWireStoreThroughput)
+	}
+	fmt.Printf("wrote %s\n", *out)
 }

@@ -4,13 +4,15 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"nwscpu/internal/nwsnet"
 )
 
 // tiny is a sub-second workload for exercising the generator's plumbing.
-var tiny = config{Clients: 2, Series: 4, Capacity: 64, Duration: 0.02}
+var tiny = config{Clients: 2, Series: 4, Capacity: 64, Duration: 0.02,
+	Codec: "both", Pipeline: 4}
 
 func TestSeedMemoryMatchesShardedResults(t *testing.T) {
 	// The embedded baseline must be semantically interchangeable with the
@@ -68,9 +70,11 @@ func TestRunAllProducesEveryScenarioAndAcceptance(t *testing.T) {
 	rep := runAll(tiny)
 	want := []string{
 		"serve_store/seed", "serve_store/sharded",
-		"wire_store/seed", "wire_store/sharded",
-		"wire_store_batch/sharded",
-		"wire_fetch/seed", "wire_fetch/sharded",
+		"wire_store/seed", "wire_fetch/seed",
+		"wire_store/json", "wire_store_batch/json", "wire_fetch/json",
+		"wire_store/binary", "wire_store/binary-pipelined",
+		"wire_store_batch/binary",
+		"wire_fetch/binary", "wire_fetch/binary-pipelined",
 	}
 	if len(rep.Results) != len(want) {
 		t.Fatalf("report has %d scenarios, want %d", len(rep.Results), len(want))
@@ -86,13 +90,53 @@ func TestRunAllProducesEveryScenarioAndAcceptance(t *testing.T) {
 	}
 	acc := rep.Acceptance
 	if acc.StoreOpsPerSecSeed <= 0 || acc.StoreOpsPerSecSharded <= 0 {
-		t.Fatalf("acceptance missing throughputs: %+v", acc)
+		t.Fatalf("acceptance missing serve throughputs: %+v", acc)
 	}
 	if got := acc.StoreOpsPerSecSharded / acc.StoreOpsPerSecSeed; acc.StoreSpeedup != got {
 		t.Fatalf("speedup = %v, want ratio %v", acc.StoreSpeedup, got)
 	}
 	if acc.Meets5xStoreThroughput != (acc.StoreSpeedup >= 5) {
 		t.Fatalf("acceptance flag inconsistent with speedup %v", acc.StoreSpeedup)
+	}
+	if acc.WireStoreOpsPerSecJSON <= 0 || acc.WireStoreOpsPerSecBinary <= 0 {
+		t.Fatalf("acceptance missing wire throughputs: %+v", acc)
+	}
+	if got := acc.WireStoreOpsPerSecBinary / acc.WireStoreOpsPerSecJSON; acc.WireSpeedup != got {
+		t.Fatalf("wire speedup = %v, want ratio %v", acc.WireSpeedup, got)
+	}
+	if acc.Meets10xWireStoreThroughput != (acc.WireSpeedup >= 10) {
+		t.Fatalf("wire acceptance flag inconsistent with speedup %v", acc.WireSpeedup)
+	}
+}
+
+// TestRunAllCodecAndWireOnlyFilters checks -codec json and -wire-only prune
+// the scenario matrix the way the flags document.
+func TestRunAllCodecAndWireOnlyFilters(t *testing.T) {
+	cfg := tiny
+	cfg.Codec = "json"
+	rep := runAll(cfg)
+	for _, r := range rep.Results {
+		if strings.Contains(r.Name, "binary") {
+			t.Errorf("-codec json still ran %q", r.Name)
+		}
+	}
+	if rep.Acceptance.WireSpeedup != 0 || rep.Acceptance.Meets10xWireStoreThroughput {
+		t.Errorf("-codec json computed a wire speedup: %+v", rep.Acceptance)
+	}
+
+	cfg = tiny
+	cfg.WireOnly = true
+	rep = runAll(cfg)
+	for _, r := range rep.Results {
+		if strings.HasPrefix(r.Name, "serve_store/") || strings.HasSuffix(r.Name, "/seed") {
+			t.Errorf("-wire-only still ran %q", r.Name)
+		}
+	}
+	if rep.Acceptance.StoreSpeedup != 0 || rep.Acceptance.Meets5xStoreThroughput {
+		t.Errorf("-wire-only computed a serve speedup: %+v", rep.Acceptance)
+	}
+	if rep.Acceptance.WireSpeedup <= 0 {
+		t.Errorf("-wire-only lost the wire acceptance: %+v", rep.Acceptance)
 	}
 }
 
@@ -110,7 +154,7 @@ func TestWriteReportRoundTrips(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if back.Schema != "nws/bench-memory/v1" || back.BaselineCommit == "" {
+	if back.Schema != "nws/bench-memory/v2" || back.BaselineCommit == "" {
 		t.Fatalf("round-tripped header = %q / %q", back.Schema, back.BaselineCommit)
 	}
 	if len(back.Results) != len(rep.Results) {

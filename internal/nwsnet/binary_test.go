@@ -1,0 +1,254 @@
+package nwsnet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// mustHex decodes a spaced hex dump ("01 05 ...") into bytes.
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(strings.ReplaceAll(strings.Join(strings.Fields(s), ""), "\n", ""))
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// Golden payloads: the worked examples of docs/PROTOCOL.md, byte for byte.
+// If an encoder change breaks these, the spec must be updated in the same
+// commit (TestProtocolDocHexExamples checks the doc side).
+const (
+	goldenStoreReqHex  = "01 05 05 61 2f 63 70 75 02 c0 b2 01 bf c0 03 80 84 80 04 00"
+	goldenFetchReqHex  = "02 06 05 61 2f 63 70 75 00 00 02"
+	goldenStoreRespHex = "01 01"
+	goldenFetchRespHex = "02 09 02 c0 b2 01 bf c0 03 80 84 80 04 00"
+)
+
+var (
+	goldenStoreReq  = Request{Op: OpStore, Series: "a/cpu", Points: [][2]float64{{100, 0.5}, {110, 0.5}}}
+	goldenFetchReq  = Request{Op: OpFetch, Series: "a/cpu", Max: 2}
+	goldenStoreResp = Response{OK: true}
+	goldenFetchResp = Response{OK: true, Points: [][2]float64{{100, 0.5}, {110, 0.5}}}
+)
+
+func TestBinaryGoldenEncodings(t *testing.T) {
+	cases := []struct {
+		name string
+		hex  string
+		enc  func() ([]byte, error)
+	}{
+		{"store request", goldenStoreReqHex, func() ([]byte, error) { return encodeRequestPayload(nil, 1, goldenStoreReq) }},
+		{"fetch request", goldenFetchReqHex, func() ([]byte, error) { return encodeRequestPayload(nil, 2, goldenFetchReq) }},
+		{"store response", goldenStoreRespHex, func() ([]byte, error) { return encodeResponsePayload(nil, 1, goldenStoreResp) }},
+		{"fetch response", goldenFetchRespHex, func() ([]byte, error) { return encodeResponsePayload(nil, 2, goldenFetchResp) }},
+	}
+	for _, c := range cases {
+		got, err := c.enc()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if want := mustHex(t, c.hex); !bytes.Equal(got, want) {
+			t.Errorf("%s:\n got % x\nwant % x", c.name, got, want)
+		}
+	}
+}
+
+// TestBinaryRequestRoundTrip round-trips every op through encode/decode.
+func TestBinaryRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpPing},
+		{Op: OpRegister, Reg: Registration{Name: "h/cpu", Kind: KindSensor, Addr: "a:1", Addrs: []string{"a:1", "b:2"}}},
+		{Op: OpLookup, Reg: Registration{Name: "h/cpu"}},
+		{Op: OpList, Reg: Registration{Kind: KindMemory}},
+		{Op: OpList},
+		{Op: OpStore, Series: "k", Points: [][2]float64{{1, 0.5}, {2, -0.5}, {2, -0.5}, {math.Inf(1), 1e-300}}},
+		{Op: OpStore, Series: ""},
+		{Op: OpFetch, Series: "k", From: -3.5, To: 1e308, Max: 10},
+		{Op: OpSeries},
+		{Op: OpForecast, Series: "k"},
+		{Op: OpBatch, Batch: []Request{
+			{Op: OpStore, Series: "a", Points: [][2]float64{{1, 1}}},
+			{Op: OpFetch, Series: "a", From: 1, To: 2, Max: 3},
+			{Op: OpPing},
+		}},
+		{Op: OpBatch},
+	}
+	for i, req := range reqs {
+		b, err := encodeRequestPayload(nil, uint64(i)+100, req)
+		if err != nil {
+			t.Fatalf("req %d: encode: %v", i, err)
+		}
+		id, got, err := decodeRequestPayload(b)
+		if err != nil {
+			t.Fatalf("req %d: decode: %v", i, err)
+		}
+		if id != uint64(i)+100 {
+			t.Fatalf("req %d: id %d, want %d", i, id, uint64(i)+100)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Errorf("req %d: round trip\n got %+v\nwant %+v", i, got, req)
+		}
+	}
+}
+
+// TestBinaryResponseRoundTrip round-trips every response shape.
+func TestBinaryResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{OK: true},
+		{Error: "no such series"},
+		{Error: "busy busy", Code: CodeBusy},
+		{OK: true, Points: [][2]float64{{1, 0.5}, {1, 0.5}, {-2, math.NaN()}}},
+		{OK: true, Names: []string{"a", "", "c"}},
+		{OK: true, Entries: []Registration{
+			{Name: "h", Kind: KindSensor, Addr: "a:1"},
+			{Name: "m", Kind: KindMemory, Addr: "a:1", Addrs: []string{"a:1", "b:2"}},
+		}},
+		{OK: true, Forecast: &ForecastResult{Value: 0.42, Method: "sw_avg", MAE: 0.01, N: 64}},
+		{OK: true, Forecast: &ForecastResult{}},
+		{OK: true, Batch: []Response{{Error: "x", Code: CodeBusy}, {OK: true, Points: [][2]float64{{1, 2}}}}},
+	}
+	for i, resp := range resps {
+		b, err := encodeResponsePayload(nil, uint64(i)+1, resp)
+		if err != nil {
+			t.Fatalf("resp %d: encode: %v", i, err)
+		}
+		id, got, err := decodeResponsePayload(b)
+		if err != nil {
+			t.Fatalf("resp %d: decode: %v", i, err)
+		}
+		if id != uint64(i)+1 {
+			t.Fatalf("resp %d: id %d", i, id)
+		}
+		// NaN breaks DeepEqual; compare via a second encoding instead.
+		b2, err := encodeResponsePayload(nil, uint64(i)+1, got)
+		if err != nil || !bytes.Equal(b, b2) {
+			t.Errorf("resp %d: round trip not byte-stable (%v)\n first % x\nsecond % x", i, err, b, b2)
+		}
+	}
+}
+
+// TestBinaryPointPackingIsCompact checks the XOR-chain actually compresses:
+// a flat series (the common case for availability near 1.0) must cost a few
+// bytes per point, not sixteen.
+func TestBinaryPointPackingIsCompact(t *testing.T) {
+	pts := make([][2]float64, 100)
+	for i := range pts {
+		pts[i] = [2]float64{float64(10 * i), 0.97}
+	}
+	b, err := encodeRequestPayload(nil, 1, Request{Op: OpStore, Series: "h/cpu/nws_hybrid", Points: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 points raw = 1600 bytes; the value stream repeats (1 byte after
+	// the first) and timestamps differ in few bits. Allow generous slack.
+	if len(b) > 800 {
+		t.Errorf("flat series of 100 points encoded to %d bytes; want well under 800", len(b))
+	}
+}
+
+// TestBinaryDecodeRejectsMalformed checks the decoder fails cleanly (no
+// panic, error returned) on the malformed-frame classes the spec calls out.
+func TestBinaryDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":                     {},
+		"id only":                   {0x01},
+		"unknown opcode":            {0x01, 0xAB},
+		"truncated varint":          {0x01, 0x05, 0xFF},
+		"store count past payload":  mustHex(t, "01 05 01 6b ff ff ff 7f"),
+		"trailing garbage":          append(mustHex(t, goldenStoreReqHex), 0xEE),
+		"batch nesting past cap":    mustHex(t, "01 08 01 08 01 08 01 08 01 08 01 01"),
+		"fetch missing max":         mustHex(t, "02 06 05 61 2f 63 70 75 00 00"),
+		"register truncated addrs":  mustHex(t, "01 02 01 68 00 00 05"),
+		"string length past buffer": mustHex(t, "01 03 7f 61"),
+	}
+	for name, payload := range cases {
+		if _, _, err := decodeRequestPayload(payload); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	respCases := map[string][]byte{
+		"empty":                  {},
+		"error flag no string":   {0x01, 0x02},
+		"error flag empty":       {0x01, 0x02, 0x00},
+		"code flag empty":        {0x01, 0x04, 0x00},
+		"points flag zero count": {0x01, 0x08, 0x00},
+		"names flag zero count":  {0x01, 0x10, 0x00},
+		"batch flag zero count":  {0x01, 0x80, 0x00},
+		"trailing garbage":       append(mustHex(t, goldenStoreRespHex), 0x00),
+	}
+	for name, payload := range respCases {
+		if _, _, err := decodeResponsePayload(payload); err == nil {
+			t.Errorf("response %s: decoded without error", name)
+		}
+	}
+}
+
+// TestFrameRoundTrip exercises the length-prefixed framing, including the
+// oversize rejection both ways.
+func TestFrameRoundTrip(t *testing.T) {
+	var netBuf bytes.Buffer
+	w := bufio.NewWriter(&netBuf)
+	payloads := [][]byte{{0x01}, bytes.Repeat([]byte{0xAB}, 100000), {0x02, 0x03}}
+	for _, p := range payloads {
+		if err := writeFrame(w, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&netBuf)
+	var buf []byte
+	for i, want := range payloads {
+		got, n, err := readFrame(r, &buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if n != len(want)+4 {
+			t.Fatalf("frame %d: consumed %d bytes, want %d", i, n, len(want)+4)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	if err := writeFrame(bufio.NewWriter(&netBuf), make([]byte, maxFrameBytes+1)); err == nil {
+		t.Error("oversize frame written without error")
+	}
+	// A forged oversize header must be rejected before allocation.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr)), &buf); err == nil {
+		t.Error("oversize header accepted")
+	}
+	// A zero-length frame is invalid.
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader([]byte{0, 0, 0, 0})), &buf); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+}
+
+// TestWireOpsCoverAllOps pins the opcode registry to the protocol Op set:
+// adding an Op without a binary opcode (or vice versa) must not compile
+// silently into a codec that cannot carry it.
+func TestWireOpsCoverAllOps(t *testing.T) {
+	all := []Op{OpPing, OpRegister, OpLookup, OpList, OpStore, OpFetch, OpSeries, OpBatch, OpForecast}
+	if len(wireOps) != len(all) {
+		t.Errorf("wireOps has %d entries, protocol has %d ops", len(wireOps), len(all))
+	}
+	seen := map[byte]Op{}
+	for _, op := range all {
+		code, ok := wireOps[op]
+		if !ok {
+			t.Errorf("op %q has no binary opcode", op)
+			continue
+		}
+		if prev, dup := seen[code]; dup {
+			t.Errorf("opcode 0x%02x assigned to both %q and %q", code, prev, op)
+		}
+		seen[code] = op
+	}
+}

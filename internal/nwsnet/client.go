@@ -15,11 +15,10 @@ import (
 
 // observeCall records one outbound protocol call in the client metrics.
 func observeCall(op Op, t0 time.Time, err error) {
-	o := opLabel(op)
-	mClientCalls.With(o).Inc()
-	mClientLatency.With(o).ObserveSince(t0)
+	mClientCallsByOp.get(op).Inc()
+	mClientLatencyByOp.get(op).ObserveSince(t0)
 	if err != nil {
-		mClientErrors.With(o).Inc()
+		mClientErrorsByOp.get(op).Inc()
 	}
 }
 
@@ -50,6 +49,12 @@ type ClientOptions struct {
 	// request is still alive. A breaker denial surfaces as a terminal error
 	// wrapping resilience.ErrBreakerOpen without touching the endpoint.
 	Breaker *resilience.BreakerConfig
+	// Codec selects the wire encoding (see docs/PROTOCOL.md): CodecBinary
+	// (the default) negotiates protocol v2 on each connection; CodecJSON
+	// forces the v1 JSON-line protocol, which every server version accepts.
+	// A server that declines v2 fails the call with a terminal error naming
+	// the accepted version, so misconfiguration surfaces instead of looping.
+	Codec Codec
 }
 
 // Client performs protocol calls against nwsnet servers. Connections are
@@ -64,6 +69,7 @@ type Client struct {
 	maxActive   int
 	idleTimeout time.Duration
 	breakerCfg  *resilience.BreakerConfig
+	codec       Codec
 
 	mu       sync.Mutex
 	pools    map[string]*resilience.Pool
@@ -86,6 +92,10 @@ func NewClientOptions(o ClientOptions) *Client {
 	} else if o.IdleTimeout < 0 {
 		o.IdleTimeout = 0
 	}
+	codec, err := normCodec(o.Codec)
+	if err != nil {
+		panic(err) // a codec not in the enum is a programming error
+	}
 	return &Client{
 		timeout:     o.Timeout,
 		retry:       o.Retry,
@@ -93,6 +103,7 @@ func NewClientOptions(o ClientOptions) *Client {
 		maxActive:   o.MaxActivePerAddr,
 		idleTimeout: o.IdleTimeout,
 		breakerCfg:  o.Breaker,
+		codec:       codec,
 		pools:       make(map[string]*resilience.Pool),
 		breakers:    make(map[string]*resilience.Breaker),
 	}
@@ -103,6 +114,13 @@ type poolConn struct {
 	c net.Conn
 	r *bufio.Reader
 	w *bufio.Writer
+
+	// Binary-codec state: whether the server's accept byte has been read
+	// (the preamble is written at dial, but its answer rides in front of the
+	// first response), the next request ID, and the reusable decode buffer.
+	negotiated bool
+	nextID     uint64
+	rbuf       []byte
 }
 
 func (pc *poolConn) Close() error { return pc.c.Close() }
@@ -120,7 +138,20 @@ func (c *Client) pool(addr string) *resilience.Pool {
 				if err != nil {
 					return nil, fmt.Errorf("nwsnet: dial %s: %w", addr, err)
 				}
-				return &poolConn{c: nc, r: bufio.NewReaderSize(nc, 64<<10), w: bufio.NewWriter(nc)}, nil
+				pc := &poolConn{c: nc, r: bufio.NewReaderSize(nc, 64<<10), w: bufio.NewWriter(nc)}
+				if c.codec == CodecBinary {
+					// Send the negotiation preamble eagerly so the server can
+					// classify the connection the moment it peeks; the accept
+					// byte is read before the first response, costing zero
+					// extra round trips.
+					nc.SetWriteDeadline(time.Now().Add(c.timeout))
+					if _, err := nc.Write(wirePreamble[:]); err != nil {
+						nc.Close()
+						return nil, fmt.Errorf("nwsnet: negotiate with %s: %w", addr, err)
+					}
+					nc.SetWriteDeadline(time.Time{})
+				}
+				return pc, nil
 			},
 			MaxIdle:     c.maxIdle,
 			MaxActive:   c.maxActive,
@@ -203,6 +234,17 @@ func (c *Client) exchange(ctx context.Context, addr string, req Request) (Respon
 		pl.Put(pc, false)
 		return Response{}, err
 	}
+	if c.codec == CodecBinary {
+		resp, err := exchangeBinary(pc, addr, req)
+		if err == errShedConn {
+			// The busy response is a valid answer (do() classifies it as
+			// retryable); only the connection is dead.
+			pl.Put(pc, false)
+			return resp, nil
+		}
+		pl.Put(pc, err == nil)
+		return resp, err
+	}
 	if err := writeMsg(pc.w, req); err != nil {
 		pl.Put(pc, false)
 		return Response{}, fmt.Errorf("nwsnet: send to %s: %w", addr, err)
@@ -215,6 +257,65 @@ func (c *Client) exchange(ctx context.Context, addr string, req Request) (Respon
 	pl.Put(pc, true)
 	return resp, nil
 }
+
+// exchangeBinary performs one lockstep request/response attempt on the v2
+// codec. The first exchange on a connection also consumes the server's
+// accept byte. The only response IDs a lockstep connection can legally see
+// are the one it just sent and the reserved connection-level ID 0 (a busy
+// shed); anything else means the stream desynchronized, which poisons the
+// connection.
+func exchangeBinary(pc *poolConn, addr string, req Request) (Response, error) {
+	pc.nextID++
+	id := pc.nextID
+	buf := getEncBuf()
+	payload, err := encodeRequestPayload(*buf, id, req)
+	if err != nil {
+		putEncBuf(buf)
+		return Response{}, resilience.Permanent(fmt.Errorf("nwsnet: encode for %s: %w", addr, err))
+	}
+	werr := writeFrame(pc.w, payload)
+	*buf = payload
+	putEncBuf(buf)
+	if werr == nil {
+		werr = pc.w.Flush()
+	}
+	if werr != nil {
+		return Response{}, fmt.Errorf("nwsnet: send to %s: %w", addr, werr)
+	}
+	if !pc.negotiated {
+		accept, err := pc.r.ReadByte()
+		if err != nil {
+			return Response{}, fmt.Errorf("nwsnet: negotiate with %s: %w", addr, err)
+		}
+		if accept != wireVersionBinary {
+			return Response{}, resilience.Permanent(fmt.Errorf(
+				"nwsnet: %s accepted wire version %d, not binary (%d); configure CodecJSON", addr, accept, wireVersionBinary))
+		}
+		pc.negotiated = true
+	}
+	rp, _, err := readFrame(pc.r, &pc.rbuf)
+	if err != nil {
+		return Response{}, fmt.Errorf("nwsnet: receive from %s: %w", addr, err)
+	}
+	respID, resp, err := decodeResponsePayload(rp)
+	if err != nil {
+		return Response{}, fmt.Errorf("nwsnet: receive from %s: %w", addr, err)
+	}
+	if respID != id {
+		if respID == 0 && resp.Code == CodeBusy {
+			// A connection-level shed: the server answered without reading
+			// our request and is closing. Surface the busy response; the
+			// error return discards the connection from the pool.
+			return resp, errShedConn
+		}
+		return Response{}, fmt.Errorf("nwsnet: %s: response ID %d for request %d", addr, respID, id)
+	}
+	return resp, nil
+}
+
+// errShedConn marks a connection-level busy response (request ID 0): the
+// response itself is valid, but the connection must not be reused.
+var errShedConn = errors.New("nwsnet: connection shed by server")
 
 // do performs a call under the retry policy and converts protocol-level
 // errors to Go errors. Protocol errors (the server answered, rejecting the

@@ -15,23 +15,40 @@ import (
 //
 // Conn is safe for concurrent use; calls are serialized. A transport error
 // poisons the connection: subsequent calls redial transparently.
+//
+// Conn speaks the binary codec by default; NewConnCodec selects. For many
+// concurrent in-flight requests over one connection, see MuxConn.
 type Conn struct {
 	addr    string
 	timeout time.Duration
+	codec   Codec
 
-	mu sync.Mutex
-	c  net.Conn
-	r  *bufio.Reader
-	w  *bufio.Writer
+	mu         sync.Mutex
+	c          net.Conn
+	r          *bufio.Reader
+	w          *bufio.Writer
+	negotiated bool
+	nextID     uint64
+	rbuf       []byte
 }
 
 // NewConn returns a lazy persistent connection to addr (dialed on first
-// use). timeout bounds each round trip (0 selects 5 s).
+// use) speaking the default binary codec. timeout bounds each round trip
+// (0 selects 5 s).
 func NewConn(addr string, timeout time.Duration) *Conn {
+	return NewConnCodec(addr, timeout, CodecBinary)
+}
+
+// NewConnCodec is NewConn with an explicit wire codec.
+func NewConnCodec(addr string, timeout time.Duration, codec Codec) *Conn {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	return &Conn{addr: addr, timeout: timeout}
+	c, err := normCodec(codec)
+	if err != nil {
+		panic(err) // a codec not in the enum is a programming error
+	}
+	return &Conn{addr: addr, timeout: timeout, codec: c}
 }
 
 func (pc *Conn) ensureLocked() error {
@@ -45,6 +62,15 @@ func (pc *Conn) ensureLocked() error {
 	pc.c = c
 	pc.r = bufio.NewReaderSize(c, 64<<10)
 	pc.w = bufio.NewWriter(c)
+	pc.negotiated = false
+	if pc.codec == CodecBinary {
+		c.SetWriteDeadline(time.Now().Add(pc.timeout))
+		if _, err := c.Write(wirePreamble[:]); err != nil {
+			pc.resetLocked()
+			return fmt.Errorf("nwsnet: negotiate with %s: %w", pc.addr, err)
+		}
+		c.SetWriteDeadline(time.Time{})
+	}
 	return nil
 }
 
@@ -53,6 +79,7 @@ func (pc *Conn) resetLocked() {
 		pc.c.Close()
 	}
 	pc.c, pc.r, pc.w = nil, nil, nil
+	pc.negotiated = false
 }
 
 // Do performs one request/response exchange. On a transport error the
@@ -94,12 +121,59 @@ func (pc *Conn) doLocked(req Request) (Response, error) {
 	if err := pc.c.SetDeadline(time.Now().Add(pc.timeout)); err != nil {
 		return Response{}, err
 	}
+	if pc.codec == CodecBinary {
+		return pc.doBinaryLocked(req)
+	}
 	if err := writeMsg(pc.w, req); err != nil {
 		return Response{}, fmt.Errorf("nwsnet: send to %s: %w", pc.addr, err)
 	}
 	var resp Response
 	if err := readMsg(pc.r, &resp); err != nil {
 		return Response{}, fmt.Errorf("nwsnet: receive from %s: %w", pc.addr, err)
+	}
+	return resp, nil
+}
+
+// doBinaryLocked is one lockstep v2 exchange; see exchangeBinary for the
+// ID-matching rules it shares.
+func (pc *Conn) doBinaryLocked(req Request) (Response, error) {
+	pc.nextID++
+	id := pc.nextID
+	buf := getEncBuf()
+	payload, err := encodeRequestPayload(*buf, id, req)
+	if err != nil {
+		putEncBuf(buf)
+		return Response{}, fmt.Errorf("nwsnet: encode for %s: %w", pc.addr, err)
+	}
+	werr := writeFrame(pc.w, payload)
+	*buf = payload
+	putEncBuf(buf)
+	if werr == nil {
+		werr = pc.w.Flush()
+	}
+	if werr != nil {
+		return Response{}, fmt.Errorf("nwsnet: send to %s: %w", pc.addr, werr)
+	}
+	if !pc.negotiated {
+		accept, err := pc.r.ReadByte()
+		if err != nil {
+			return Response{}, fmt.Errorf("nwsnet: negotiate with %s: %w", pc.addr, err)
+		}
+		if accept != wireVersionBinary {
+			return Response{}, fmt.Errorf("nwsnet: %s accepted wire version %d, not binary (%d)", pc.addr, accept, wireVersionBinary)
+		}
+		pc.negotiated = true
+	}
+	rp, _, err := readFrame(pc.r, &pc.rbuf)
+	if err != nil {
+		return Response{}, fmt.Errorf("nwsnet: receive from %s: %w", pc.addr, err)
+	}
+	respID, resp, err := decodeResponsePayload(rp)
+	if err != nil {
+		return Response{}, fmt.Errorf("nwsnet: receive from %s: %w", pc.addr, err)
+	}
+	if respID != id && !(respID == 0 && resp.Code == CodeBusy) {
+		return Response{}, fmt.Errorf("nwsnet: %s: response ID %d for request %d", pc.addr, respID, id)
 	}
 	return resp, nil
 }

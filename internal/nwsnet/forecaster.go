@@ -35,13 +35,22 @@ func NewForecasterService(memoryAddr string, timeout time.Duration) *ForecasterS
 
 // NewForecasterServiceReplicas returns a forecaster pulling from a
 // replicated memory group, reads failing over in replica-health order.
-// timeout bounds each memory call attempt (0 selects 5 s).
+// timeout bounds each memory call attempt (0 selects 5 s). It speaks the
+// default binary codec; NewForecasterServiceReplicasCodec selects.
 func NewForecasterServiceReplicas(memAddrs []string, timeout time.Duration) *ForecasterService {
+	return NewForecasterServiceReplicasCodec(memAddrs, timeout, CodecBinary)
+}
+
+// NewForecasterServiceReplicasCodec is NewForecasterServiceReplicas with an
+// explicit wire codec for the forecaster's memory fetches — the escape
+// hatch for pulling from a pre-v2 memory server that only speaks JSON lines.
+func NewForecasterServiceReplicasCodec(memAddrs []string, timeout time.Duration, codec Codec) *ForecasterService {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
 	client := NewClientOptions(ClientOptions{
 		Timeout: timeout,
+		Codec:   codec,
 		// One in-call retry per replica; replica failover is the main
 		// recovery path for reads.
 		Retry: resilience.Policy{MaxAttempts: 2, BaseDelay: 25 * time.Millisecond},

@@ -47,6 +47,29 @@ func FuzzDecodeRequest(f *testing.F) {
 		if _, err := json.Marshal(resp); err != nil {
 			t.Fatalf("unmarshalable response %+v: %v", resp, err)
 		}
+		// Cross-codec: anything the JSON codec accepts must round-trip
+		// losslessly through the binary codec (encode → decode → re-encode
+		// must reproduce the first encoding byte for byte). Requests only
+		// the JSON codec can express — unknown ops, absurd nesting — are
+		// legitimately unencodable and skipped.
+		b1, err := encodeRequestPayload(nil, 7, req)
+		if err != nil {
+			return
+		}
+		id, req2, err := decodeRequestPayload(b1)
+		if err != nil {
+			t.Fatalf("binary decode of own encoding failed: %v\npayload % x", err, b1)
+		}
+		if id != 7 {
+			t.Fatalf("request ID %d survived as %d", 7, id)
+		}
+		b2, err := encodeRequestPayload(nil, 7, req2)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("binary round trip not stable:\n first % x\nsecond % x", b1, b2)
+		}
 	})
 }
 
@@ -99,6 +122,190 @@ func FuzzDecodeResponse(f *testing.F) {
 			if err != nil {
 				t.Fatalf("clean response classified as error: %v", err)
 			}
+		}
+		// Cross-codec: see FuzzDecodeRequest. Deeply nested batches are the
+		// only JSON responses the binary codec refuses; skip those.
+		b1, eerr := encodeResponsePayload(nil, 9, resp)
+		if eerr != nil {
+			return
+		}
+		id, resp2, derr := decodeResponsePayload(b1)
+		if derr != nil {
+			t.Fatalf("binary decode of own encoding failed: %v\npayload % x", derr, b1)
+		}
+		if id != 9 {
+			t.Fatalf("response ID %d survived as %d", 9, id)
+		}
+		b2, eerr := encodeResponsePayload(nil, 9, resp2)
+		if eerr != nil {
+			t.Fatalf("re-encode failed: %v", eerr)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("binary round trip not stable:\n first % x\nsecond % x", b1, b2)
+		}
+	})
+}
+
+// binaryRequestSeeds returns encoded v2 request payloads covering every op,
+// for seeding the binary fuzzers with well-formed frames to mutate.
+func binaryRequestSeeds() [][]byte {
+	reqs := []Request{
+		{Op: OpPing},
+		{Op: OpRegister, Reg: Registration{Name: "h/cpu", Kind: KindSensor, Addr: "a:1", Addrs: []string{"a:1", "b:2"}}},
+		{Op: OpLookup, Reg: Registration{Name: "h/cpu"}},
+		{Op: OpList, Reg: Registration{Kind: KindMemory}},
+		{Op: OpStore, Series: "k", Points: [][2]float64{{1, 0.5}, {2, 0.5}}},
+		{Op: OpStore, Series: "k"},
+		{Op: OpFetch, Series: "k", From: 5, To: 2, Max: 1},
+		{Op: OpFetch, Series: "k", From: 1e308, To: -1e308},
+		{Op: OpSeries},
+		{Op: OpForecast, Series: "k"},
+		{Op: OpBatch, Batch: []Request{
+			{Op: OpStore, Series: "a", Points: [][2]float64{{1, 1}}},
+			{Op: OpFetch, Series: "a"},
+		}},
+		{Op: OpBatch, Batch: []Request{{Op: OpBatch, Batch: []Request{{Op: OpPing}}}}},
+		{Op: OpBatch},
+	}
+	var out [][]byte
+	for _, r := range reqs {
+		if b, err := encodeRequestPayload(nil, 1, r); err == nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// requestElems counts the decoded container elements of a request —
+// points, addresses, sub-requests — to bound allocation against input size.
+func requestElems(req Request) int {
+	n := len(req.Points) + len(req.Reg.Addrs)
+	for _, sub := range req.Batch {
+		n += 1 + requestElems(sub)
+	}
+	return n
+}
+
+// responseElems is requestElems for responses.
+func responseElems(resp Response) int {
+	n := len(resp.Points) + len(resp.Names) + len(resp.Entries)
+	for _, e := range resp.Entries {
+		n += len(e.Addrs)
+	}
+	for _, sub := range resp.Batch {
+		n += 1 + responseElems(sub)
+	}
+	return n
+}
+
+// FuzzDecodeBinaryRequest is FuzzDecodeRequest for the v2 codec: arbitrary
+// frame payloads — malformed frames, truncated varints, forged counts —
+// must never panic the decoder or make it allocate beyond the input's size,
+// and whatever decodes must execute safely and round-trip canonically.
+func FuzzDecodeBinaryRequest(f *testing.F) {
+	for _, b := range binaryRequestSeeds() {
+		f.Add(b)
+	}
+	f.Add([]byte{0x01, 0x05})             // truncated store
+	f.Add([]byte{0x01, 0xff})             // unknown opcode
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // truncated varint ID
+	m := NewMemory(16)
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		id, req, err := decodeRequestPayload(payload)
+		if err != nil {
+			return // undecodable frames close the connection before the handler
+		}
+		if n := requestElems(req); n > len(payload) {
+			t.Fatalf("decoded %d elements from %d bytes: over-allocation", n, len(payload))
+		}
+		resp := m.Handle(req)
+		resp.OK = resp.Error == ""
+		// The response the server would send must encode and round-trip.
+		rb1, err := encodeResponsePayload(nil, id, resp)
+		if err != nil {
+			t.Fatalf("handler response unencodable: %v (%+v)", err, resp)
+		}
+		rid, resp2, err := decodeResponsePayload(rb1)
+		if err != nil || rid != id {
+			t.Fatalf("response round trip failed: id %d→%d, %v", id, rid, err)
+		}
+		rb2, err := encodeResponsePayload(nil, id, resp2)
+		if err != nil || !bytes.Equal(rb1, rb2) {
+			t.Fatalf("response re-encode not stable: %v", err)
+		}
+		// The decoded request must round-trip canonically too.
+		b1, err := encodeRequestPayload(nil, id, req)
+		if err != nil {
+			t.Fatalf("decoded request unencodable: %v (%+v)", err, req)
+		}
+		id2, req2, err := decodeRequestPayload(b1)
+		if err != nil || id2 != id {
+			t.Fatalf("request round trip failed: id %d→%d, %v", id, id2, err)
+		}
+		b2, err := encodeRequestPayload(nil, id, req2)
+		if err != nil || !bytes.Equal(b1, b2) {
+			t.Fatalf("request re-encode not stable: %v\n first % x\nsecond % x", err, b1, b2)
+		}
+	})
+}
+
+// FuzzDecodeBinaryResponse is FuzzDecodeResponse for the v2 codec: the
+// decoder must never panic or over-allocate on server-controlled bytes, and
+// the busy/terminal classification invariants must hold for whatever
+// decodes, exactly as on the JSON codec.
+func FuzzDecodeBinaryResponse(f *testing.F) {
+	resps := []Response{
+		{OK: true},
+		{Error: "no such series"},
+		{Error: "server at connection capacity; retry", Code: CodeBusy},
+		{OK: true, Code: "nonsense"},
+		{OK: true, Points: [][2]float64{{1, 0.5}, {2, 0.6}}},
+		{OK: true, Names: []string{"a", "b"}},
+		{OK: true, Entries: []Registration{{Name: "h", Kind: KindSensor, Addr: "a:1"}}},
+		{OK: true, Forecast: &ForecastResult{Value: 0.5, Method: "sw_avg", MAE: 0.01, N: 64}},
+		{OK: true, Batch: []Response{{Error: "x", Code: CodeBusy}, {OK: true}}},
+	}
+	for _, r := range resps {
+		if b, err := encodeResponsePayload(nil, 1, r); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte{0x00, 0x08})       // ID 0, batch flag, truncated
+	f.Add([]byte{0x01, 0xff, 0x00}) // all flags, empty sections
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		_, resp, err := decodeResponsePayload(payload)
+		if err != nil {
+			return // undecodable responses surface as transport errors
+		}
+		if n := responseElems(resp); n > len(payload) {
+			t.Fatalf("decoded %d elements from %d bytes: over-allocation", n, len(payload))
+		}
+		rerr := respError("fuzz:0", resp)
+		switch {
+		case resp.Code == CodeBusy:
+			if rerr == nil || !IsBusy(rerr) || resilience.IsTerminal(rerr) {
+				t.Fatalf("busy response misclassified: %v", rerr)
+			}
+		case resp.Error != "":
+			if rerr == nil || !resilience.IsTerminal(rerr) || IsBusy(rerr) {
+				t.Fatalf("rejection misclassified: %v", rerr)
+			}
+		default:
+			if rerr != nil {
+				t.Fatalf("clean response classified as error: %v", rerr)
+			}
+		}
+		b1, err := encodeResponsePayload(nil, 3, resp)
+		if err != nil {
+			t.Fatalf("decoded response unencodable: %v (%+v)", err, resp)
+		}
+		_, resp2, err := decodeResponsePayload(b1)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		b2, err := encodeResponsePayload(nil, 3, resp2)
+		if err != nil || !bytes.Equal(b1, b2) {
+			t.Fatalf("re-encode not stable: %v\n first % x\nsecond % x", err, b1, b2)
 		}
 	})
 }

@@ -79,13 +79,12 @@ func (m *Memory) shard(key string) *memShard {
 
 // Handle implements Handler.
 func (m *Memory) Handle(req Request) Response {
-	op := opLabel(req.Op)
 	t0 := time.Now()
-	mMemoryRequests.With(op).Inc()
-	defer mMemoryLatency.With(op).ObserveSince(t0)
+	mMemoryRequestsByOp.get(req.Op).Inc()
+	defer mMemoryLatencyByOp.get(req.Op).ObserveSince(t0)
 	resp := m.handle(req)
 	if resp.Error != "" {
-		mMemoryErrors.With(op).Inc()
+		mMemoryErrorsByOp.get(req.Op).Inc()
 	}
 	return resp
 }

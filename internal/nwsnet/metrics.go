@@ -2,6 +2,12 @@ package nwsnet
 
 import "nwscpu/internal/metrics"
 
+// Direction label values of the nws_wire_* counters.
+const (
+	dirIn  = "in"
+	dirOut = "out"
+)
+
 // The package's metric families, registered once in metrics.Default and
 // shared by every component instance in the process. A daemon normally runs
 // one role, so each series describes that single instance. When several
@@ -30,6 +36,25 @@ var (
 	mServerQueueDepth = metrics.NewGauge(
 		"nws_server_queue_depth",
 		"Requests waiting for an in-flight slot within the queue-wait budget.")
+
+	// Wire codec (server side of the v1/v2 protocol split; frame/byte
+	// counters cover the binary codec only — JSON traffic predates framing).
+	mWireConns = metrics.NewCounterVec(
+		"nws_wire_connections_total",
+		"Protocol connections by negotiated codec (the version-handshake outcome): json or binary.", "codec")
+	mWireFrames = metrics.NewCounterVec(
+		"nws_wire_frames_total",
+		"Binary-codec frames moved by the server, by direction (in/out).", "dir")
+	mWireBytes = metrics.NewCounterVec(
+		"nws_wire_bytes_total",
+		"Binary-codec payload bytes moved by the server, by direction (in/out); excludes the 4-byte frame headers.", "dir")
+	mWireDecodeErrors = metrics.NewCounter(
+		"nws_wire_decode_errors_total",
+		"Malformed binary frames or preambles received; each closes its connection (binary framing cannot resynchronize).")
+	mWirePipelineDepth = metrics.NewHistogram(
+		"nws_wire_pipeline_depth",
+		"Requests already decoded and waiting behind the one being dispatched on a binary connection — how deep clients actually pipeline.",
+		[]float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256})
 
 	// Protocol clients (Client and Conn outbound calls).
 	mClientCalls = metrics.NewCounterVec(
@@ -169,4 +194,117 @@ var (
 	mSensorOutages = metrics.NewCounter(
 		"nws_sensor_outages_total",
 		"Delivery outages entered (first failed store after a healthy period).")
+)
+
+// otherOp is the bounded fallback label for ops arriving off the wire that
+// opLabel does not recognize.
+const otherOp Op = "other"
+
+// opCounters resolves a CounterVec's bounded per-op label set once, so the
+// per-request path is a switch on the op instead of the vec's With (an
+// RWMutex acquisition plus a map lookup each call).
+type opCounters struct {
+	ping, register, lookup, list, store, fetch, series, batch, forecast, other *metrics.Counter
+}
+
+func perOpCounters(v *metrics.CounterVec) *opCounters {
+	return &opCounters{
+		ping:     v.With(string(OpPing)),
+		register: v.With(string(OpRegister)),
+		lookup:   v.With(string(OpLookup)),
+		list:     v.With(string(OpList)),
+		store:    v.With(string(OpStore)),
+		fetch:    v.With(string(OpFetch)),
+		series:   v.With(string(OpSeries)),
+		batch:    v.With(string(OpBatch)),
+		forecast: v.With(string(OpForecast)),
+		other:    v.With(string(otherOp)),
+	}
+}
+
+// get collapses unknown ops onto the other entry exactly as opLabel would.
+func (c *opCounters) get(op Op) *metrics.Counter {
+	switch op {
+	case OpStore:
+		return c.store
+	case OpFetch:
+		return c.fetch
+	case OpBatch:
+		return c.batch
+	case OpForecast:
+		return c.forecast
+	case OpPing:
+		return c.ping
+	case OpRegister:
+		return c.register
+	case OpLookup:
+		return c.lookup
+	case OpList:
+		return c.list
+	case OpSeries:
+		return c.series
+	}
+	return c.other
+}
+
+// opHistograms is the same resolution for a HistogramVec.
+type opHistograms struct {
+	ping, register, lookup, list, store, fetch, series, batch, forecast, other *metrics.Histogram
+}
+
+func perOpHistograms(v *metrics.HistogramVec) *opHistograms {
+	return &opHistograms{
+		ping:     v.With(string(OpPing)),
+		register: v.With(string(OpRegister)),
+		lookup:   v.With(string(OpLookup)),
+		list:     v.With(string(OpList)),
+		store:    v.With(string(OpStore)),
+		fetch:    v.With(string(OpFetch)),
+		series:   v.With(string(OpSeries)),
+		batch:    v.With(string(OpBatch)),
+		forecast: v.With(string(OpForecast)),
+		other:    v.With(string(otherOp)),
+	}
+}
+
+func (h *opHistograms) get(op Op) *metrics.Histogram {
+	switch op {
+	case OpStore:
+		return h.store
+	case OpFetch:
+		return h.fetch
+	case OpBatch:
+		return h.batch
+	case OpForecast:
+		return h.forecast
+	case OpPing:
+		return h.ping
+	case OpRegister:
+		return h.register
+	case OpLookup:
+		return h.lookup
+	case OpList:
+		return h.list
+	case OpSeries:
+		return h.series
+	}
+	return h.other
+}
+
+// Hot-path metric handles. The serve loops, the memory handler, and the
+// client exchange paths touch these families on every request; the bounded
+// label sets are resolved once here, before any traffic (safe without locks).
+var (
+	mWireFramesIn  = mWireFrames.With(dirIn)
+	mWireFramesOut = mWireFrames.With(dirOut)
+	mWireBytesIn   = mWireBytes.With(dirIn)
+	mWireBytesOut  = mWireBytes.With(dirOut)
+
+	mServerRequestsByOp = perOpCounters(mServerRequests)
+	mClientCallsByOp    = perOpCounters(mClientCalls)
+	mClientErrorsByOp   = perOpCounters(mClientErrors)
+	mClientLatencyByOp  = perOpHistograms(mClientLatency)
+	mMemoryRequestsByOp = perOpCounters(mMemoryRequests)
+	mMemoryErrorsByOp   = perOpCounters(mMemoryErrors)
+	mMemoryLatencyByOp  = perOpHistograms(mMemoryLatency)
 )

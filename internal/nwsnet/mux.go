@@ -1,0 +1,396 @@
+package nwsnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrMuxClosed reports a call issued on (or pending in) a MuxConn that was
+// closed by Close.
+var ErrMuxClosed = errors.New("nwsnet: mux connection closed")
+
+// MuxConn is one binary-codec connection carrying many requests in flight
+// at once — the pipelining client of wire protocol v2. Where Conn and
+// Client run in lockstep (one request, wait, one response), a MuxConn tags
+// every request with an ID, keeps sending, and routes responses back as
+// they arrive, so wire throughput is bounded by bandwidth and server
+// capacity instead of round-trip latency.
+//
+// Concurrency: Go and Do are safe from any number of goroutines. Requests
+// from a single goroutine reach the server in call order (the server
+// executes a connection's requests strictly in arrival order, which is what
+// makes pipelined stores on one series safe under the memory server's
+// monotonic-frontier dedup); requests racing from different goroutines are
+// ordered by an internal lock.
+//
+// Failure: a MuxConn does not redial. Any transport error, decode error, or
+// read silence past the timeout fails every pending call with the same
+// error and poisons the connection; callers reconnect with DialMux. That
+// keeps the failure semantics explicit — a pipeline's worth of calls can
+// never be half-retried behind the caller's back. The read timeout spans
+// pending responses, so an idle MuxConn (nothing in flight) is not
+// disturbed, but an idle connection's next burst redials only on error.
+type MuxConn struct {
+	addr    string
+	timeout time.Duration
+	conn    net.Conn
+
+	// Writer side: writeMu serializes frame appends into w; flushing is
+	// delegated to a dedicated flusher goroutine woken through flushCh
+	// (group commit — Go never issues the write syscall itself, so frames
+	// appended while a flush is pending or in progress share the next one.
+	// A single pipelining goroutine batches its whole in-flight window per
+	// syscall, because the flusher only runs once the issuer blocks).
+	writeMu sync.Mutex
+	w       *bufio.Writer
+	flushCh chan struct{}
+
+	// In-flight calls, oldest first. The server answers a connection's
+	// requests strictly in arrival order (docs/PROTOCOL.md §3.5), so a FIFO
+	// replaces a pending-ID map: matching a response is one comparison at the
+	// head instead of a hash and two map operations per request, and the
+	// oldest call (the read-timeout reference) is simply the front. Entries
+	// removed out of order (encode failures, or a server answering out of
+	// spec) are nil'd in place and skipped. head is the index of the front;
+	// the slice is compacted as it drains.
+	mu     sync.Mutex
+	calls  []*MuxCall
+	head   int
+	nextID uint64
+	err    error
+	quit   chan struct{} // closed by the first fail; stops the flusher
+
+	readerDone  chan struct{}
+	flusherDone chan struct{}
+}
+
+// MuxCall is one in-flight request on a MuxConn. Wait blocks until the call
+// completes with either Resp or Err set.
+type MuxCall struct {
+	Req  Request
+	Resp Response
+	Err  error
+
+	id   uint64
+	t0   time.Time
+	done sync.WaitGroup
+}
+
+// deliver completes the call. Every completion site first removes the call
+// from the connection's FIFO under mu, so it runs exactly once per call.
+func (c *MuxCall) deliver() { c.done.Done() }
+
+// Wait blocks until the call completes and returns its outcome. It may be
+// called any number of times, from any goroutine.
+func (c *MuxCall) Wait() (Response, error) {
+	c.done.Wait()
+	return c.Resp, c.Err
+}
+
+// DialMux connects to addr and negotiates the binary codec. timeout bounds
+// the dial and, after it, how long the connection may go without receiving
+// anything while responses are pending (0 selects 5 s).
+func DialMux(addr string, timeout time.Duration) (*MuxConn, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("nwsnet: dial %s: %w", addr, err)
+	}
+	nc.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := nc.Write(wirePreamble[:]); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("nwsnet: negotiate with %s: %w", addr, err)
+	}
+	nc.SetWriteDeadline(time.Time{})
+	m := &MuxConn{
+		addr:        addr,
+		timeout:     timeout,
+		conn:        nc,
+		w:           bufio.NewWriterSize(nc, 64<<10),
+		flushCh:     make(chan struct{}, 1),
+		quit:        make(chan struct{}),
+		readerDone:  make(chan struct{}),
+		flusherDone: make(chan struct{}),
+	}
+	go m.reader()
+	go m.flusher()
+	return m, nil
+}
+
+// Addr returns the dialed server address.
+func (m *MuxConn) Addr() string { return m.addr }
+
+// InFlight reports how many calls are awaiting responses.
+func (m *MuxConn) InFlight() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.calls[m.head:] {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Go sends req without waiting and returns the in-flight call; wait on
+// call.Wait. The returned call may already be complete (with
+// Err set) if the connection is poisoned or the request unencodable.
+func (m *MuxConn) Go(req Request) *MuxCall {
+	call := &MuxCall{Req: req, t0: time.Now()}
+	call.done.Add(1)
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		call.Err = err
+		call.deliver()
+		return call
+	}
+	m.nextID++
+	id := m.nextID
+	call.id = id
+	// Compact the drained prefix before it can grow without bound under a
+	// long-lived pipeline.
+	if m.head > 1024 {
+		m.calls = m.calls[:copy(m.calls, m.calls[m.head:])]
+		m.head = 0
+	}
+	m.calls = append(m.calls, call)
+	m.mu.Unlock()
+
+	buf := getEncBuf()
+	payload, err := encodeRequestPayload(*buf, id, req)
+	if err != nil {
+		putEncBuf(buf)
+		if m.forget(id) {
+			call.Err = fmt.Errorf("nwsnet: encode for %s: %w", m.addr, err)
+			observeCall(req.Op, call.t0, call.Err)
+			call.deliver()
+		}
+		return call
+	}
+	m.writeMu.Lock()
+	// Arm the write deadline once per flush batch (the buffer is empty
+	// exactly when a batch starts); it bounds a stalled server without a
+	// deadline syscall per request.
+	if m.w.Buffered() == 0 {
+		m.conn.SetWriteDeadline(time.Now().Add(m.timeout))
+	}
+	werr := writeFrame(m.w, payload)
+	m.writeMu.Unlock()
+	*buf = payload
+	putEncBuf(buf)
+	if werr != nil {
+		m.fail(fmt.Errorf("nwsnet: send to %s: %w", m.addr, werr))
+		return call
+	}
+	// Wake the flusher; if a wakeup is already queued the pending flush
+	// covers this frame too (group commit).
+	select {
+	case m.flushCh <- struct{}{}:
+	default:
+	}
+	return call
+}
+
+// flusher issues the write syscalls for every frame Go appends. Keeping the
+// flush off the caller's goroutine is what makes the group commit work: a
+// pipelining caller appends its whole window before the flusher is
+// scheduled, so the window ships in one syscall instead of one per frame.
+func (m *MuxConn) flusher() {
+	defer close(m.flusherDone)
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-m.flushCh:
+		}
+		m.writeMu.Lock()
+		var werr error
+		if m.w.Buffered() > 0 {
+			m.conn.SetWriteDeadline(time.Now().Add(m.timeout))
+			werr = m.w.Flush()
+		}
+		m.writeMu.Unlock()
+		if werr != nil {
+			m.fail(fmt.Errorf("nwsnet: send to %s: %w", m.addr, werr))
+			return
+		}
+	}
+}
+
+// Do sends req and waits for its response — Go plus Wait.
+func (m *MuxConn) Do(req Request) (Response, error) {
+	return m.Go(req).Wait()
+}
+
+// oldestPending returns the issue time of the longest-waiting pending call,
+// or the zero time when nothing is pending. Calls are issued in t0 order, so
+// it is the front of the FIFO.
+func (m *MuxConn) oldestPending() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.calls[m.head:] {
+		if c != nil {
+			return c.t0
+		}
+	}
+	return time.Time{}
+}
+
+// forget drops a pending call that never made it onto the wire, reporting
+// whether it was still pending (false means a concurrent fail completed it).
+func (m *MuxConn) forget(id uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := len(m.calls) - 1; i >= m.head; i-- {
+		if c := m.calls[i]; c != nil && c.id == id {
+			m.calls[i] = nil
+			return true
+		}
+	}
+	return false
+}
+
+// take removes and returns the pending call with the given response ID, or
+// nil when no such call is in flight. The fast path is one comparison: the
+// server answers in request order, so the match is at the front.
+func (m *MuxConn) take(id uint64) *MuxCall {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.head < len(m.calls) && m.calls[m.head] == nil {
+		m.head++
+	}
+	if m.head == len(m.calls) {
+		m.calls = m.calls[:0]
+		m.head = 0
+		return nil
+	}
+	if c := m.calls[m.head]; c.id == id {
+		m.calls[m.head] = nil
+		m.head++
+		if m.head == len(m.calls) {
+			m.calls = m.calls[:0]
+			m.head = 0
+		}
+		return c
+	}
+	// A server answering out of arrival order is out of spec but harmless
+	// to tolerate: find the call wherever it is.
+	for i := m.head; i < len(m.calls); i++ {
+		if c := m.calls[i]; c != nil && c.id == id {
+			m.calls[i] = nil
+			return c
+		}
+	}
+	return nil
+}
+
+// fail poisons the connection: every pending call (and every later Go)
+// completes with err. Idempotent — the first failure wins.
+func (m *MuxConn) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+		close(m.quit)
+	} else {
+		err = m.err
+	}
+	pending := m.calls[m.head:]
+	m.calls = nil
+	m.head = 0
+	m.mu.Unlock()
+	m.conn.Close()
+	for _, call := range pending {
+		if call == nil {
+			continue
+		}
+		call.Err = err
+		observeCall(call.Req.Op, call.t0, call.Err)
+		call.deliver()
+	}
+}
+
+// Close poisons the connection and releases it. Pending calls complete with
+// ErrMuxClosed.
+func (m *MuxConn) Close() error {
+	m.fail(ErrMuxClosed)
+	<-m.readerDone
+	<-m.flusherDone
+	return nil
+}
+
+// reader consumes the accept byte and then routes response frames to their
+// pending calls until the connection dies.
+func (m *MuxConn) reader() {
+	defer close(m.readerDone)
+	br := bufio.NewReaderSize(m.conn, 256<<10)
+	m.conn.SetReadDeadline(time.Now().Add(m.timeout))
+	accept, err := br.ReadByte()
+	if err != nil {
+		m.fail(fmt.Errorf("nwsnet: negotiate with %s: %w", m.addr, err))
+		return
+	}
+	if accept != wireVersionBinary {
+		m.fail(fmt.Errorf("nwsnet: %s accepted wire version %d, not binary (%d)", m.addr, accept, wireVersionBinary))
+		return
+	}
+	var buf []byte
+	for {
+		// Re-arm the read deadline only when the next frame has to touch the
+		// socket; frames already sitting in the read buffer (the common case
+		// under pipelining — responses arrive in flush batches) decode
+		// without a deadline syscall.
+		if br.Buffered() == 0 {
+			m.conn.SetReadDeadline(time.Now().Add(m.timeout))
+		}
+		payload, n, err := readFrame(br, &buf)
+		if err != nil {
+			// A timeout that consumed nothing is fatal only when some call
+			// has actually waited out the full timeout — the deadline was
+			// armed before those calls were issued, so a young pipeline gets
+			// the next lap. A timeout that cut a frame in half is always
+			// fatal, because binary framing cannot resynchronize.
+			if isTimeout(err) && n == 0 {
+				oldest := m.oldestPending()
+				if oldest.IsZero() || time.Since(oldest) < m.timeout {
+					continue
+				}
+			}
+			m.fail(fmt.Errorf("nwsnet: receive from %s: %w", m.addr, err))
+			return
+		}
+		id, resp, err := decodeResponsePayload(payload)
+		if err != nil {
+			m.fail(fmt.Errorf("nwsnet: receive from %s: %w", m.addr, err))
+			return
+		}
+		if id == 0 {
+			// Connection-level response: the server shed this connection
+			// without reading anything; it answers every pending call.
+			if resp.Code == CodeBusy {
+				m.fail(fmt.Errorf("nwsnet: %s: %s: %w", m.addr, resp.Error, errBusySentinel))
+				return
+			}
+			continue // unknown connection-level frame: ignore
+		}
+		call := m.take(id)
+		if call == nil {
+			continue // duplicate or unsolicited ID: ignore
+		}
+		if rerr := respError(m.addr, resp); rerr != nil {
+			call.Err = rerr
+		} else {
+			call.Resp = resp
+		}
+		observeCall(call.Req.Op, call.t0, call.Err)
+		call.deliver()
+	}
+}

@@ -4,9 +4,14 @@
 // runs, and a forecaster service answers prediction queries by pulling
 // recent history from the memory and running the forecasting engine.
 //
-// The wire protocol is one JSON object per line over TCP — deliberately
-// simple, debuggable with netcat, and implemented entirely with the standard
-// library.
+// The wire protocol has two codecs behind one negotiated listener (the
+// normative spec is docs/PROTOCOL.md): v1 is one JSON object per line over
+// TCP — deliberately simple and debuggable with netcat — and v2 is a
+// length-prefixed binary codec with varint-packed point arrays and tagged
+// request IDs, letting clients pipeline many requests over one multiplexed
+// connection (see MuxConn) instead of running in lockstep. Both are
+// implemented entirely with the standard library; servers sniff the v2
+// preamble on connect, so v1 and v2 clients coexist transparently.
 //
 // Every component is instrumented through internal/metrics: the protocol
 // server counts connections and per-op requests, the memory server tracks

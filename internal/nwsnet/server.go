@@ -146,12 +146,40 @@ func (s *Server) acceptLoop(l net.Listener) {
 // busy response and closes it. The response is written before the close and
 // the inbound side is drained briefly so an in-flight request line does not
 // turn the close into a reset that loses the response.
+//
+// The shed must speak the codec the client expects, so it briefly sniffs for
+// the binary preamble (which v2 clients send eagerly at dial). A client that
+// has sent nothing within the sniff budget gets the JSON shed — the only
+// answer a codec-unknown peer might understand.
 func (s *Server) shedConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(time.Second))
+	r := bufio.NewReaderSize(conn, 16)
 	w := bufio.NewWriter(conn)
 	resp := busyResp("server at connection capacity; retry")
+	conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	first, err := r.Peek(1)
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	if err == nil && first[0] == wirePreamble[0] {
+		var pre [wirePreambleLen]byte
+		if _, err := io.ReadFull(r, pre[:]); err == nil && pre[1] == 'N' && pre[2] == 'W' && pre[3] == 'S' {
+			w.WriteByte(wireVersionBinary)
+			// Request ID 0 is reserved for exactly this: a connection-level
+			// response to requests the server never read.
+			buf := getEncBuf()
+			if payload, perr := encodeResponsePayload(*buf, 0, resp); perr == nil {
+				writeFrame(w, payload)
+			}
+			putEncBuf(buf)
+			w.Flush()
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			io.Copy(io.Discard, conn)
+			return
+		}
+	}
 	writeMsg(w, resp)
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.CloseWrite()
@@ -172,6 +200,76 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	reader := bufio.NewReaderSize(conn, 64<<10)
 	writer := bufio.NewWriter(conn)
+
+	// Codec negotiation: a v2 client opens with a NUL-led preamble, which can
+	// never begin a JSON line, so peeking one byte classifies the connection
+	// without consuming anything a v1 client sent. The peek waits under the
+	// same idle deadline a request read would.
+	if s.limits.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.limits.IdleTimeout))
+	}
+	first, err := reader.Peek(1)
+	if err != nil {
+		if err != io.EOF && !s.isClosed() {
+			if isTimeout(err) {
+				mServerShed.With(shedIdle).Inc()
+			} else if s.logger != nil {
+				s.logger.Printf("nwsnet: read: %v", err)
+			}
+		}
+		return
+	}
+	if first[0] == wirePreamble[0] {
+		if !s.negotiateBinary(conn, reader, writer) {
+			return
+		}
+		mWireConns.With(string(CodecBinary)).Inc()
+		s.serveBinary(conn, reader, writer)
+		return
+	}
+	mWireConns.With(string(CodecJSON)).Inc()
+	s.serveJSON(conn, reader, writer)
+}
+
+// negotiateBinary consumes a binary preamble and answers with the accept
+// byte. It reports whether the connection should proceed on the binary
+// codec; a malformed preamble closes the connection, and a version below
+// binary is answered with the JSON accept byte and downgraded in place
+// (the JSON loop takes over — nothing of the old protocol is lost).
+func (s *Server) negotiateBinary(conn net.Conn, reader *bufio.Reader, writer *bufio.Writer) bool {
+	var pre [wirePreambleLen]byte
+	if _, err := io.ReadFull(reader, pre[:]); err != nil {
+		mWireDecodeErrors.Inc()
+		return false
+	}
+	if pre[1] != 'N' || pre[2] != 'W' || pre[3] != 'S' {
+		mWireDecodeErrors.Inc()
+		if s.logger != nil {
+			s.logger.Printf("nwsnet: bad negotiation preamble % x", pre)
+		}
+		return false
+	}
+	if pre[4] < wireVersionBinary {
+		// The client asked for a version this server no longer frames
+		// natively; fall back to the JSON codec both sides speak.
+		writer.WriteByte(wireVersionJSON)
+		if writer.Flush() != nil {
+			return false
+		}
+		mWireConns.With(string(CodecJSON)).Inc()
+		s.serveJSON(conn, reader, writer)
+		return false
+	}
+	// The accept byte is buffered, not flushed: it rides in front of the
+	// first response, so negotiation costs a pipelining client zero round
+	// trips.
+	writer.WriteByte(wireVersionBinary)
+	return true
+}
+
+// serveJSON is the v1 serve loop: newline-framed JSON, strict
+// request/response lockstep.
+func (s *Server) serveJSON(conn net.Conn, reader *bufio.Reader, writer *bufio.Writer) {
 	for {
 		if s.limits.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.limits.IdleTimeout))
@@ -190,7 +288,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		mServerRequests.With(opLabel(req.Op)).Inc()
+		mServerRequestsByOp.get(req.Op).Inc()
 		resp := s.dispatch(req)
 		resp.OK = resp.Error == ""
 		if s.limits.WriteTimeout > 0 {
@@ -208,6 +306,115 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// wireInbound is one decoded binary request queued between the frame reader
+// and the executor.
+type wireInbound struct {
+	id  uint64
+	req Request
+}
+
+// serveBinary is the v2 serve loop. A reader goroutine decodes frames ahead
+// of execution into a bounded queue — the server half of pipelining — while
+// this goroutine executes them strictly in arrival order (order matters: the
+// memory server's idempotent-store dedup relies on a connection's stores
+// applying in the sequence they were sent) and writes responses back tagged
+// with the request ID, coalescing flushes while more work is queued.
+func (s *Server) serveBinary(conn net.Conn, reader *bufio.Reader, writer *bufio.Writer) {
+	queue := make(chan wireInbound, wireReadAhead)
+	go func() {
+		defer close(queue)
+		var buf []byte
+		for {
+			// Arm the idle deadline only when the next frame has to touch the
+			// socket; frames already buffered (pipelined bursts) mean the
+			// connection is anything but idle.
+			if s.limits.IdleTimeout > 0 && reader.Buffered() == 0 {
+				conn.SetReadDeadline(time.Now().Add(s.limits.IdleTimeout))
+			}
+			payload, _, err := readFrame(reader, &buf)
+			if err != nil {
+				if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) || s.isClosed() {
+					return
+				}
+				if isTimeout(err) {
+					mServerShed.With(shedIdle).Inc()
+					return
+				}
+				mWireDecodeErrors.Inc()
+				if s.logger != nil {
+					s.logger.Printf("nwsnet: read frame: %v", err)
+				}
+				return
+			}
+			mWireFramesIn.Inc()
+			mWireBytesIn.Add(uint64(len(payload)))
+			id, req, err := decodeRequestPayload(payload)
+			if err != nil {
+				// Binary framing cannot resynchronize after garbage; close
+				// instead of guessing where the next frame starts.
+				mWireDecodeErrors.Inc()
+				if s.logger != nil {
+					s.logger.Printf("nwsnet: decode frame: %v", err)
+				}
+				return
+			}
+			queue <- wireInbound{id: id, req: req}
+		}
+	}()
+	// On exit, unblock the reader (it may be parked on a read or a queue
+	// send) and drain until it closes the channel, so serveConn's deferred
+	// conn.Close never races a goroutine still using the bufio.Reader.
+	defer func() {
+		conn.SetReadDeadline(time.Now().Add(-time.Second))
+		for range queue {
+		}
+	}()
+	for in := range queue {
+		mServerRequestsByOp.get(in.req.Op).Inc()
+		mWirePipelineDepth.Observe(float64(len(queue)))
+		resp := s.dispatch(in.req)
+		resp.OK = resp.Error == ""
+		buf := getEncBuf()
+		payload, err := encodeResponsePayload(*buf, in.id, resp)
+		if err != nil {
+			// Unencodable responses cannot happen for handler output (the
+			// handler never nests batches); treat it as a server bug.
+			putEncBuf(buf)
+			if s.logger != nil {
+				s.logger.Printf("nwsnet: encode response: %v", err)
+			}
+			return
+		}
+		// Arm the write deadline once per flush batch (the buffer is empty
+		// exactly when a batch starts): it still bounds how long a stalled
+		// peer can pin the connection, without a deadline call per response.
+		if s.limits.WriteTimeout > 0 && writer.Buffered() == 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.limits.WriteTimeout))
+		}
+		werr := writeFrame(writer, payload)
+		if werr == nil {
+			mWireFramesOut.Inc()
+			mWireBytesOut.Add(uint64(len(payload)))
+			// Flush only when no further request is queued: under pipelining
+			// many responses share one syscall.
+			if len(queue) == 0 {
+				werr = writer.Flush()
+			}
+		}
+		*buf = payload
+		putEncBuf(buf)
+		if werr != nil {
+			if isTimeout(werr) {
+				mServerShed.With(shedWrite).Inc()
+			} else if s.logger != nil {
+				s.logger.Printf("nwsnet: write frame: %v", werr)
+			}
+			return
+		}
+	}
+	writer.Flush()
 }
 
 // dispatch runs one request through the handler, bounded by the in-flight

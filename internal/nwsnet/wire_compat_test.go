@@ -1,0 +1,248 @@
+package nwsnet
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"nwscpu/internal/resilience"
+	"nwscpu/internal/resilience/chaos"
+)
+
+// codecClient builds a fast test client pinned to one codec.
+func codecClient(codec Codec) *Client {
+	return NewClientOptions(ClientOptions{
+		Timeout: 2 * time.Second,
+		Retry:   resilience.Policy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond},
+		Codec:   codec,
+	})
+}
+
+// TestV1ClientAgainstV2DefaultServer is the downgrade regression: a JSON
+// (v1) client — and below it, a raw netcat-style connection — against
+// today's binary-default server must work exactly as before the v2 codec
+// existed. The server may never assume the preamble.
+func TestV1ClientAgainstV2DefaultServer(t *testing.T) {
+	mem := NewMemory(100)
+	srv, addr := startServerLimits(t, mem, ServerLimits{})
+	defer srv.Close()
+
+	c := codecClient(CodecJSON)
+	defer c.Close()
+	if err := c.Ping(addr); err != nil {
+		t.Fatalf("v1 ping: %v", err)
+	}
+	pts := [][2]float64{{1, 0.5}, {2, 0.6}}
+	if err := c.Store(addr, "k", pts); err != nil {
+		t.Fatalf("v1 store: %v", err)
+	}
+	got, err := c.Fetch(addr, "k", 0, 0, 0)
+	if err != nil {
+		t.Fatalf("v1 fetch: %v", err)
+	}
+	if !reflect.DeepEqual(got, pts) {
+		t.Fatalf("v1 fetch returned %v, want %v", got, pts)
+	}
+
+	// Rawest possible v1 peer: a hand-written JSON line, no client library.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := nc.Write([]byte(`{"op":"fetch","series":"k"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := readMsg(bufio.NewReader(nc), &resp); err != nil {
+		t.Fatalf("raw JSON line: %v", err)
+	}
+	if !resp.OK || len(resp.Points) != 2 {
+		t.Fatalf("raw JSON line answered %+v", resp)
+	}
+}
+
+// TestCodecsAnswerIdentically sweeps every op through both codecs against
+// identically-prepared servers and requires identical answers — the
+// bit-for-bit semantic-preservation contract of the v2 codec.
+func TestCodecsAnswerIdentically(t *testing.T) {
+	reqs := []Request{
+		{Op: OpPing},
+		{Op: OpStore, Series: "k", Points: [][2]float64{{1, 0.5}, {2, 0.6}}},
+		{Op: OpStore, Series: "k", Points: [][2]float64{{2, 0.9}, {3, 0.7}}}, // dedup overlap
+		{Op: OpStore, Series: ""}, // rejection
+		{Op: OpFetch, Series: "k"},
+		{Op: OpFetch, Series: "k", From: 5, To: 2},
+		{Op: OpFetch, Series: "k", From: 2, To: 5, Max: 1},
+		{Op: OpFetch, Series: "missing"},
+		{Op: OpSeries},
+		{Op: OpBatch, Batch: []Request{
+			{Op: OpStore, Series: "b", Points: [][2]float64{{1, 1}}},
+			{Op: OpFetch, Series: "b"},
+			{Op: OpStore},
+		}},
+		{Op: OpBatch, Batch: []Request{{Op: OpBatch, Batch: []Request{{Op: OpPing}}}}},
+	}
+	answers := func(codec Codec) []Response {
+		mem := NewMemory(100)
+		srv, addr := startServerLimits(t, mem, ServerLimits{})
+		defer srv.Close()
+		conn := NewConnCodec(addr, 2*time.Second, codec)
+		defer conn.Close()
+		out := make([]Response, len(reqs))
+		for i, req := range reqs {
+			// Conn.Do converts rejections to errors; go through the raw
+			// exchange instead so error responses compare too.
+			conn.mu.Lock()
+			resp, err := conn.doLocked(req)
+			conn.mu.Unlock()
+			if err != nil {
+				t.Fatalf("%s op %s: %v", codec, req.Op, err)
+			}
+			out[i] = resp
+		}
+		return out
+	}
+	j := answers(CodecJSON)
+	b := answers(CodecBinary)
+	for i := range reqs {
+		// JSON decodes absent points as nil, binary too; both must agree
+		// structurally on every field.
+		if !reflect.DeepEqual(j[i], b[i]) {
+			t.Errorf("op %s (case %d):\n json %+v\nbinary %+v", reqs[i].Op, i, j[i], b[i])
+		}
+	}
+}
+
+// TestMixedCodecReplicaQuorumConvergesUnderChaos is the mixed-version
+// deployment scenario: one writer still on v1 (JSON) and one on v2 (binary)
+// both write to the same 2-replica group at quorum 2, with one replica
+// behind a chaos proxy that truncates each writer's first connection
+// mid-exchange (applied but unacknowledged). Retries plus server-side
+// idempotent dedup must converge both replicas to exactly one copy of every
+// point, regardless of codec.
+func TestMixedCodecReplicaQuorumConvergesUnderChaos(t *testing.T) {
+	chaosMem, _, chaosAddr := chaosFront(t, chaos.NewScript(
+		chaos.Action{Fault: chaos.Truncate}, // json writer's first connection
+		chaos.Action{Fault: chaos.Truncate}, // binary writer's first connection
+	))
+	mems, _, addrs := startReplicaSet(t, 1)
+	group := []string{chaosAddr, addrs[0]}
+
+	newWriter := func(codec Codec) *ReplicaGroup {
+		c := NewClientOptions(ClientOptions{
+			Timeout: time.Second,
+			Retry:   resilience.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond},
+			// Faults are drawn per connection: a fresh connection per
+			// attempt keeps the schedule aligned (truncate once, then pass).
+			MaxIdlePerAddr: -1,
+			Codec:          codec,
+		})
+		return NewReplicaGroup(c, group, 2)
+	}
+	jw := newWriter(CodecJSON)
+	defer jw.Close()
+	bw := newWriter(CodecBinary)
+	defer bw.Close()
+
+	// Interleave quorum writes from both writers on both series.
+	const rounds = 6
+	for i := 0; i < rounds; i++ {
+		w := jw
+		if i%2 == 1 {
+			w = bw
+		}
+		stores := []BatchStore{
+			{Series: "mixed/a", Points: [][2]float64{{float64(i), 0.5}}},
+			{Series: "mixed/b", Points: [][2]float64{{float64(i), 0.9}}},
+		}
+		if _, err := w.StoreBatch(context.Background(), stores); err != nil {
+			t.Fatalf("round %d (%T): %v", i, w, err)
+		}
+	}
+
+	for _, series := range []string{"mixed/a", "mixed/b"} {
+		for ri, m := range []*Memory{chaosMem, mems[0]} {
+			if n := m.Len(series); n != rounds {
+				t.Errorf("replica %d holds %d points of %s, want %d (duplicate or lost under mixed codecs)",
+					ri, n, series, rounds)
+			}
+		}
+	}
+	if mems[0].Len("mixed/a") == 0 {
+		t.Fatal("sanity: no writes landed at all")
+	}
+}
+
+// TestServerCountsNegotiatedCodecs pins the nws_wire_connections_total
+// accounting: one JSON and one binary connection, one count each.
+func TestServerCountsNegotiatedCodecs(t *testing.T) {
+	j0 := mWireConns.With(string(CodecJSON)).Value()
+	b0 := mWireConns.With(string(CodecBinary)).Value()
+	mem := NewMemory(10)
+	srv, addr := startServerLimits(t, mem, ServerLimits{})
+	defer srv.Close()
+
+	jc := NewConnCodec(addr, time.Second, CodecJSON)
+	if err := jc.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	jc.Close()
+	bc := NewConnCodec(addr, time.Second, CodecBinary)
+	if err := bc.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	bc.Close()
+
+	if got := mWireConns.With(string(CodecJSON)).Value() - j0; got != 1 {
+		t.Errorf("json connections counted %d, want 1", got)
+	}
+	if got := mWireConns.With(string(CodecBinary)).Value() - b0; got != 1 {
+		t.Errorf("binary connections counted %d, want 1", got)
+	}
+}
+
+// TestLegacyPreambleVersionFallsBackToJSON covers the version-negotiation
+// downgrade the spec promises: a client that sends the preamble with a
+// version below 2 gets the JSON accept byte and a working JSON-line
+// conversation on the same connection.
+func TestLegacyPreambleVersionFallsBackToJSON(t *testing.T) {
+	mem := NewMemory(10)
+	srv, addr := startServerLimits(t, mem, ServerLimits{})
+	defer srv.Close()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(2 * time.Second))
+	pre := wirePreamble
+	pre[4] = 1 // ask for wire version 1
+	if _, err := nc.Write(pre[:]); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(nc)
+	accept, err := br.ReadByte()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != wireVersionJSON {
+		t.Fatalf("accept byte %d, want %d (JSON fallback)", accept, wireVersionJSON)
+	}
+	if _, err := fmt.Fprintf(nc, `{"op":"ping"}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := readMsg(br, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("ping after downgrade answered %+v", resp)
+	}
+}
