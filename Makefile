@@ -6,9 +6,9 @@ GOFMT ?= gofmt
 #   make fuzz-smoke FUZZTIME=2m
 FUZZTIME ?= 5s
 
-.PHONY: all build test test-race chaos vet docs-check fuzz-smoke bench bench-forecast bench-forecast-smoke bench-memory bench-memory-smoke bench-wire-smoke bench-paper experiments report clean
+.PHONY: all build test test-race chaos chaos-cluster vet docs-check fuzz-smoke bench bench-forecast bench-forecast-smoke bench-memory bench-memory-smoke bench-wire-smoke bench-paper experiments report clean
 
-all: build vet docs-check test fuzz-smoke bench-forecast-smoke bench-memory-smoke bench-wire-smoke
+all: build vet docs-check test chaos-cluster fuzz-smoke bench-forecast-smoke bench-memory-smoke bench-wire-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,14 @@ test-race:
 chaos:
 	$(GO) test -race ./internal/resilience/...
 	$(GO) test -race -run 'Chaos' -v ./internal/nwsnet
+
+# Partitioned-cluster failover smoke under the race detector: a 3-node
+# cluster with writers streaming, one shard owner killed mid-run, a
+# replacement joining via rebalancing handoff — asserts zero measurement
+# loss, bounded unavailability, and bit-identical convergence against a
+# single-node reference.
+chaos-cluster:
+	$(GO) test -race -run 'ChaosCluster' -count=1 -v ./internal/nwsnet
 
 # Doc drift gate: docs/PROTOCOL.md (the normative wire spec) is compared
 # against the codec — the opcode tables both ways, and the worked hex/JSON

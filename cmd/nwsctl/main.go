@@ -7,11 +7,19 @@
 //	nwsctl -nameserver localhost:8090 ping
 //	nwsctl -memory localhost:8091,localhost:8092,localhost:8093 health
 //	nwsctl -nameserver localhost:8090 health
+//	nwsctl -nameserver localhost:8090 members
+//	nwsctl -nameserver localhost:8090 ring thing1/cpu/nws_hybrid
 //
 // health pings every memory replica — the comma-separated -memory list, or
 // every endpoint of every memory registration found via -nameserver — and
 // reports each as healthy or down. It exits non-zero when fewer than a
 // majority answer, i.e. when the group has lost its write quorum.
+//
+// members prints the partitioned cluster's membership view (epoch, ring
+// geometry, every lease with state and shard share) and exits non-zero when
+// fewer active memory members remain than the replication factor — the
+// cluster analogue of losing write quorum. ring <series> resolves which
+// members own a series key under the current view.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"strings"
 
 	"nwscpu/internal/nwsnet"
+	"nwscpu/internal/nwsnet/cluster"
 )
 
 func main() {
@@ -149,7 +158,91 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "forecast %.4f (method %s, MAE %.4f over %d measurements)\n",
 			f.Value, f.Method, f.MAE, f.N)
 		return nil
+	case "members":
+		if *nameserver == "" {
+			return fmt.Errorf("members needs -nameserver")
+		}
+		return members(c, *nameserver, out)
+	case "ring":
+		if *nameserver == "" || len(cmd) < 2 {
+			return fmt.Errorf("ring needs -nameserver and a series key")
+		}
+		return ringOwners(c, *nameserver, cmd[1], out)
 	default:
 		return fmt.Errorf("unknown command %q", cmd[0])
 	}
+}
+
+// members prints the cluster membership view — epoch, ring geometry, and
+// every lease with its shard's share of a sample key space — and exits
+// non-zero when fewer active memory members remain than the replication
+// factor, i.e. when some key range has lost its write quorum.
+func members(c *nwsnet.Client, nsAddr string, out io.Writer) error {
+	v, err := c.FetchView(nsAddr, 0)
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		return fmt.Errorf("registry %s returned no view", nsAddr)
+	}
+	cfg := v.Config.Normalize()
+	fmt.Fprintf(out, "epoch %d  replication %d  vnodes %d  seed %d\n",
+		v.Epoch, cfg.Replication, cfg.VNodes, cfg.Seed)
+	if len(v.Members) == 0 {
+		fmt.Fprintln(out, "no members")
+		return fmt.Errorf("no active memory members (need %d for write quorum)", cfg.Replication)
+	}
+	// Shard balance over a synthetic key sample, so the listing shows how
+	// the ring would spread load even before any series exist.
+	shares := map[string]int{}
+	if ring := v.Ring(string(nwsnet.KindMemory)); ring != nil {
+		keys := make([]string, 1000)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("host%04d/cpu/nws_hybrid", i)
+		}
+		shares = ring.Shares(keys)
+	}
+	active := 0
+	for _, m := range v.Members {
+		if m.State == cluster.StateActive && m.Kind == string(nwsnet.KindMemory) {
+			active++
+		}
+		share := ""
+		if n, ok := shares[m.ID]; ok {
+			share = fmt.Sprintf("  %4.1f%% of keys", float64(n)/10)
+		}
+		fmt.Fprintf(out, "%-20s %-12s %-8s %s%s\n", m.ID, m.Kind, m.State, m.Addr, share)
+	}
+	fmt.Fprintf(out, "%d/%d active memory members (replication %d)\n", active, len(v.Members), cfg.Replication)
+	if active < cfg.Replication {
+		return fmt.Errorf("write quorum at risk: %d active memory members < replication %d", active, cfg.Replication)
+	}
+	return nil
+}
+
+// ringOwners prints which members own a series key under the current view.
+func ringOwners(c *nwsnet.Client, nsAddr, key string, out io.Writer) error {
+	v, err := c.FetchView(nsAddr, 0)
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		return fmt.Errorf("registry %s returned no view", nsAddr)
+	}
+	owners := v.Owners(string(nwsnet.KindMemory), key)
+	if len(owners) == 0 {
+		return fmt.Errorf("no active memory member owns %q (epoch %d)", key, v.Epoch)
+	}
+	fmt.Fprintf(out, "epoch %d  key %s\n", v.Epoch, key)
+	for i, m := range owners {
+		role := "replica"
+		if i == 0 {
+			role = "primary"
+		}
+		fmt.Fprintf(out, "%-8s %-20s %s\n", role, m.ID, m.Addr)
+	}
+	if fc := v.Owners(string(nwsnet.KindForecaster), key); len(fc) > 0 {
+		fmt.Fprintf(out, "%-8s %-20s %s\n", "forecast", fc[0].ID, fc[0].Addr)
+	}
+	return nil
 }

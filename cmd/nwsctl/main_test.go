@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"nwscpu/internal/nwsnet"
+	"nwscpu/internal/nwsnet/cluster"
 )
 
 func startComponent(t *testing.T, h nwsnet.Handler) string {
@@ -28,6 +30,8 @@ func TestRunValidation(t *testing.T) {
 		{"series"},    // missing -memory
 		{"fetch"},     // missing -memory and key
 		{"forecast"},  // missing -forecaster and key
+		{"members"},   // missing -nameserver
+		{"ring"},      // missing -nameserver and series key
 		{"-nonsense"}, // bad flag
 	}
 	for i, args := range cases {
@@ -142,5 +146,67 @@ func TestHealthCommand(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "2/2 replicas healthy") {
 		t.Fatalf("nameserver health output: %q", buf.String())
+	}
+}
+
+func TestMembersAndRingCommands(t *testing.T) {
+	nsAddr := startComponent(t, nwsnet.NewNameServerCluster(time.Minute,
+		cluster.Config{Replication: 2, VNodes: 16}))
+	c := nwsnet.NewClient(0)
+
+	// A lone active member with replication 2: listing works, but the
+	// quorum gate must report the key space at risk via a non-zero exit.
+	if _, err := c.JoinCluster(nsAddr, cluster.Member{
+		ID: "shard-a", Kind: string(nwsnet.KindMemory), Addr: "a:1",
+		State: cluster.StateActive,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-nameserver", nsAddr, "members"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "quorum") {
+		t.Fatalf("members with 1 active < replication 2: err=%v", err)
+	}
+	if !strings.Contains(buf.String(), "shard-a") {
+		t.Fatalf("members output missing member row: %q", buf.String())
+	}
+
+	// Second active member restores the quorum: clean exit, and the
+	// listing shows the epoch header plus both leases.
+	if _, err := c.JoinCluster(nsAddr, cluster.Member{
+		ID: "shard-b", Kind: string(nwsnet.KindMemory), Addr: "b:1",
+		State: cluster.StateActive,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-nameserver", nsAddr, "members"}, &buf); err != nil {
+		t.Fatalf("members with quorum restored: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"epoch 2", "replication 2", "shard-a", "shard-b",
+		"2/2 active memory members"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("members output missing %q:\n%s", want, out)
+		}
+	}
+
+	// ring resolves the owners of one series key under the current view:
+	// with replication 2 over two shards, both appear, primary first.
+	buf.Reset()
+	if err := run([]string{"-nameserver", nsAddr, "ring", "host0/cpu/nws_hybrid"}, &buf); err != nil {
+		t.Fatalf("ring: %v\n%s", err, buf.String())
+	}
+	out = buf.String()
+	for _, want := range []string{"epoch 2", "primary", "replica", "shard-a", "shard-b"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ring output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A registry with no cluster config returns no view at all.
+	plainNS := startComponent(t, nwsnet.NewNameServer())
+	if err := run([]string{"-nameserver", plainNS, "members"}, &buf); err == nil {
+		t.Fatal("members against a non-cluster registry accepted")
 	}
 }

@@ -41,6 +41,22 @@
 //
 //	nwsd -role memory -listen :8091 -max-conns 512 -max-inflight 64
 //
+// A partitioned cluster shards the series key space across many memory
+// servers (see "The partitioned cluster" in docs/ARCHITECTURE.md). The
+// nameserver role is the cluster registry; -replication and -vnodes set the
+// ring geometry it publishes. Memory servers join with -cluster <registry>
+// (naming themselves with -node; the bound address is the default), take
+// epoch-numbered leases, guard their key ranges with ownership redirects,
+// and pull reassigned history in via rebalancing handoff. Sensor and
+// forecaster roles given -cluster route by key through the membership view
+// instead of a static -memory list:
+//
+//	nwsd -role nameserver -listen :8090 -replication 2 -vnodes 64
+//	nwsd -role memory     -listen :8091 -cluster localhost:8090 -node shard-a
+//	nwsd -role memory     -listen :8092 -cluster localhost:8090 -node shard-b
+//	nwsd -role sensor     -host mybox -cluster localhost:8090 -nameserver localhost:8090
+//	nwsd -role forecaster -listen :8093 -cluster localhost:8090
+//
 // The sensor role measures either the live Linux machine (default) or a
 // simulated host running one of the paper's workload profiles (-sim thing1,
 // thing2, conundrum, beowulf, gremlin, kongo); in simulation mode virtual
@@ -66,6 +82,7 @@ import (
 	"nwscpu/internal/metrics"
 	"nwscpu/internal/netsensor"
 	"nwscpu/internal/nwsnet"
+	"nwscpu/internal/nwsnet/cluster"
 	"nwscpu/internal/prochost"
 	"nwscpu/internal/sensors"
 	"nwscpu/internal/simos"
@@ -85,6 +102,10 @@ func main() {
 	stateDir := flag.String("statedir", "", "memory: directory for durable series logs (empty = in-memory only)")
 	reflector := flag.String("reflector", "", "sensor: also probe network latency/bandwidth against this reflector")
 	ttl := flag.Duration("ttl", 0, "nameserver: registration expiry (0 = never; sensors re-register each period)")
+	clusterAddr := flag.String("cluster", "", "partitioned cluster: registry (nameserver) address; memory/forecaster roles join as shard members, client roles route by key")
+	nodeID := flag.String("node", "", "cluster member ID for shard roles (default: the bound listen address)")
+	replication := flag.Int("replication", 0, "nameserver: owners per series key in cluster views (0 = default 2)")
+	vnodes := flag.Int("vnodes", 0, "nameserver: virtual nodes per member on the cluster ring (0 = default 64)")
 	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics, /metrics.json, /debug/vars, /debug/pprof (empty = disabled)")
 	codec := flag.String("codec", "", "client roles: wire codec to the memory servers, binary (v2, default) or json (v1, for pre-v2 servers)")
 	maxConns := flag.Int("max-conns", 0, "server roles: max concurrent connections; excess shed with a retryable busy error (0 = unlimited)")
@@ -100,6 +121,8 @@ func main() {
 		hostName: *hostName, period: *period, simProfile: *simProfile,
 		capacity: *capacity, stateDir: *stateDir, ttl: *ttl, reflector: *reflector,
 		metricsAddr: *metricsAddr, replicas: *replicas, codec: nwsnet.Codec(*codec),
+		clusterAddr: *clusterAddr, nodeID: *nodeID,
+		replication: *replication, vnodes: *vnodes,
 		limits: nwsnet.ServerLimits{
 			MaxConns:     *maxConns,
 			MaxInFlight:  *maxInFlight,
@@ -123,6 +146,12 @@ type daemonOpts struct {
 	ttl                              time.Duration
 	capacity                         int
 	replicas                         int
+	// clusterAddr, when set, runs the partitioned-cluster deployment: server
+	// shards join the registry there, client roles route by series key.
+	clusterAddr string
+	nodeID      string
+	replication int
+	vnodes      int
 	// codec is the wire codec client roles speak to the memory servers; the
 	// zero value selects the binary (v2) default.
 	codec nwsnet.Codec
@@ -161,10 +190,15 @@ func run(o daemonOpts, logger *log.Logger) error {
 	}
 	switch o.role {
 	case "nameserver":
-		return serve(o, nwsnet.NewNameServerTTL(o.ttl), logger)
+		return serve(o, nwsnet.NewNameServerCluster(o.ttl, cluster.Config{
+			Replication: o.replication, VNodes: o.vnodes,
+		}), logger)
 	case "memory":
 		return runMemory(o, logger)
 	case "forecaster":
+		if o.clusterAddr != "" {
+			return runClusterForecaster(o, logger)
+		}
 		if o.memory == "" {
 			return fmt.Errorf("forecaster needs -memory")
 		}
@@ -191,8 +225,8 @@ func run(o daemonOpts, logger *log.Logger) error {
 		waitForStop(o)
 		return r.Close()
 	case "sensor":
-		if o.memory == "" {
-			return fmt.Errorf("sensor needs -memory")
+		if o.memory == "" && o.clusterAddr == "" {
+			return fmt.Errorf("sensor needs -memory (or -cluster)")
 		}
 		return runSensor(o, logger)
 	default:
@@ -252,8 +286,17 @@ func runMemory(o daemonOpts, logger *log.Logger) error {
 			c.Close()
 		}
 	}()
+	var nodes []*nwsnet.ClusterNode
+	var agents []*nwsnet.ClusterAgent
+	defer func() {
+		for _, a := range agents {
+			a.Stop()
+			a.Close()
+		}
+	}()
 	for i := 0; i < n; i++ {
 		var h nwsnet.Handler
+		var mem *nwsnet.Memory
 		if o.stateDir != "" {
 			dir := o.stateDir
 			if n > 1 {
@@ -265,9 +308,18 @@ func runMemory(o daemonOpts, logger *log.Logger) error {
 			}
 			stores = append(stores, pm)
 			logger.Printf("durable memory in %s", dir)
-			h = pm
+			h, mem = pm, pm.Memory
 		} else {
-			h = nwsnet.NewMemory(o.capacity)
+			m := nwsnet.NewMemory(o.capacity)
+			h, mem = m, m
+		}
+		if o.clusterAddr != "" {
+			// The member ID is fixed after the bind below (the bound address
+			// is the default identity); the guard is inert until the agent
+			// joins, so serving before that is safe.
+			node := nwsnet.NewClusterNodeHandler("", h, mem)
+			nodes = append(nodes, node)
+			h = node
 		}
 		listen, err := replicaListen(o.listen, i)
 		if err != nil {
@@ -281,6 +333,29 @@ func runMemory(o daemonOpts, logger *log.Logger) error {
 		srvs = append(srvs, srv)
 		addrs = append(addrs, addr)
 		logger.Printf("memory replica %d/%d listening on %s", i+1, n, addr)
+	}
+	for i, node := range nodes {
+		id := addrs[i]
+		if o.nodeID != "" {
+			id = o.nodeID
+			if n > 1 {
+				id = fmt.Sprintf("%s-%d", o.nodeID, i)
+			}
+		}
+		node.SetID(id)
+		agent := nwsnet.NewClusterAgent(nil, o.clusterAddr, cluster.Member{
+			ID: id, Kind: string(nwsnet.KindMemory), Addr: addrs[i],
+		}, node)
+		agent.SetLogger(logger)
+		interval := o.period / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		if _, err := agent.Start(context.Background(), interval); err != nil {
+			return fmt.Errorf("joining cluster at %s: %w", o.clusterAddr, err)
+		}
+		agents = append(agents, agent)
+		logger.Printf("joined cluster %s as member %s (epoch %d)", o.clusterAddr, id, agent.Epoch())
 	}
 	o.note("memory", addrs[0])
 	for i, addr := range addrs[1:] {
@@ -330,6 +405,51 @@ func runMemory(o daemonOpts, logger *log.Logger) error {
 	return first
 }
 
+// runClusterForecaster serves a forecaster shard of the partitioned
+// cluster: it pulls history through the ring-routed cluster client and
+// holds a forecaster-kind membership lease, so cluster clients route each
+// series' forecast queries to the shard owning it.
+func runClusterForecaster(o daemonOpts, logger *log.Logger) error {
+	fs := nwsnet.NewForecasterServiceCluster(o.clusterAddr, 0)
+	warmCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	if n, err := fs.Warm(warmCtx, nil); err != nil {
+		logger.Printf("forecaster warm-up skipped: %v", err)
+	} else if n > 0 {
+		logger.Printf("forecaster warmed with %d points", n)
+	}
+	cancel()
+	srv := nwsnet.NewServerLimits(fs, logger, o.limits)
+	addr, err := srv.Listen(o.listen)
+	if err != nil {
+		return err
+	}
+	id := o.nodeID
+	if id == "" {
+		id = addr
+	}
+	agent := nwsnet.NewClusterAgent(nil, o.clusterAddr, cluster.Member{
+		ID: id, Kind: string(nwsnet.KindForecaster), Addr: addr,
+	}, nil)
+	agent.SetLogger(logger)
+	interval := o.period / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if _, err := agent.Start(context.Background(), interval); err != nil {
+		srv.Close()
+		return fmt.Errorf("joining cluster at %s: %w", o.clusterAddr, err)
+	}
+	defer func() {
+		agent.Stop()
+		agent.Close()
+	}()
+	logger.Printf("forecaster listening on %s, member %s of cluster %s (epoch %d)",
+		addr, id, o.clusterAddr, agent.Epoch())
+	o.note(o.role, addr)
+	waitForStop(o)
+	return srv.Close()
+}
+
 func serve(o daemonOpts, h nwsnet.Handler, logger *log.Logger) error {
 	srv := nwsnet.NewServerLimits(h, logger, o.limits)
 	addr, err := srv.Listen(o.listen)
@@ -374,7 +494,15 @@ func runSensor(o daemonOpts, logger *log.Logger) error {
 	}
 
 	memAddrs := memoryAddrs(o)
-	daemon := nwsnet.NewSensorDaemonReplicasCodec(hostName, host, memAddrs, 0, sensors.HybridConfig{}, o.codec)
+	var daemon *nwsnet.SensorDaemon
+	if o.clusterAddr != "" {
+		daemon = nwsnet.NewSensorDaemonCluster(hostName, host, o.clusterAddr, sensors.HybridConfig{})
+		if memory == "" {
+			memory = "cluster " + o.clusterAddr
+		}
+	} else {
+		daemon = nwsnet.NewSensorDaemonReplicasCodec(hostName, host, memAddrs, 0, sensors.HybridConfig{}, o.codec)
+	}
 	daemon.SetLogger(logger)
 	defer daemon.Close()
 
@@ -383,6 +511,9 @@ func runSensor(o daemonOpts, logger *log.Logger) error {
 	var bw *netsensor.BandwidthSensor
 	var netConn *nwsnet.Conn
 	if o.reflector != "" {
+		if len(memAddrs) == 0 {
+			return fmt.Errorf("-reflector needs an explicit -memory address for the probe series")
+		}
 		lat = netsensor.NewLatencySensor(o.reflector, 4, 0)
 		defer lat.Close()
 		bw = netsensor.NewBandwidthSensor(o.reflector, 0, 0)

@@ -28,17 +28,26 @@
 // Usage:
 //
 //	nwsload [-clients 64] [-series 256] [-capacity 10000] [-duration 2s]
-//	        [-codec both] [-pipeline 64] [-out BENCH_memory.json]
+//	        [-codec both] [-pipeline 64] [-skew 1.2] [-out BENCH_memory.json]
 //	        [-smoke] [-wire-only] [-cpuprofile prof.out]
 //
 // -smoke shrinks everything to a ~1 s run for the race-enabled CI pass;
 // -wire-only skips the handler-level scenarios (make bench-wire-smoke).
+//
+// -skew s (s > 1) draws each worker's next series from a Zipf distribution
+// with parameter s instead of rotating uniformly, concentrating load on a
+// few hot series — the workload shape that stresses a partitioned cluster
+// unevenly. Every measurement also reports shard_ops: how the scenario's
+// operations would split across the shards of a 4-member consistent-hash
+// ring (the cluster geometry of docs/ARCHITECTURE.md), so the skew's effect
+// on shard balance is visible directly in BENCH_memory.json.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -47,6 +56,7 @@ import (
 	"time"
 
 	"nwscpu/internal/nwsnet"
+	"nwscpu/internal/nwsnet/cluster"
 	"nwscpu/internal/series"
 )
 
@@ -125,6 +135,7 @@ type config struct {
 	Duration float64 `json:"duration_seconds"` // per scenario
 	Codec    string  `json:"codec"`            // json | binary | both
 	Pipeline int     `json:"pipeline"`         // in-flight requests per worker, pipelined scenarios
+	Skew     float64 `json:"skew,omitempty"`   // Zipf s for key selection (0 = uniform rotation)
 	WireOnly bool    `json:"wire_only,omitempty"`
 }
 
@@ -136,6 +147,10 @@ type Measurement struct {
 	P50Micros    float64 `json:"p50_us"`
 	P90Micros    float64 `json:"p90_us"`
 	P99Micros    float64 `json:"p99_us"`
+	// ShardOps is how the scenario's ops would split across the shards of a
+	// 4-member consistent-hash ring — uniform rotation lands near 25% each,
+	// while -skew concentrates ops on whichever shards own the hot keys.
+	ShardOps map[string]int64 `json:"shard_ops,omitempty"`
 }
 
 // Result is one scenario's row in the report.
@@ -184,29 +199,37 @@ const latSampleEvery = 8
 // worker owns a disjoint subset of the series (so per-series timestamps
 // stay monotonic without coordination) and runs one closed loop.
 type worker struct {
-	keys []string
-	next []float64 // next timestamp per owned series
+	keys   []string
+	next   []float64 // next timestamp per owned series
+	keyOps []int64   // ops per owned series, for the shard split
+	zipf   *rand.Zipf
 
 	ops  int64
 	lats []float64 // sampled latencies, microseconds
 }
 
 // run loops body until the deadline, counting ops and sampling latency.
-// body performs one operation on the i-th owned series rotation.
+// body performs one operation on the i-th owned series — a uniform rotation
+// by default, a Zipf draw over the owned set under -skew.
 func (w *worker) run(deadline time.Time, body func(rot int)) {
 	rot := 0
 	for i := 0; ; i++ {
 		if i%64 == 0 && time.Now().After(deadline) {
 			return
 		}
+		idx := rot
+		if w.zipf != nil {
+			idx = int(w.zipf.Uint64())
+		}
 		if i%latSampleEvery == 0 {
 			t0 := time.Now()
-			body(rot)
+			body(idx)
 			w.lats = append(w.lats, float64(time.Since(t0).Nanoseconds())/1e3)
 		} else {
-			body(rot)
+			body(idx)
 		}
 		w.ops++
+		w.keyOps[idx]++
 		rot = (rot + 1) % len(w.keys)
 	}
 }
@@ -223,7 +246,32 @@ func makeWorkers(cfg config, prefill int) []*worker {
 		w.keys = append(w.keys, fmt.Sprintf("load/host%03d/cpu", s))
 		w.next = append(w.next, float64(prefill+1))
 	}
+	for i, w := range ws {
+		w.keyOps = make([]int64, len(w.keys))
+		if cfg.Skew > 1 {
+			// Deterministic per-worker source: runs are reproducible and the
+			// hot keys differ across workers, like real uneven sensor fleets.
+			w.zipf = rand.NewZipf(rand.New(rand.NewSource(int64(i)+1)), cfg.Skew, 1, uint64(len(w.keys)-1))
+		}
+	}
 	return ws
+}
+
+// benchRing is the hypothetical 4-shard cluster ring every measurement's
+// shard_ops split is computed against (default geometry: 64 vnodes, seed 0).
+var benchRing = cluster.NewRing([]string{"shard-0", "shard-1", "shard-2", "shard-3"}, 0, 0)
+
+// shardSplit folds per-key op counts into ops per hypothetical shard.
+func shardSplit(ws []*worker) map[string]int64 {
+	out := make(map[string]int64, 4)
+	for _, w := range ws {
+		for i, n := range w.keyOps {
+			if n > 0 {
+				out[benchRing.Owner(w.keys[i])] += n
+			}
+		}
+	}
+	return out
 }
 
 // prefill loads every series to capacity so store scenarios run at
@@ -278,6 +326,7 @@ func collect(cfg config, ws []*worker, pointsPerOp int, body func(w *worker, rot
 		return lats[i]
 	}
 	m.P50Micros, m.P90Micros, m.P99Micros = q(0.50), q(0.90), q(0.99)
+	m.ShardOps = shardSplit(ws)
 	return m
 }
 
@@ -597,6 +646,7 @@ func main() {
 	smoke := flag.Bool("smoke", false, "tiny CI run: shrinks clients/series/capacity/duration")
 	codec := flag.String("codec", "both", "wire codec(s) to measure: json, binary, or both")
 	pipeline := flag.Int("pipeline", 64, "in-flight requests per worker in */binary-pipelined scenarios")
+	skew := flag.Float64("skew", 0, "Zipf parameter s (> 1) for skewed key selection (0 = uniform rotation)")
 	wireOnly := flag.Bool("wire-only", false, "skip the handler-level serve_store and seed-memory scenarios")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
@@ -620,11 +670,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nwsload: -codec %q (want json, binary, or both)\n", *codec)
 		os.Exit(2)
 	}
+	if *skew != 0 && *skew <= 1 {
+		fmt.Fprintln(os.Stderr, "nwsload: -skew must be > 1 (or 0 for uniform)")
+		os.Exit(2)
+	}
 	cfg := config{Clients: *clients, Series: *nSeries, Capacity: *capacity,
-		Duration: duration.Seconds(), Codec: *codec, Pipeline: *pipeline, WireOnly: *wireOnly}
+		Duration: duration.Seconds(), Codec: *codec, Pipeline: *pipeline, Skew: *skew, WireOnly: *wireOnly}
 	if *smoke {
 		cfg = config{Clients: 8, Series: 32, Capacity: 256, Duration: 0.1,
-			Codec: *codec, Pipeline: min(*pipeline, 8), WireOnly: *wireOnly}
+			Codec: *codec, Pipeline: min(*pipeline, 8), Skew: *skew, WireOnly: *wireOnly}
 	}
 	if cfg.Series < cfg.Clients {
 		fmt.Fprintln(os.Stderr, "nwsload: -series must be >= -clients")

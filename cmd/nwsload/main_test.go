@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"nwscpu/internal/nwsnet"
 )
@@ -159,5 +160,73 @@ func TestWriteReportRoundTrips(t *testing.T) {
 	}
 	if len(back.Results) != len(rep.Results) {
 		t.Fatalf("round-tripped %d results, want %d", len(back.Results), len(rep.Results))
+	}
+}
+
+func TestSkewDrawsAndShardSplit(t *testing.T) {
+	// Uniform config: the rotation body spreads ops evenly, no Zipf source.
+	// Workers run sequentially here (not through collect) so every one is
+	// guaranteed CPU time before its deadline regardless of machine load.
+	deadline := func() time.Time { return time.Now().Add(20 * time.Millisecond) }
+	uni := makeWorkers(config{Clients: 2, Series: 8, Capacity: 8}, 8)
+	for _, w := range uni {
+		if w.zipf != nil {
+			t.Fatal("uniform config built a Zipf source")
+		}
+		w.run(deadline(), func(rot int) {})
+		if w.ops == 0 {
+			t.Fatal("uniform worker recorded no ops")
+		}
+		min, max := w.keyOps[0], w.keyOps[0]
+		for _, n := range w.keyOps {
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("uniform rotation uneven: keyOps %v", w.keyOps)
+		}
+	}
+
+	// -skew: each worker draws its series from a seeded Zipf, so runs are
+	// reproducible and mass concentrates on each worker's head key.
+	skewed := makeWorkers(config{Clients: 2, Series: 8, Capacity: 8, Skew: 1.5}, 8)
+	for i, w := range skewed {
+		if w.zipf == nil {
+			t.Fatal("skewed config left the Zipf source nil")
+		}
+		w.run(deadline(), func(rot int) {})
+		if w.ops == 0 {
+			t.Fatal("skewed worker recorded no ops")
+		}
+		head, rest := w.keyOps[0], int64(0)
+		for _, n := range w.keyOps[1:] {
+			rest += n
+		}
+		if head <= rest {
+			t.Fatalf("worker %d: head key holds %d of %d ops — not skewed", i, head, head+rest)
+		}
+	}
+
+	// The measurement's shard split folds per-key counts onto the bench
+	// ring and must account for every op, under both key distributions.
+	for _, ws := range [][]*worker{uni, skewed} {
+		m := collect(config{Duration: 0.01}, ws, 1, func(w *worker, rot int) {})
+		var split int64
+		for shard, n := range m.ShardOps {
+			if !strings.HasPrefix(shard, "shard-") {
+				t.Fatalf("shard split key %q not from the bench ring", shard)
+			}
+			split += n
+		}
+		if split != m.Ops {
+			t.Fatalf("shard split sums to %d, want total ops %d", split, m.Ops)
+		}
+		if len(m.ShardOps) < 2 {
+			t.Fatalf("8 series landed on %d shards: %v", len(m.ShardOps), m.ShardOps)
+		}
 	}
 }

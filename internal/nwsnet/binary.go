@@ -9,6 +9,8 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+
+	"nwscpu/internal/nwsnet/cluster"
 )
 
 // This file implements wire protocol v2: the length-prefixed binary codec
@@ -100,6 +102,9 @@ const (
 	binOpSeries   byte = 0x07
 	binOpBatch    byte = 0x08
 	binOpForecast byte = 0x09
+	binOpJoin     byte = 0x0A
+	binOpLease    byte = 0x0B
+	binOpView     byte = 0x0C
 )
 
 // wireOps is the canonical Op ↔ opcode registry: the ops the wire speaks, in
@@ -114,6 +119,9 @@ var wireOps = map[Op]byte{
 	OpSeries:   binOpSeries,
 	OpBatch:    binOpBatch,
 	OpForecast: binOpForecast,
+	OpJoin:     binOpJoin,
+	OpLease:    binOpLease,
+	OpView:     binOpView,
 }
 
 // binOpToOp is the reverse mapping, built once at init.
@@ -125,18 +133,28 @@ var binOpToOp = func() map[byte]Op {
 	return m
 }()
 
-// Response flag bits. A presence bit may be set only when its section is
-// non-empty, which makes encoding canonical: decode ∘ encode is the
-// identity on decoded values.
+// Response flag bits, carried as one uvarint. A presence bit may be set
+// only when its section is non-empty, which makes encoding canonical:
+// decode ∘ encode is the identity on decoded values. Responses using only
+// the low seven bits — every pre-cluster response — encode to the same
+// single byte the original fixed flags byte was, so the v2 golden examples
+// are unchanged; the view bit (and any future section) costs a second
+// flags byte only on the responses that carry it.
 const (
-	respFlagOK       byte = 1 << 0
-	respFlagError    byte = 1 << 1
-	respFlagCode     byte = 1 << 2
-	respFlagPoints   byte = 1 << 3
-	respFlagNames    byte = 1 << 4
-	respFlagEntries  byte = 1 << 5
-	respFlagForecast byte = 1 << 6
-	respFlagBatch    byte = 1 << 7
+	respFlagOK       uint64 = 1 << 0
+	respFlagError    uint64 = 1 << 1
+	respFlagCode     uint64 = 1 << 2
+	respFlagPoints   uint64 = 1 << 3
+	respFlagNames    uint64 = 1 << 4
+	respFlagEntries  uint64 = 1 << 5
+	respFlagForecast uint64 = 1 << 6
+	respFlagBatch    uint64 = 1 << 7
+	respFlagView     uint64 = 1 << 8
+
+	// respFlagsKnown masks every assigned bit; a decoder rejecting the
+	// rest keeps unknown-section frames from silently losing data.
+	respFlagsKnown = respFlagOK | respFlagError | respFlagCode | respFlagPoints |
+		respFlagNames | respFlagEntries | respFlagForecast | respFlagBatch | respFlagView
 )
 
 // errBinMalformed is the generic decode failure; connections are closed on
@@ -190,6 +208,38 @@ func appendRegistration(b []byte, reg Registration) []byte {
 	b = binary.AppendUvarint(b, uint64(len(reg.Addrs)))
 	for _, a := range reg.Addrs {
 		b = appendString(b, a)
+	}
+	return b
+}
+
+// appendMember appends a cluster member. A nil member encodes as the
+// all-empty member, which the decoder normalizes back to nil, so absent
+// and zero members are one wire value.
+func appendMember(b []byte, m *cluster.Member) []byte {
+	var v cluster.Member
+	if m != nil {
+		v = *m
+	}
+	b = appendString(b, v.ID)
+	b = appendString(b, v.Kind)
+	b = appendString(b, v.Addr)
+	b = binary.AppendUvarint(b, uint64(len(v.Addrs)))
+	for _, a := range v.Addrs {
+		b = appendString(b, a)
+	}
+	return appendString(b, string(v.State))
+}
+
+// appendView appends a membership view: epoch, ring config, then the
+// member list.
+func appendView(b []byte, v *cluster.View) []byte {
+	b = binary.AppendUvarint(b, v.Epoch)
+	b = binary.AppendUvarint(b, uint64(max(v.Config.Replication, 0)))
+	b = binary.AppendUvarint(b, uint64(max(v.Config.VNodes, 0)))
+	b = binary.AppendUvarint(b, v.Config.Seed)
+	b = binary.AppendUvarint(b, uint64(len(v.Members)))
+	for i := range v.Members {
+		b = appendMember(b, &v.Members[i])
 	}
 	return b
 }
@@ -311,6 +361,97 @@ func (r *binReader) registration() (Registration, error) {
 	return reg, nil
 }
 
+// member decodes a cluster member, normalizing the all-empty member to nil
+// so decode ∘ encode is the identity whether or not a member was present.
+func (r *binReader) member() (*cluster.Member, error) {
+	var m cluster.Member
+	var err error
+	if m.ID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.Kind, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.Addr, err = r.str(); err != nil {
+		return nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.rem()) {
+		return nil, errBinMalformed
+	}
+	if n > 0 {
+		m.Addrs = make([]string, 0, min(n, 1024))
+		for i := uint64(0); i < n; i++ {
+			a, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			m.Addrs = append(m.Addrs, a)
+		}
+	}
+	var state string
+	if state, err = r.str(); err != nil {
+		return nil, err
+	}
+	m.State = cluster.State(state)
+	if m.IsZero() {
+		return nil, nil
+	}
+	return &m, nil
+}
+
+// view decodes a membership view.
+func (r *binReader) view() (*cluster.View, error) {
+	var v cluster.View
+	var err error
+	if v.Epoch, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	rep, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	vn, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if rep > uint64(maxFrameBytes) || vn > uint64(maxFrameBytes) {
+		return nil, errBinMalformed
+	}
+	v.Config.Replication = int(rep)
+	v.Config.VNodes = int(vn)
+	if v.Config.Seed, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// A member costs at least five bytes (five length/count prefixes), so
+	// the count check below keeps forged counts from allocating beyond the
+	// frame.
+	if n > uint64(r.rem()) {
+		return nil, errBinMalformed
+	}
+	if n > 0 {
+		v.Members = make([]cluster.Member, 0, min(n, 1024))
+		for i := uint64(0); i < n; i++ {
+			m, err := r.member()
+			if err != nil {
+				return nil, err
+			}
+			if m == nil {
+				m = &cluster.Member{}
+			}
+			v.Members = append(v.Members, *m)
+		}
+	}
+	return &v, nil
+}
+
 // --- request codec ---
 
 // encodeRequestPayload appends the v2 payload for req tagged with id:
@@ -346,6 +487,11 @@ func encodeRequestBody(b []byte, req Request, depth int) ([]byte, error) {
 		b = binary.AppendUvarint(b, uint64(max(req.Max, 0)))
 	case OpForecast:
 		b = appendString(b, req.Series)
+	case OpJoin, OpLease:
+		b = appendMember(b, req.Member)
+		b = binary.AppendUvarint(b, req.Epoch)
+	case OpView:
+		b = binary.AppendUvarint(b, req.Epoch)
 	case OpBatch:
 		if depth >= maxBatchDepth {
 			return nil, fmt.Errorf("nwsnet: batch nesting exceeds depth %d", maxBatchDepth)
@@ -445,6 +591,17 @@ func decodeRequestBody(r *binReader, depth int) (Request, error) {
 		if req.Series, err = r.str(); err != nil {
 			return req, err
 		}
+	case OpJoin, OpLease:
+		if req.Member, err = r.member(); err != nil {
+			return req, err
+		}
+		if req.Epoch, err = r.uvarint(); err != nil {
+			return req, err
+		}
+	case OpView:
+		if req.Epoch, err = r.uvarint(); err != nil {
+			return req, err
+		}
 	case OpBatch:
 		if depth >= maxBatchDepth {
 			return req, errBinMalformed
@@ -496,7 +653,7 @@ func encodeResponsePayload(b []byte, id uint64, resp Response) ([]byte, error) {
 }
 
 func encodeResponseBody(b []byte, resp Response, depth int) ([]byte, error) {
-	var flags byte
+	var flags uint64
 	if resp.OK {
 		flags |= respFlagOK
 	}
@@ -521,7 +678,10 @@ func encodeResponseBody(b []byte, resp Response, depth int) ([]byte, error) {
 	if len(resp.Batch) > 0 {
 		flags |= respFlagBatch
 	}
-	b = append(b, flags)
+	if resp.View != nil {
+		flags |= respFlagView
+	}
+	b = binary.AppendUvarint(b, flags)
 	if flags&respFlagError != 0 {
 		b = appendString(b, resp.Error)
 	}
@@ -562,6 +722,9 @@ func encodeResponseBody(b []byte, resp Response, depth int) ([]byte, error) {
 			}
 		}
 	}
+	if flags&respFlagView != 0 {
+		b = appendView(b, resp.View)
+	}
 	return b, nil
 }
 
@@ -586,9 +749,14 @@ func decodeResponsePayload(b []byte) (uint64, Response, error) {
 
 func decodeResponseBody(r *binReader, depth int) (Response, error) {
 	var resp Response
-	flags, err := r.u8()
+	flags, err := r.uvarint()
 	if err != nil {
 		return resp, err
+	}
+	if flags&^respFlagsKnown != 0 {
+		// An unassigned presence bit would mean a section this decoder
+		// cannot parse (and would silently drop on re-encode): malformed.
+		return resp, errBinMalformed
 	}
 	resp.OK = flags&respFlagOK != 0
 	if flags&respFlagError != 0 {
@@ -685,6 +853,11 @@ func decodeResponseBody(r *binReader, depth int) (Response, error) {
 				return resp, err
 			}
 			resp.Batch = append(resp.Batch, sub)
+		}
+	}
+	if flags&respFlagView != 0 {
+		if resp.View, err = r.view(); err != nil {
+			return resp, err
 		}
 	}
 	return resp, nil

@@ -8,6 +8,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"nwscpu/internal/nwsnet/cluster"
 )
 
 // mustHex decodes a spaced hex dump ("01 05 ...") into bytes.
@@ -78,6 +80,13 @@ func TestBinaryRequestRoundTrip(t *testing.T) {
 			{Op: OpPing},
 		}},
 		{Op: OpBatch},
+		{Op: OpJoin, Member: &cluster.Member{ID: "mem-a", Kind: "memory", Addr: "a:1",
+			Addrs: []string{"a:1", "a:2"}, State: cluster.StateJoining}},
+		{Op: OpJoin, Member: &cluster.Member{ID: "mem-a", Kind: "memory", Addr: "a:1", State: cluster.StateActive},
+			Epoch: 7},
+		{Op: OpLease, Member: &cluster.Member{ID: "mem-a"}, Epoch: 12},
+		{Op: OpView},
+		{Op: OpView, Epoch: 1 << 40},
 	}
 	for i, req := range reqs {
 		b, err := encodeRequestPayload(nil, uint64(i)+100, req)
@@ -112,6 +121,15 @@ func TestBinaryResponseRoundTrip(t *testing.T) {
 		{OK: true, Forecast: &ForecastResult{Value: 0.42, Method: "sw_avg", MAE: 0.01, N: 64}},
 		{OK: true, Forecast: &ForecastResult{}},
 		{OK: true, Batch: []Response{{Error: "x", Code: CodeBusy}, {OK: true, Points: [][2]float64{{1, 2}}}}},
+		{OK: true, View: &cluster.View{Epoch: 3,
+			Config: cluster.Config{Replication: 2, VNodes: 64, Seed: 9},
+			Members: []cluster.Member{
+				{ID: "mem-a", Kind: "memory", Addr: "a:1", State: cluster.StateActive},
+				{ID: "mem-b", Kind: "memory", Addr: "b:1", Addrs: []string{"b:1", "b:2"}, State: cluster.StateJoining},
+			}}},
+		{OK: true, View: &cluster.View{}},
+		{Error: `store "k": not an owner under epoch 4`, Code: CodeMoved,
+			View: &cluster.View{Epoch: 4, Members: []cluster.Member{{ID: "m", Kind: "memory", Addr: "a:1", State: cluster.StateActive}}}},
 	}
 	for i, resp := range resps {
 		b, err := encodeResponsePayload(nil, uint64(i)+1, resp)
@@ -179,8 +197,13 @@ func TestBinaryDecodeRejectsMalformed(t *testing.T) {
 		"code flag empty":        {0x01, 0x04, 0x00},
 		"points flag zero count": {0x01, 0x08, 0x00},
 		"names flag zero count":  {0x01, 0x10, 0x00},
-		"batch flag zero count":  {0x01, 0x80, 0x00},
-		"trailing garbage":       append(mustHex(t, goldenStoreRespHex), 0x00),
+		// 0x80 0x01 is uvarint 128 = the batch flag bit; zero sub-count after
+		// it is the malformed case (a bare 0x80 is now a truncated uvarint).
+		"batch flag zero count": {0x01, 0x80, 0x01, 0x00},
+		"batch flag truncated":  {0x01, 0x80},
+		"unknown flag bit":      {0x01, 0x80, 0x04},
+		"view flag no body":     {0x01, 0x80, 0x02},
+		"trailing garbage":      append(mustHex(t, goldenStoreRespHex), 0x00),
 	}
 	for name, payload := range respCases {
 		if _, _, err := decodeResponsePayload(payload); err == nil {
@@ -235,7 +258,8 @@ func TestFrameRoundTrip(t *testing.T) {
 // adding an Op without a binary opcode (or vice versa) must not compile
 // silently into a codec that cannot carry it.
 func TestWireOpsCoverAllOps(t *testing.T) {
-	all := []Op{OpPing, OpRegister, OpLookup, OpList, OpStore, OpFetch, OpSeries, OpBatch, OpForecast}
+	all := []Op{OpPing, OpRegister, OpLookup, OpList, OpStore, OpFetch, OpSeries, OpBatch, OpForecast,
+		OpJoin, OpLease, OpView}
 	if len(wireOps) != len(all) {
 		t.Errorf("wireOps has %d entries, protocol has %d ops", len(wireOps), len(all))
 	}

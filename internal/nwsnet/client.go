@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"nwscpu/internal/nwsnet/cluster"
 	"nwscpu/internal/resilience"
 )
 
@@ -369,6 +370,12 @@ func respError(addr string, r Response) error {
 	if r.Code == CodeBusy {
 		return fmt.Errorf("nwsnet: %s: %s: %w", addr, r.Error, errBusySentinel)
 	}
+	if r.Code == CodeMoved {
+		// An ownership redirect: terminal for this endpoint (it will keep
+		// redirecting), but typed so the routing layer can adopt the
+		// attached view and re-route instead of failing the call.
+		return resilience.Permanent(&MovedError{Addr: addr, View: r.View, Msg: r.Error})
+	}
 	if r.Error != "" {
 		return resilience.Permanent(errors.New(r.Error))
 	}
@@ -486,9 +493,9 @@ func (c *Client) StoreBatchCtx(ctx context.Context, memAddr string, stores []Bat
 	}
 	errs := make([]error, len(subs))
 	for i, r := range resp.Batch {
-		if r.Error != "" {
-			errs[i] = errors.New(r.Error)
-		}
+		// Classify sub-responses like top-level ones, so per-sub busy sheds
+		// stay retryable and per-sub ownership redirects stay typed.
+		errs[i] = respError(memAddr, r)
 	}
 	return errs, nil
 }
@@ -519,8 +526,8 @@ func (c *Client) FetchBatchCtx(ctx context.Context, memAddr string, fetches []Ba
 	}
 	out := make([]FetchResult, len(subs))
 	for i, r := range resp.Batch {
-		if r.Error != "" {
-			out[i].Err = errors.New(r.Error)
+		if err := respError(memAddr, r); err != nil {
+			out[i].Err = err
 			continue
 		}
 		out[i].Points = r.Points
@@ -574,4 +581,58 @@ func (c *Client) ForecastCtx(ctx context.Context, fcAddr, key string) (ForecastR
 		return ForecastResult{}, errors.New("nwsnet: forecaster returned no forecast")
 	}
 	return *resp.Forecast, nil
+}
+
+// JoinCluster announces a member to the cluster registry at nsAddr and
+// returns the resulting membership view. Joining with State left empty (or
+// StateJoining) takes a lease without entering the routing ring; re-joining
+// with StateActive activates the member, bumping the view epoch.
+func (c *Client) JoinCluster(nsAddr string, m cluster.Member) (cluster.View, error) {
+	return c.JoinClusterCtx(context.Background(), nsAddr, m)
+}
+
+// JoinClusterCtx is JoinCluster honoring a caller context.
+func (c *Client) JoinClusterCtx(ctx context.Context, nsAddr string, m cluster.Member) (cluster.View, error) {
+	resp, err := c.do(ctx, nsAddr, Request{Op: OpJoin, Member: &m})
+	if err != nil {
+		return cluster.View{}, err
+	}
+	if resp.View == nil {
+		return cluster.View{}, errors.New("nwsnet: join returned no view")
+	}
+	return *resp.View, nil
+}
+
+// RenewLease refreshes a member's registry lease. epoch is the view epoch
+// the member currently holds; when the registry has moved past it the
+// returned view is non-nil and should be adopted. A terminal "unknown
+// member" error means the lease already expired (or the registry
+// restarted) and the member must re-join.
+func (c *Client) RenewLease(nsAddr, memberID string, epoch uint64) (*cluster.View, error) {
+	return c.RenewLeaseCtx(context.Background(), nsAddr, memberID, epoch)
+}
+
+// RenewLeaseCtx is RenewLease honoring a caller context.
+func (c *Client) RenewLeaseCtx(ctx context.Context, nsAddr, memberID string, epoch uint64) (*cluster.View, error) {
+	resp, err := c.do(ctx, nsAddr, Request{Op: OpLease, Member: &cluster.Member{ID: memberID}, Epoch: epoch})
+	if err != nil {
+		return nil, err
+	}
+	return resp.View, nil
+}
+
+// FetchView fetches the registry's membership view. epoch is the view the
+// caller already holds: when it is still current the registry answers "not
+// modified" and FetchView returns (nil, nil). Pass 0 to always fetch.
+func (c *Client) FetchView(nsAddr string, epoch uint64) (*cluster.View, error) {
+	return c.FetchViewCtx(context.Background(), nsAddr, epoch)
+}
+
+// FetchViewCtx is FetchView honoring a caller context.
+func (c *Client) FetchViewCtx(ctx context.Context, nsAddr string, epoch uint64) (*cluster.View, error) {
+	resp, err := c.do(ctx, nsAddr, Request{Op: OpView, Epoch: epoch})
+	if err != nil {
+		return nil, err
+	}
+	return resp.View, nil
 }

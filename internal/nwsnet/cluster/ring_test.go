@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("host%04d/cpu/nws_hybrid", i)
+	}
+	return keys
+}
+
+func nodeIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("mem-%c", 'a'+i)
+	}
+	return ids
+}
+
+// The ring is a pure function of (nodes, vnodes, seed): input order must
+// not matter, and rebuilding must reproduce every assignment exactly.
+func TestRingDeterministic(t *testing.T) {
+	keys := testKeys(2000)
+	for seed := uint64(0); seed < 5; seed++ {
+		a := NewRing([]string{"mem-a", "mem-b", "mem-c"}, 64, seed)
+		b := NewRing([]string{"mem-c", "mem-a", "mem-b", "mem-a"}, 64, seed)
+		for _, k := range keys {
+			if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+				t.Fatalf("seed %d key %q: owner %q vs %q across construction orders", seed, k, ao, bo)
+			}
+			if ao, bo := a.Owners(k, 2), b.Owners(k, 2); !reflect.DeepEqual(ao, bo) {
+				t.Fatalf("seed %d key %q: owners %v vs %v", seed, k, ao, bo)
+			}
+		}
+	}
+}
+
+// Distinct seeds must yield genuinely different layouts, or the seed is
+// decorative.
+func TestRingSeedsIndependent(t *testing.T) {
+	keys := testKeys(2000)
+	a := NewRing(nodeIDs(4), 64, 1)
+	b := NewRing(nodeIDs(4), 64, 2)
+	same := 0
+	for _, k := range keys {
+		if a.Owner(k) == b.Owner(k) {
+			same++
+		}
+	}
+	// 4 nodes: random layouts agree ~25% of the time. 60% is far outside
+	// that for 2000 keys while immune to seed-to-seed noise.
+	if same > len(keys)*60/100 {
+		t.Fatalf("seeds 1 and 2 agree on %d/%d keys — layouts not independent", same, len(keys))
+	}
+}
+
+// Every key is owned at every membership size, and Owners returns distinct
+// nodes capped at the node count.
+func TestRingNoKeyUnowned(t *testing.T) {
+	keys := testKeys(1000)
+	for n := 1; n <= 6; n++ {
+		r := NewRing(nodeIDs(n), 32, 7)
+		for _, k := range keys {
+			owners := r.Owners(k, 2)
+			want := 2
+			if n < 2 {
+				want = n
+			}
+			if len(owners) != want {
+				t.Fatalf("%d nodes, key %q: got %d owners, want %d", n, k, len(owners), want)
+			}
+			seen := map[string]bool{}
+			for _, o := range owners {
+				if seen[o] {
+					t.Fatalf("%d nodes, key %q: duplicate owner %q", n, k, o)
+				}
+				seen[o] = true
+			}
+			if owners[0] != r.Owner(k) {
+				t.Fatalf("key %q: Owner %q != Owners[0] %q", k, r.Owner(k), owners[0])
+			}
+		}
+	}
+}
+
+// Consistent hashing's defining property: one node joining or leaving moves
+// only the keys adjacent to its points — about 1/n of the keyspace — not a
+// wholesale reshuffle.
+func TestRingBoundedMovementOnJoinLeave(t *testing.T) {
+	keys := testKeys(4000)
+	for _, n := range []int{3, 5, 8} {
+		before := NewRing(nodeIDs(n), 64, 11)
+		after := NewRing(nodeIDs(n+1), 64, 11) // nodeIDs(n+1) = nodeIDs(n) + one more
+		moved := 0
+		for _, k := range keys {
+			ob, oa := before.Owner(k), after.Owner(k)
+			if ob != oa {
+				moved++
+				// Keys that move must move TO the joiner; a key hopping
+				// between survivors would be gratuitous churn.
+				if oa != nodeIDs(n + 1)[n] {
+					t.Fatalf("%d nodes: key %q moved %q -> %q, not to the joiner", n, k, ob, oa)
+				}
+			}
+		}
+		// Expect ~1/(n+1) moved; allow 2x slack for hash variance.
+		limit := 2 * len(keys) / (n + 1)
+		if moved > limit {
+			t.Fatalf("%d -> %d nodes: %d/%d keys moved, limit %d", n, n+1, moved, len(keys), limit)
+		}
+		if moved == 0 {
+			t.Fatalf("%d -> %d nodes: no key moved to the joiner", n, n+1)
+		}
+	}
+}
+
+// Shares spreads keys roughly evenly — the vnode count's purpose.
+func TestRingSharesBalanced(t *testing.T) {
+	keys := testKeys(8000)
+	r := NewRing(nodeIDs(4), 64, 3)
+	shares := r.Shares(keys)
+	if len(shares) != 4 {
+		t.Fatalf("shares for %d nodes: %v", len(shares), shares)
+	}
+	total := 0
+	for id, c := range shares {
+		total += c
+		if c < len(keys)/4/3 {
+			t.Fatalf("node %q owns only %d of %d keys — badly unbalanced: %v", id, c, len(keys), shares)
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("shares sum %d != %d keys", total, len(keys))
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	if r := NewRing(nil, 64, 0); r != nil {
+		t.Fatal("empty node set should yield nil ring")
+	}
+	if r := NewRing([]string{"", ""}, 64, 0); r != nil {
+		t.Fatal("all-empty node IDs should yield nil ring")
+	}
+	r := NewRing([]string{"solo"}, 16, 0)
+	if got := r.Owners("any/key", 5); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("single-node owners = %v", got)
+	}
+}
+
+func TestViewRingAndOwners(t *testing.T) {
+	v := View{
+		Epoch:  3,
+		Config: Config{Replication: 2, VNodes: 32, Seed: 9},
+		Members: []Member{
+			{ID: "mem-a", Kind: "memory", Addr: "a:1", State: StateActive},
+			{ID: "mem-b", Kind: "memory", Addr: "b:1", State: StateActive},
+			{ID: "mem-c", Kind: "memory", Addr: "c:1", State: StateJoining},
+			{ID: "fc-a", Kind: "forecaster", Addr: "f:1", State: StateActive},
+		},
+	}
+	active := v.Active("memory")
+	if len(active) != 2 || active[0].ID != "mem-a" || active[1].ID != "mem-b" {
+		t.Fatalf("Active(memory) = %+v", active)
+	}
+	owners := v.Owners("memory", "host1/cpu")
+	if len(owners) != 2 {
+		t.Fatalf("owners = %+v", owners)
+	}
+	for _, m := range owners {
+		if m.State != StateActive || m.Kind != "memory" {
+			t.Fatalf("owner %+v not an active memory", m)
+		}
+	}
+	if r := v.Ring("sensor"); r != nil {
+		t.Fatal("ring over absent kind should be nil")
+	}
+	// The joining member must not appear in any owner set.
+	for i := 0; i < 500; i++ {
+		for _, m := range v.Owners("memory", fmt.Sprintf("k%d", i)) {
+			if m.ID == "mem-c" {
+				t.Fatal("joining member routed as owner")
+			}
+		}
+	}
+}
+
+func TestViewClone(t *testing.T) {
+	v := View{Epoch: 1, Members: []Member{{ID: "a", Addrs: []string{"x:1"}}}}
+	c := v.Clone()
+	c.Members[0].ID = "changed"
+	c.Members[0].Addrs[0] = "y:1"
+	if v.Members[0].ID != "a" || v.Members[0].Addrs[0] != "x:1" {
+		t.Fatalf("clone aliases original: %+v", v.Members[0])
+	}
+}
+
+func BenchmarkRingOwners(b *testing.B) {
+	r := NewRing(nodeIDs(8), 64, 1)
+	keys := testKeys(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owners(keys[i%len(keys)], 2)
+	}
+}

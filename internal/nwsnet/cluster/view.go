@@ -1,0 +1,157 @@
+// Package cluster holds the pure data structures of the partitioned NWS
+// deployment: membership views (who is in the cluster, under which lease
+// state, as of which epoch) and the deterministic consistent-hash ring that
+// assigns series keys to shard owners. The package has no wire or I/O
+// dependencies — nwsnet embeds these types in its protocol messages and
+// routes with them, and tests exercise them directly.
+package cluster
+
+import "sort"
+
+// State is a member's lifecycle position within the view.
+type State string
+
+// Member lifecycle states. A joining member holds a lease and is fetching
+// the history it will own, but is not yet in the routing ring; activation
+// bumps the view epoch and moves ownership atomically.
+const (
+	StateJoining State = "joining"
+	StateActive  State = "active"
+)
+
+// Member is one node of the partitioned cluster: a shard server (memory or
+// forecaster kind) holding a lease in the registry.
+type Member struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"` // "memory" | "forecaster"
+	Addr string `json:"addr"`
+	// Addrs, when non-empty, lists every replica endpoint behind this
+	// member (Addr repeats the first entry, like Registration.Addrs).
+	Addrs []string `json:"addrs,omitempty"`
+	State State    `json:"state,omitempty"`
+}
+
+// Endpoints returns the addresses behind the member: the replica set when
+// one was announced, else the single Addr.
+func (m Member) Endpoints() []string {
+	if len(m.Addrs) > 0 {
+		return m.Addrs
+	}
+	if m.Addr == "" {
+		return nil
+	}
+	return []string{m.Addr}
+}
+
+// IsZero reports whether every field is empty — the canonical "no member"
+// encoding on the wire (a zero member and an absent member are the same
+// value in both codecs).
+func (m Member) IsZero() bool {
+	return m.ID == "" && m.Kind == "" && m.Addr == "" && len(m.Addrs) == 0 && m.State == ""
+}
+
+// Config fixes the ring geometry for a cluster. Every node and client must
+// agree on it, so the registry owns it and serves it inside every view.
+type Config struct {
+	// Replication is how many distinct members own each series key
+	// (writes land on all owners; reads fail over across them).
+	Replication int `json:"replication"`
+	// VNodes is the virtual-node count per member on the ring.
+	VNodes int `json:"vnodes"`
+	// Seed parameterizes the ring hash, so tests can exercise many
+	// independent ring layouts deterministically.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Normalize fills unset geometry with the defaults (replication 2,
+// 64 vnodes).
+func (c Config) Normalize() Config {
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	return c
+}
+
+// View is one epoch's membership snapshot. Epochs increase by exactly the
+// events that change key ownership: a member activating, or a lease
+// expiring. Joins in the joining state and lease renewals do not bump the
+// epoch, so routing tables stay valid across heartbeats.
+type View struct {
+	Epoch   uint64   `json:"epoch"`
+	Config  Config   `json:"config"`
+	Members []Member `json:"members,omitempty"`
+}
+
+// Member returns the member with the given ID.
+func (v View) Member(id string) (Member, bool) {
+	for _, m := range v.Members {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// Active returns the active members of a kind, sorted by ID — the node set
+// the routing ring is built over. Joining members are excluded: they are
+// still pulling the history they will own.
+func (v View) Active(kind string) []Member {
+	var out []Member
+	for _, m := range v.Members {
+		if m.State == StateActive && (kind == "" || m.Kind == kind) {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Ring builds the routing ring over the view's active members of a kind.
+// It returns nil when no member of that kind is active.
+func (v View) Ring(kind string) *Ring {
+	active := v.Active(kind)
+	if len(active) == 0 {
+		return nil
+	}
+	ids := make([]string, len(active))
+	for i, m := range active {
+		ids[i] = m.ID
+	}
+	cfg := v.Config.Normalize()
+	return NewRing(ids, cfg.VNodes, cfg.Seed)
+}
+
+// Owners resolves the members owning a series key among the active members
+// of a kind, in ring (preference) order, at most Config.Replication of
+// them. An empty result means no member of that kind is active.
+func (v View) Owners(kind, key string) []Member {
+	r := v.Ring(kind)
+	if r == nil {
+		return nil
+	}
+	ids := r.Owners(key, v.Config.Normalize().Replication)
+	out := make([]Member, 0, len(ids))
+	for _, id := range ids {
+		if m, ok := v.Member(id); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the view so callers can hold it without aliasing the
+// registry's state.
+func (v View) Clone() View {
+	out := v
+	out.Members = make([]Member, len(v.Members))
+	copy(out.Members, v.Members)
+	for i := range out.Members {
+		if len(out.Members[i].Addrs) > 0 {
+			out.Members[i].Addrs = append([]string(nil), out.Members[i].Addrs...)
+		}
+	}
+	return out
+}

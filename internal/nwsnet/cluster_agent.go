@@ -1,0 +1,302 @@
+package nwsnet
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"nwscpu/internal/nwsnet/cluster"
+	"nwscpu/internal/resilience"
+)
+
+// handoffChunk bounds how many series one handoff batch round trip carries.
+const handoffChunk = 64
+
+// ClusterAgent runs a shard server's membership lifecycle against the
+// cluster registry:
+//
+//  1. Join in the joining state — takes a lease without entering the ring.
+//  2. Sync — pull the history of every series this node will own from the
+//     current owners (batched fetches, merged in behind the write frontier
+//     by Memory.Backfill), while writes keep flowing to the old owners.
+//  3. Activate — re-join in the active state, which bumps the view epoch
+//     and atomically moves the node's key ranges to it.
+//  4. Sync again — catch the writes that landed on the old owners between
+//     the first sync and the activation redirect reaching clients.
+//
+// After that a renewal loop heartbeats the lease. A renewal answer carrying
+// a view means the epoch moved (some member activated or a lease expired):
+// the agent adopts it and re-syncs, which is exactly the death-takeover
+// path — when an owner dies, its ranges fall to the ring successors, and
+// the successors' re-sync pulls the history from the surviving replicas. A
+// terminal "unknown member" renewal means the lease already lapsed (or the
+// registry restarted); the agent re-runs the join lifecycle from scratch.
+type ClusterAgent struct {
+	client *Client
+	nsAddr string
+	node   *ClusterNode
+	self   cluster.Member
+	logger *log.Logger
+
+	mu     sync.Mutex
+	epoch  uint64
+	stopCh chan struct{}
+	doneCh chan struct{}
+}
+
+// NewClusterAgent builds the lifecycle agent for the node guarding member
+// self (self.State is overwritten by the lifecycle), registering with the
+// registry at nsAddr through client (nil selects a default client). node
+// may be nil for members that hold no partitioned store (forecaster
+// shards): they run the same lease lifecycle but skip the handoff sync.
+func NewClusterAgent(client *Client, nsAddr string, self cluster.Member, node *ClusterNode) *ClusterAgent {
+	if client == nil {
+		client = NewClient(0)
+	}
+	return &ClusterAgent{client: client, nsAddr: nsAddr, node: node, self: self}
+}
+
+// SetLogger directs the agent's lifecycle diagnostics to l (nil silences
+// them, the default).
+func (a *ClusterAgent) SetLogger(l *log.Logger) { a.logger = l }
+
+func (a *ClusterAgent) logf(format string, args ...any) {
+	if a.logger != nil {
+		a.logger.Printf("nwsnet: cluster %s: "+format, append([]any{a.self.ID}, args...)...)
+	}
+}
+
+// Epoch returns the view epoch the agent last adopted.
+func (a *ClusterAgent) Epoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epoch
+}
+
+// adopt installs a view into the node's guard and the agent's epoch.
+func (a *ClusterAgent) adopt(v *cluster.View) {
+	if v == nil {
+		return
+	}
+	if a.node != nil {
+		a.node.AdoptView(*v)
+	}
+	a.mu.Lock()
+	if v.Epoch > a.epoch {
+		a.epoch = v.Epoch
+	}
+	a.mu.Unlock()
+}
+
+// Join runs the two-phase join: lease in the joining state, sync the
+// history this node will own, activate (epoch bump), and sync once more to
+// drain the activation window.
+func (a *ClusterAgent) Join(ctx context.Context) error {
+	m := a.self
+	m.State = cluster.StateJoining
+	v, err := a.client.JoinClusterCtx(ctx, a.nsAddr, m)
+	if err != nil {
+		return fmt.Errorf("nwsnet: cluster join %s: %w", a.self.ID, err)
+	}
+	a.adopt(&v)
+	a.logf("joined (epoch %d, %d members); syncing owned history", v.Epoch, len(v.Members))
+	if err := a.sync(ctx, v); err != nil {
+		a.logf("pre-activation sync incomplete: %v", err)
+	}
+	m.State = cluster.StateActive
+	av, err := a.client.JoinClusterCtx(ctx, a.nsAddr, m)
+	if err != nil {
+		return fmt.Errorf("nwsnet: cluster activate %s: %w", a.self.ID, err)
+	}
+	a.adopt(&av)
+	a.logf("active (epoch %d); draining activation window", av.Epoch)
+	if err := a.sync(ctx, av); err != nil {
+		a.logf("post-activation sync incomplete: %v", err)
+	}
+	return nil
+}
+
+// Renew heartbeats the lease once. It reports whether the member must
+// re-join (the registry no longer knows it) and any transport error; on an
+// epoch change it adopts the new view and re-syncs.
+func (a *ClusterAgent) Renew(ctx context.Context) (rejoin bool, err error) {
+	v, err := a.client.RenewLeaseCtx(ctx, a.nsAddr, a.self.ID, a.Epoch())
+	if err != nil {
+		if resilience.IsTerminal(err) && !IsBusy(err) {
+			// The registry answered and does not know us: the lease lapsed
+			// or the registry restarted. Only a fresh join can recover.
+			return true, err
+		}
+		return false, err
+	}
+	if v == nil {
+		return false, nil // epoch unchanged, lease refreshed
+	}
+	a.adopt(v)
+	a.logf("epoch moved to %d; re-syncing owned ranges", v.Epoch)
+	if err := a.sync(ctx, *v); err != nil {
+		a.logf("takeover sync incomplete: %v", err)
+	}
+	return false, nil
+}
+
+// sync pulls the history of every series this node owns (or will own once
+// active) from the other members that hold it, backfilling the local memory
+// behind the live write frontier. Peers that are down are skipped — with
+// replicated ownership the surviving replica of each range serves the
+// history, which is what makes the death-takeover path converge.
+func (a *ClusterAgent) sync(ctx context.Context, v cluster.View) error {
+	if a.node == nil || a.self.Kind != string(KindMemory) {
+		return nil
+	}
+	target := a.projectActive(v)
+	ring := target.Ring(string(KindMemory))
+	if ring == nil {
+		return nil
+	}
+	rf := target.Config.Normalize().Replication
+	var firstErr error
+	points, bytes := 0, 0
+	for _, peer := range v.Members {
+		if peer.ID == a.self.ID || peer.Kind != string(KindMemory) || len(peer.Endpoints()) == 0 {
+			continue
+		}
+		addr := peer.Endpoints()[0]
+		names, err := a.client.SeriesCtx(ctx, addr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("nwsnet: sync from %s: %w", peer.ID, err)
+			}
+			continue
+		}
+		var owned []string
+		for _, key := range names {
+			for _, id := range ring.Owners(key, rf) {
+				if id == a.self.ID {
+					owned = append(owned, key)
+					break
+				}
+			}
+		}
+		for lo := 0; lo < len(owned); lo += handoffChunk {
+			hi := lo + handoffChunk
+			if hi > len(owned) {
+				hi = len(owned)
+			}
+			fetches := make([]BatchFetch, hi-lo)
+			for j, key := range owned[lo:hi] {
+				fetches[j] = BatchFetch{Series: key}
+			}
+			results, err := a.client.FetchBatchCtx(ctx, addr, fetches)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("nwsnet: sync from %s: %w", peer.ID, err)
+				}
+				break
+			}
+			for j, res := range results {
+				if res.Err != nil || len(res.Points) == 0 {
+					continue
+				}
+				added := a.node.Memory().Backfill(owned[lo+j], res.Points)
+				points += added
+				bytes += added * 16 // one wire point is two packed float64s
+			}
+		}
+	}
+	if points > 0 {
+		mClusterHandoffPoints.Add(uint64(points))
+		mClusterHandoffBytes.Add(uint64(bytes))
+		a.logf("handoff backfilled %d points", points)
+	}
+	return firstErr
+}
+
+// projectActive returns v with this agent's member forced active, so the
+// pre-activation sync computes the ownership the activation is about to
+// create.
+func (a *ClusterAgent) projectActive(v cluster.View) cluster.View {
+	out := v.Clone()
+	for i := range out.Members {
+		if out.Members[i].ID == a.self.ID {
+			out.Members[i].State = cluster.StateActive
+			return out
+		}
+	}
+	m := a.self
+	m.State = cluster.StateActive
+	out.Members = append(out.Members, m)
+	return out
+}
+
+// Start joins the cluster and launches the background renewal loop,
+// heartbeating every interval (a third of the registry TTL is the
+// conventional choice). Errors are delivered on the returned channel
+// (buffered; the loop keeps running — and re-joins — after errors). Stop
+// terminates the loop.
+func (a *ClusterAgent) Start(ctx context.Context, interval time.Duration) (<-chan error, error) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	errs := make(chan error, 16)
+	if err := a.Join(ctx); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	if a.stopCh != nil {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("nwsnet: cluster agent %s already started", a.self.ID)
+	}
+	a.stopCh = make(chan struct{})
+	a.doneCh = make(chan struct{})
+	stop, done := a.stopCh, a.doneCh
+	a.mu.Unlock()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				rejoin, err := a.Renew(ctx)
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+				if rejoin {
+					a.logf("lease lost; re-joining")
+					if err := a.Join(ctx); err != nil {
+						select {
+						case errs <- err:
+						default:
+						}
+					}
+				}
+			}
+		}
+	}()
+	return errs, nil
+}
+
+// Stop terminates a Start loop and waits for it to exit. Safe without a
+// prior Start.
+func (a *ClusterAgent) Stop() {
+	a.mu.Lock()
+	stop, done := a.stopCh, a.doneCh
+	a.stopCh, a.doneCh = nil, nil
+	a.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Close releases the agent's pooled connections.
+func (a *ClusterAgent) Close() error { return a.client.Close() }

@@ -1,0 +1,502 @@
+package nwsnet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"nwscpu/internal/nwsnet/cluster"
+	"nwscpu/internal/resilience"
+)
+
+// clusterRouteAttempts bounds how many times one logical operation may
+// chase ownership redirects (each attempt re-resolves owners under the
+// newest adopted view). Two redirects in a row already implies the view
+// changed twice mid-operation; a third strike reports the failure rather
+// than looping on a flapping registry.
+const clusterRouteAttempts = 3
+
+// ClusterClient routes series operations across a partitioned cluster: it
+// caches the membership view, resolves each key's owners on the consistent
+// ring, writes to all owners (succeeding on a majority quorum), and reads
+// with failover across them.
+//
+// The view is refreshed by redirect, not by polling: a node answering
+// CodeMoved embeds its current view, which the client adopts before
+// re-routing (nws_cluster_view_refreshes_total{trigger="redirect"}). The
+// registry is consulted only to bootstrap the first view and as a fallback
+// when an operation exhausts its owners
+// (nws_cluster_view_refreshes_total{trigger="registry"}).
+//
+// A ClusterClient satisfies the same backend contract as a ReplicaGroup
+// (StoreBatch / Fetch / FetchBatch / Series / Health), so the sensor daemon
+// and forecaster take the partitioned path through the constructors that
+// accept a registry address without any change to their delivery logic.
+type ClusterClient struct {
+	client *Client
+	nsAddr string
+
+	mu   sync.RWMutex
+	view *cluster.View
+}
+
+// NewClusterClient routes through client (nil selects a default client)
+// against the cluster whose registry is at nsAddr. The first operation
+// bootstraps the view from the registry.
+func NewClusterClient(client *Client, nsAddr string) *ClusterClient {
+	if client == nil {
+		client = NewClient(0)
+	}
+	return &ClusterClient{client: client, nsAddr: nsAddr}
+}
+
+// Client returns the protocol client the router calls through.
+func (c *ClusterClient) Client() *Client { return c.client }
+
+// View returns the routing table's current view (nil before bootstrap).
+func (c *ClusterClient) View() *cluster.View {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.view
+}
+
+// AdoptView installs a view into the routing table if it is newer than the
+// one held.
+func (c *ClusterClient) AdoptView(v *cluster.View) {
+	if v == nil {
+		return
+	}
+	cp := v.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.view != nil && cp.Epoch <= c.view.Epoch {
+		return
+	}
+	c.view = &cp
+}
+
+// adoptRedirect folds a redirect's embedded view into the routing table.
+// A redirect without a view (a node that lost its own view) falls back to
+// the registry.
+func (c *ClusterClient) adoptRedirect(ctx context.Context, me *MovedError) {
+	if me.View != nil {
+		mClusterRefreshRedirect.Inc()
+		c.AdoptView(me.View)
+		return
+	}
+	c.refresh(ctx) //nolint:errcheck // best effort; the retry loop re-resolves
+}
+
+// refresh fetches the registry's view unconditionally and adopts it.
+func (c *ClusterClient) refresh(ctx context.Context) error {
+	v, err := c.client.FetchViewCtx(ctx, c.nsAddr, 0)
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		return fmt.Errorf("nwsnet: registry %s returned no view", c.nsAddr)
+	}
+	mClusterRefreshRegistry.Inc()
+	c.AdoptView(v)
+	return nil
+}
+
+// Refresh re-reads the membership view from the registry.
+func (c *ClusterClient) Refresh(ctx context.Context) error { return c.refresh(ctx) }
+
+// ensureView returns the current view, bootstrapping from the registry on
+// first use.
+func (c *ClusterClient) ensureView(ctx context.Context) (*cluster.View, error) {
+	if v := c.View(); v != nil {
+		return v, nil
+	}
+	if err := c.refresh(ctx); err != nil {
+		return nil, err
+	}
+	if v := c.View(); v != nil {
+		return v, nil
+	}
+	return nil, fmt.Errorf("nwsnet: no cluster view from registry %s", c.nsAddr)
+}
+
+// owners resolves key's owning members of a kind under the current view.
+func (c *ClusterClient) owners(ctx context.Context, kind Kind, key string) ([]cluster.Member, *cluster.View, error) {
+	v, err := c.ensureView(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	owners := v.Owners(string(kind), key)
+	if len(owners) == 0 {
+		return nil, v, fmt.Errorf("nwsnet: no active %s member owns %q (epoch %d)", kind, key, v.Epoch)
+	}
+	return owners, v, nil
+}
+
+// Store writes a series' points to every owner, succeeding once a majority
+// quorum of them acknowledges — a batch of one; see StoreBatch.
+func (c *ClusterClient) Store(ctx context.Context, key string, points [][2]float64) error {
+	errs, err := c.StoreBatch(ctx, []BatchStore{{Series: key, Points: points}})
+	if len(errs) == 1 && errs[0] != nil {
+		return errs[0]
+	}
+	return err
+}
+
+// StoreBatch routes each sub-store to its key's owners and fans it out to
+// all of them, succeeding per sub once a majority of that key's owners
+// acknowledges. Sub-stores sharing an owner travel in one batch envelope
+// per owner per attempt. An ownership redirect adopts the embedded view and
+// re-routes the redirected subs; after the routing attempts are exhausted
+// the view is refreshed from the registry for one final try. The returned
+// slice has one entry per input — nil when that sub met its quorum.
+func (c *ClusterClient) StoreBatch(ctx context.Context, stores []BatchStore) ([]error, error) {
+	if len(stores) == 0 {
+		return nil, nil
+	}
+	out := make([]error, len(stores))
+	done := make([]bool, len(stores))
+	remaining := len(stores)
+	for attempt := 0; attempt < clusterRouteAttempts && remaining > 0; attempt++ {
+		if attempt == clusterRouteAttempts-1 {
+			// Last try: trust the registry over whatever view redirects left.
+			if err := c.refresh(ctx); err != nil && c.View() == nil {
+				return out, err
+			}
+		}
+		// Route pending subs to owner endpoints: one batch per endpoint.
+		byAddr := make(map[string][]int)
+		var addrs []string
+		quorum := make([]int, len(stores))
+		acks := make([]int, len(stores))
+		for i := range stores {
+			if done[i] {
+				continue
+			}
+			owners, _, err := c.owners(ctx, KindMemory, stores[i].Series)
+			if err != nil {
+				out[i] = err
+				continue
+			}
+			quorum[i] = len(owners)/2 + 1
+			for _, m := range owners {
+				addr := m.Endpoints()[0]
+				if _, seen := byAddr[addr]; !seen {
+					addrs = append(addrs, addr)
+				}
+				byAddr[addr] = append(byAddr[addr], i)
+			}
+		}
+		redirected := false
+		for _, addr := range addrs {
+			idx := byAddr[addr]
+			subset := make([]BatchStore, len(idx))
+			for j, i := range idx {
+				subset[j] = stores[i]
+			}
+			errs, err := c.client.StoreBatchCtx(ctx, addr, subset)
+			if err != nil {
+				if me, ok := IsMoved(err); ok {
+					c.adoptRedirect(ctx, me)
+					redirected = true
+					continue
+				}
+				for _, i := range idx {
+					if out[i] == nil {
+						out[i] = err
+					}
+				}
+				continue
+			}
+			for j, i := range idx {
+				switch e := errs[j]; {
+				case e == nil:
+					acks[i]++
+				default:
+					if me, ok := IsMoved(e); ok {
+						c.adoptRedirect(ctx, me)
+						redirected = true
+					} else if out[i] == nil {
+						out[i] = e
+					}
+				}
+			}
+		}
+		for i := range stores {
+			if done[i] || quorum[i] == 0 {
+				continue
+			}
+			if acks[i] >= quorum[i] {
+				done[i] = true
+				out[i] = nil
+				remaining--
+			}
+		}
+		if !redirected && remaining > 0 && attempt < clusterRouteAttempts-2 {
+			// No stale-view evidence and still failing: skip straight to the
+			// registry-refresh attempt instead of repeating the same routing.
+			attempt = clusterRouteAttempts - 2
+		}
+	}
+	failed := 0
+	for i := range stores {
+		if done[i] {
+			continue
+		}
+		failed++
+		if out[i] == nil {
+			out[i] = fmt.Errorf("nwsnet: cluster store %q: no owner acknowledged", stores[i].Series)
+		} else {
+			out[i] = fmt.Errorf("nwsnet: cluster store %q: quorum not met: %w", stores[i].Series, out[i])
+		}
+	}
+	if failed > 0 {
+		return out, fmt.Errorf("nwsnet: cluster batch store: %d/%d sub-stores missed quorum", failed, len(stores))
+	}
+	return out, nil
+}
+
+// Fetch reads a series range from its owners, failing over across them and
+// chasing ownership redirects (see Client.Fetch for the range semantics).
+func (c *ClusterClient) Fetch(ctx context.Context, key string, from, to float64, max int) ([][2]float64, error) {
+	var pts [][2]float64
+	err := c.routeRead(ctx, key, func(addr string) error {
+		p, e := c.client.FetchCtx(ctx, addr, key, from, to, max)
+		if e == nil {
+			pts = p
+		}
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// routeRead runs op against key's owners in ring order until one succeeds,
+// re-resolving after redirects.
+func (c *ClusterClient) routeRead(ctx context.Context, key string, op func(addr string) error) error {
+	var firstErr error
+	for attempt := 0; attempt < clusterRouteAttempts; attempt++ {
+		owners, _, err := c.owners(ctx, KindMemory, key)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return firstErr
+		}
+		redirected := false
+		for _, m := range owners {
+			err := op(m.Endpoints()[0])
+			if err == nil {
+				return nil
+			}
+			if me, ok := IsMoved(err); ok {
+				c.adoptRedirect(ctx, me)
+				redirected = true
+				continue
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if !redirected {
+			return firstErr
+		}
+	}
+	return firstErr
+}
+
+// FetchBatch reads several series ranges, routing each to its owners and
+// batching per owner endpoint. Per-sub failures (including redirects that
+// survive re-routing) land in that sub's FetchResult.Err; the overall error
+// is non-nil only when no owner answered at all.
+func (c *ClusterClient) FetchBatch(ctx context.Context, fetches []BatchFetch) ([]FetchResult, error) {
+	if len(fetches) == 0 {
+		return nil, nil
+	}
+	out := make([]FetchResult, len(fetches))
+	done := make([]bool, len(fetches))
+	remaining := len(fetches)
+	answered := false
+	var firstErr error
+	for attempt := 0; attempt < clusterRouteAttempts && remaining > 0; attempt++ {
+		// Preference rank r of each pending sub's owner list to try this
+		// round: rank 0 first, failing over rank by rank within the attempt.
+		type route struct {
+			idx    []int
+			subset []BatchFetch
+		}
+		owners := make([][]cluster.Member, len(fetches))
+		maxRank := 0
+		for i := range fetches {
+			if done[i] {
+				continue
+			}
+			o, _, err := c.owners(ctx, KindMemory, fetches[i].Series)
+			if err != nil {
+				if out[i].Err == nil {
+					out[i].Err = err
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			owners[i] = o
+			if len(o) > maxRank {
+				maxRank = len(o)
+			}
+		}
+		redirected := false
+		for rank := 0; rank < maxRank && remaining > 0; rank++ {
+			byAddr := make(map[string]*route)
+			var addrs []string
+			for i := range fetches {
+				if done[i] || owners[i] == nil || rank >= len(owners[i]) {
+					continue
+				}
+				addr := owners[i][rank].Endpoints()[0]
+				r := byAddr[addr]
+				if r == nil {
+					r = &route{}
+					byAddr[addr] = r
+					addrs = append(addrs, addr)
+				}
+				r.idx = append(r.idx, i)
+				r.subset = append(r.subset, fetches[i])
+			}
+			for _, addr := range addrs {
+				r := byAddr[addr]
+				results, err := c.client.FetchBatchCtx(ctx, addr, r.subset)
+				if err != nil {
+					if me, ok := IsMoved(err); ok {
+						c.adoptRedirect(ctx, me)
+						redirected = true
+					} else if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
+				answered = true
+				for j, i := range r.idx {
+					res := results[j]
+					if res.Err != nil {
+						if me, ok := IsMoved(res.Err); ok {
+							c.adoptRedirect(ctx, me)
+							redirected = true
+						}
+						if out[i].Err == nil {
+							out[i].Err = res.Err
+						}
+						continue
+					}
+					out[i] = res
+					done[i] = true
+					remaining--
+				}
+			}
+		}
+		if !redirected {
+			break
+		}
+	}
+	if !answered {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Series lists the union of stored series keys across every active memory
+// member.
+func (c *ClusterClient) Series(ctx context.Context) ([]string, error) {
+	v, err := c.ensureView(ctx)
+	if err != nil {
+		return nil, err
+	}
+	members := v.Active(string(KindMemory))
+	if len(members) == 0 {
+		return nil, fmt.Errorf("nwsnet: no active memory members (epoch %d)", v.Epoch)
+	}
+	seen := make(map[string]bool)
+	answered := false
+	var firstErr error
+	for _, m := range members {
+		names, err := c.client.SeriesCtx(ctx, m.Endpoints()[0])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		answered = true
+		for _, n := range names {
+			seen[n] = true
+		}
+	}
+	if !answered {
+		return nil, firstErr
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Forecast routes a forecast query to the forecaster shard owning key,
+// failing over across the key's forecaster owners.
+func (c *ClusterClient) Forecast(ctx context.Context, key string) (ForecastResult, error) {
+	var res ForecastResult
+	var firstErr error
+	for attempt := 0; attempt < clusterRouteAttempts; attempt++ {
+		v, err := c.ensureView(ctx)
+		if err != nil {
+			return ForecastResult{}, err
+		}
+		owners := v.Owners(string(KindForecaster), key)
+		if len(owners) == 0 {
+			return ForecastResult{}, fmt.Errorf("nwsnet: no active forecaster member owns %q (epoch %d)", key, v.Epoch)
+		}
+		redirected := false
+		for _, m := range owners {
+			r, err := c.client.ForecastCtx(ctx, m.Endpoints()[0], key)
+			if err == nil {
+				return r, nil
+			}
+			if me, ok := IsMoved(err); ok {
+				c.adoptRedirect(ctx, me)
+				redirected = true
+				continue
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if !redirected {
+			break
+		}
+	}
+	return res, firstErr
+}
+
+// Health reports one entry per active memory member, healthy unless the
+// client's circuit breaker for its endpoint is open — the cluster analogue
+// of ReplicaGroup.Health, satisfying the shared backend contract.
+func (c *ClusterClient) Health() []ReplicaHealth {
+	v := c.View()
+	if v == nil {
+		return nil
+	}
+	members := v.Active(string(KindMemory))
+	out := make([]ReplicaHealth, len(members))
+	for i, m := range members {
+		addr := m.Endpoints()[0]
+		out[i] = ReplicaHealth{Addr: addr, Healthy: c.client.BreakerState(addr) != resilience.BreakerOpen}
+	}
+	return out
+}
+
+// Close releases the router's pooled connections.
+func (c *ClusterClient) Close() error { return c.client.Close() }

@@ -1,0 +1,185 @@
+package nwsnet
+
+import (
+	"sync"
+
+	"nwscpu/internal/nwsnet/cluster"
+)
+
+// ClusterNode wraps a shard's Memory with the ownership guard of the
+// partitioned deployment: requests for series keys the node does not own
+// under its current membership view are answered with a CodeMoved redirect
+// carrying that view, so a client holding a stale routing table refreshes
+// and re-routes in one round trip instead of polling the registry.
+//
+// The guard is asymmetric on purpose:
+//
+//   - Stores of unowned keys always redirect. Accepting them would strand
+//     points on a node clients will stop reading from.
+//   - Fetches of unowned keys are still served when the node holds the
+//     series locally. Rebalancing handoff depends on this: after an epoch
+//     bump moves a range, the new owner backfills by fetching the history
+//     from the previous owner — who by then no longer owns it. Serving what
+//     the node has also keeps reads available during the transition window;
+//     only a fetch of a key the node neither owns nor holds redirects.
+//
+// Ops without a series key (ping, series listing) pass through untouched,
+// which is also what keeps pre-cluster v1 clients working against a
+// cluster-enabled node. A node with no adopted view (single-node
+// deployment, or an agent that has not joined yet) guards nothing.
+type ClusterNode struct {
+	id    string
+	inner Handler
+	mem   *Memory
+
+	mu   sync.RWMutex
+	view *cluster.View
+	ring *cluster.Ring // memory-kind ring of view, cached
+}
+
+// NewClusterNode wraps mem as the shard owned by member id. The guard is
+// inert until AdoptView installs a membership view.
+func NewClusterNode(id string, mem *Memory) *ClusterNode {
+	return &ClusterNode{id: id, inner: mem, mem: mem}
+}
+
+// NewClusterNodeHandler guards a handler that layers over mem (a
+// PersistentMemory, say): owned requests dispatch through inner, while the
+// guard's held-series checks and the handoff backfill go straight to mem.
+func NewClusterNodeHandler(id string, inner Handler, mem *Memory) *ClusterNode {
+	return &ClusterNode{id: id, inner: inner, mem: mem}
+}
+
+// Memory returns the wrapped store (the handoff path backfills through it).
+func (n *ClusterNode) Memory() *Memory { return n.mem }
+
+// ID returns the member ID this node guards for.
+func (n *ClusterNode) ID() string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.id
+}
+
+// SetID renames the member this node guards for — for deployments that only
+// learn their identity (an ephemeral bound address, say) after the handler
+// is constructed. Must be called before the node's agent joins the cluster;
+// the guard is inert until then, so serving traffic already is fine.
+func (n *ClusterNode) SetID(id string) {
+	n.mu.Lock()
+	n.id = id
+	n.mu.Unlock()
+}
+
+// AdoptView installs a membership view, replacing any older one. Stale
+// views (an epoch at or below the one held) are ignored except as the first
+// view, so racing adopters converge on the newest epoch.
+func (n *ClusterNode) AdoptView(v cluster.View) {
+	cp := v.Clone()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.view != nil && cp.Epoch <= n.view.Epoch {
+		return
+	}
+	n.view = &cp
+	n.ring = cp.Ring(string(KindMemory))
+}
+
+// View returns the node's current view (nil before the first AdoptView).
+func (n *ClusterNode) View() *cluster.View {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.view
+}
+
+// owns reports whether this node is among the owners of key under the
+// current view, returning the view for the redirect when it is not. With no
+// view or no ring (no active members yet) everything is owned: the guard
+// must never make a bootstrapping cluster reject its first writes.
+func (n *ClusterNode) owns(key string) (bool, *cluster.View) {
+	n.mu.RLock()
+	self, view, ring := n.id, n.view, n.ring
+	n.mu.RUnlock()
+	if view == nil || ring == nil {
+		return true, nil
+	}
+	for _, id := range ring.Owners(key, view.Config.Normalize().Replication) {
+		if id == self {
+			return true, nil
+		}
+	}
+	return false, view
+}
+
+// redirects reports whether the guard answers req with an ownership
+// redirect rather than forwarding it — a store of an unowned key, or a
+// fetch of a key neither owned nor held locally (a held key is always
+// served; see the type comment on why handoff requires that) — returning
+// the view to embed in the redirect.
+func (n *ClusterNode) redirects(req Request) (bool, *cluster.View) {
+	if req.Series == "" {
+		return false, nil
+	}
+	switch req.Op {
+	case OpStore:
+		ok, view := n.owns(req.Series)
+		return !ok, view
+	case OpFetch:
+		if n.mem.Len(req.Series) > 0 {
+			return false, nil
+		}
+		ok, view := n.owns(req.Series)
+		return !ok, view
+	}
+	return false, nil
+}
+
+// Handle implements Handler: ownership-guarded dispatch into the Memory.
+func (n *ClusterNode) Handle(req Request) Response {
+	switch req.Op {
+	case OpStore, OpFetch:
+		if moved, view := n.redirects(req); moved {
+			mClusterRedirects.Inc()
+			return movedResp(view, "%s %q: not an owner under epoch %d", req.Op, req.Series, view.Epoch)
+		}
+		return n.inner.Handle(req)
+	case OpBatch:
+		return n.handleBatch(req)
+	default:
+		return n.inner.Handle(req)
+	}
+}
+
+// handleBatch guards a batch envelope. The common case — every sub-request
+// owned — forwards the whole envelope so the Memory's batch concurrency and
+// metrics apply; only an envelope with at least one misrouted sub falls back
+// to per-sub dispatch, answering the misrouted subs with redirects while the
+// owned ones still execute.
+func (n *ClusterNode) handleBatch(req Request) Response {
+	misrouted := false
+	for _, sub := range req.Batch {
+		if moved, _ := n.redirects(sub); moved {
+			misrouted = true
+			break
+		}
+	}
+	if !misrouted {
+		return n.inner.Handle(req)
+	}
+	out := make([]Response, len(req.Batch))
+	for i, sub := range req.Batch {
+		var r Response
+		if sub.Op == OpBatch {
+			r = errResp("batch: nested batch envelopes are not allowed")
+		} else if moved, view := n.redirects(sub); moved {
+			mClusterRedirects.Inc()
+			r = movedResp(view, "%s %q: not an owner under epoch %d", sub.Op, sub.Series, view.Epoch)
+		} else {
+			r = n.inner.Handle(sub)
+		}
+		r.OK = r.Error == ""
+		out[i] = r
+	}
+	return Response{Batch: out}
+}
+
+var _ Handler = (*ClusterNode)(nil)

@@ -14,8 +14,20 @@ import (
 // repeated queries only transfer the new points. With a replicated memory
 // group, fetches fail over to the next healthy replica, so one dead memory
 // server costs a query at most one extra attempt.
+// FetchBackend is the read-plane contract a ForecasterService pulls
+// history through: satisfied by both a ReplicaGroup (fixed replica set with
+// health-ordered failover) and a ClusterClient (ring-routed reads across a
+// partitioned cluster), so the incremental-engine logic is identical across
+// deployments.
+type FetchBackend interface {
+	Fetch(ctx context.Context, key string, from, to float64, max int) ([][2]float64, error)
+	FetchBatch(ctx context.Context, fetches []BatchFetch) ([]FetchResult, error)
+	Series(ctx context.Context) ([]string, error)
+	Health() []ReplicaHealth
+}
+
 type ForecasterService struct {
-	group   *ReplicaGroup
+	group   FetchBackend
 	timeout time.Duration
 
 	mu      sync.Mutex
@@ -65,6 +77,19 @@ func NewForecasterServiceReplicasCodec(memAddrs []string, timeout time.Duration,
 		timeout: timeout,
 		engines: make(map[string]*engineState),
 	}
+}
+
+// NewForecasterServiceCluster returns a forecaster pulling from a
+// partitioned memory cluster: fetches route by series key to the ring
+// owners under the membership view served by the registry at nsAddr,
+// failing over across a key's owners and refreshing the routing table from
+// ownership redirects. timeout bounds each memory call attempt (0 selects
+// 5 s).
+func NewForecasterServiceCluster(nsAddr string, timeout time.Duration) *ForecasterService {
+	f := NewForecasterServiceReplicasCodec(nil, timeout, CodecBinary)
+	rg, _ := f.group.(*ReplicaGroup)
+	f.group = NewClusterClient(rg.Client(), nsAddr)
+	return f
 }
 
 // Replicas reports the health of the forecaster's memory replica group.

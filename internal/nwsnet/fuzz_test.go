@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"nwscpu/internal/nwsnet/cluster"
 	"nwscpu/internal/resilience"
 )
 
@@ -32,6 +33,11 @@ func FuzzDecodeRequest(f *testing.F) {
 		`{"op":"store","series":"k","points":[[2,1],[1,1],[2,2]]}`,
 		`not json at all`,
 		`{"op":"fetch","series":"k","from":1e308,"to":-1e308}`,
+		`{"op":"join","member":{"id":"m1","kind":"memory","addr":"a:1","state":"joining"}}`,
+		`{"op":"join","member":{"id":"m1","kind":"memory","addrs":["a:1","b:2"],"state":"active"},"epoch":7}`,
+		`{"op":"lease","member":{"id":"m1"},"epoch":12}`,
+		`{"op":"view"}`,
+		`{"op":"view","epoch":3}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s + "\n"))
@@ -93,6 +99,9 @@ func FuzzDecodeResponse(f *testing.F) {
 		`{"code":"busy"}`,
 		`not json at all`,
 		`{"ok":true,"points":[[1e308,-1e308]]}`,
+		`{"ok":false,"error":"store \"k\": not an owner under epoch 4","code":"moved","view":{"epoch":4,"config":{"replication":2,"vnodes":64},"members":[{"id":"m1","kind":"memory","addr":"a:1","state":"active"}]}}`,
+		`{"ok":false,"code":"moved"}`,
+		`{"ok":true,"view":{"epoch":9,"members":[{"id":"m1","kind":"memory","addr":"a:1","state":"active"},{"id":"f1","kind":"forecaster","addr":"c:3","state":"joining"}]}}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s + "\n"))
@@ -110,6 +119,15 @@ func FuzzDecodeResponse(f *testing.F) {
 			}
 			if resilience.IsTerminal(err) {
 				t.Fatalf("busy response classified terminal: %v", err)
+			}
+		case resp.Code == CodeMoved:
+			// An ownership redirect is terminal for the answering endpoint
+			// but must stay typed so routing layers can extract the view.
+			if err == nil || !resilience.IsTerminal(err) || IsBusy(err) {
+				t.Fatalf("moved response misclassified: %v", err)
+			}
+			if _, ok := IsMoved(err); !ok {
+				t.Fatalf("moved response lost its MovedError type: %v", err)
 			}
 		case resp.Error != "":
 			if err == nil || !resilience.IsTerminal(err) {
@@ -166,6 +184,11 @@ func binaryRequestSeeds() [][]byte {
 		}},
 		{Op: OpBatch, Batch: []Request{{Op: OpBatch, Batch: []Request{{Op: OpPing}}}}},
 		{Op: OpBatch},
+		{Op: OpJoin, Member: &cluster.Member{ID: "m1", Kind: "memory", Addr: "a:1", State: cluster.StateJoining}},
+		{Op: OpJoin, Member: &cluster.Member{ID: "m1", Kind: "memory", Addrs: []string{"a:1", "b:2"}, State: cluster.StateActive}, Epoch: 7},
+		{Op: OpLease, Member: &cluster.Member{ID: "m1"}, Epoch: 12},
+		{Op: OpView},
+		{Op: OpView, Epoch: 1 << 40},
 	}
 	var out [][]byte
 	for _, r := range reqs {
@@ -180,6 +203,9 @@ func binaryRequestSeeds() [][]byte {
 // points, addresses, sub-requests — to bound allocation against input size.
 func requestElems(req Request) int {
 	n := len(req.Points) + len(req.Reg.Addrs)
+	if req.Member != nil {
+		n += 1 + len(req.Member.Addrs)
+	}
 	for _, sub := range req.Batch {
 		n += 1 + requestElems(sub)
 	}
@@ -191,6 +217,12 @@ func responseElems(resp Response) int {
 	n := len(resp.Points) + len(resp.Names) + len(resp.Entries)
 	for _, e := range resp.Entries {
 		n += len(e.Addrs)
+	}
+	if resp.View != nil {
+		n += 1 + len(resp.View.Members)
+		for _, m := range resp.View.Members {
+			n += len(m.Addrs)
+		}
 	}
 	for _, sub := range resp.Batch {
 		n += 1 + responseElems(sub)
@@ -264,6 +296,14 @@ func FuzzDecodeBinaryResponse(f *testing.F) {
 		{OK: true, Entries: []Registration{{Name: "h", Kind: KindSensor, Addr: "a:1"}}},
 		{OK: true, Forecast: &ForecastResult{Value: 0.5, Method: "sw_avg", MAE: 0.01, N: 64}},
 		{OK: true, Batch: []Response{{Error: "x", Code: CodeBusy}, {OK: true}}},
+		{OK: true, View: &cluster.View{Epoch: 4, Config: cluster.Config{Replication: 2, VNodes: 64}, Members: []cluster.Member{
+			{ID: "m1", Kind: "memory", Addr: "a:1", State: cluster.StateActive},
+			{ID: "m2", Kind: "memory", Addrs: []string{"b:2", "c:3"}, State: cluster.StateJoining},
+		}}},
+		{OK: true, View: &cluster.View{}},
+		{Error: `store "k": not an owner under epoch 4`, Code: CodeMoved, View: &cluster.View{Epoch: 4, Members: []cluster.Member{
+			{ID: "m1", Kind: "memory", Addr: "a:1", State: cluster.StateActive},
+		}}},
 	}
 	for _, r := range resps {
 		if b, err := encodeResponsePayload(nil, 1, r); err == nil {
@@ -285,6 +325,13 @@ func FuzzDecodeBinaryResponse(f *testing.F) {
 		case resp.Code == CodeBusy:
 			if rerr == nil || !IsBusy(rerr) || resilience.IsTerminal(rerr) {
 				t.Fatalf("busy response misclassified: %v", rerr)
+			}
+		case resp.Code == CodeMoved:
+			if rerr == nil || !resilience.IsTerminal(rerr) || IsBusy(rerr) {
+				t.Fatalf("moved response misclassified: %v", rerr)
+			}
+			if _, ok := IsMoved(rerr); !ok {
+				t.Fatalf("moved response lost its MovedError type: %v", rerr)
 			}
 		case resp.Error != "":
 			if rerr == nil || !resilience.IsTerminal(rerr) || IsBusy(rerr) {

@@ -252,6 +252,71 @@ func (m *Memory) handleBatch(req Request) Response {
 	return Response{Batch: out}
 }
 
+// Backfill merge-inserts historical points into a series, bypassing the
+// store path's frontier dedup: rebalancing handoff streams a series' past
+// while new writes keep landing on its head, so history must be accepted
+// behind the frontier without reopening the door to redelivery duplicates
+// (points whose timestamps are already present are still skipped). The
+// merged series keeps its newest capacity points. Returns how many points
+// were actually inserted.
+func (m *Memory) Backfill(key string, pts [][2]float64) int {
+	if key == "" || len(pts) == 0 {
+		return 0
+	}
+	incoming := append([][2]float64(nil), pts...)
+	sort.Slice(incoming, func(i, j int) bool { return incoming[i][0] < incoming[j][0] })
+	sh := m.shard(key)
+	sh.mu.Lock()
+	r := sh.store[key]
+	created := false
+	if r == nil {
+		r = series.NewPointRing(m.capacity)
+		sh.store[key] = r
+		created = true
+	}
+	existing := make([]series.Point, r.Len())
+	for i := range existing {
+		existing[i] = r.At(i)
+	}
+	merged := make([]series.Point, 0, len(existing)+len(incoming))
+	added := 0
+	i, j := 0, 0
+	for i < len(existing) || j < len(incoming) {
+		switch {
+		case j >= len(incoming):
+			merged = append(merged, existing[i])
+			i++
+		case i >= len(existing) || incoming[j][0] < existing[i].T:
+			p := series.Point{T: incoming[j][0], V: incoming[j][1]}
+			// Collapse duplicate timestamps within the incoming stream too.
+			if len(merged) == 0 || merged[len(merged)-1].T < p.T {
+				merged = append(merged, p)
+				added++
+			}
+			j++
+		case incoming[j][0] == existing[i].T:
+			merged = append(merged, existing[i]) // already stored: keep ours
+			i++
+			j++
+		default:
+			merged = append(merged, existing[i])
+			i++
+		}
+	}
+	if len(merged) > m.capacity {
+		merged = merged[len(merged)-m.capacity:]
+	}
+	r.Reset()
+	for _, p := range merged {
+		r.Push(p)
+	}
+	sh.mu.Unlock()
+	if created {
+		mMemorySeries.Set(float64(m.nSeries.Add(1)))
+	}
+	return added
+}
+
 // Len reports the number of stored points for a series key (0 if absent).
 func (m *Memory) Len(key string) int {
 	sh := m.shard(key)

@@ -194,6 +194,29 @@ var (
 	mSensorOutages = metrics.NewCounter(
 		"nws_sensor_outages_total",
 		"Delivery outages entered (first failed store after a healthy period).")
+
+	// Cluster (partitioned deployment: registry, routing, handoff).
+	mClusterEpoch = metrics.NewGauge(
+		"nws_cluster_epoch",
+		"Current membership-view epoch of the cluster registry (bumps on member activation and lease expiry).")
+	mClusterMembers = metrics.NewGaugeVec(
+		"nws_cluster_members",
+		"Cluster members currently holding a lease, by lifecycle state (joining, active).", "state")
+	mClusterLeaseExpiries = metrics.NewCounter(
+		"nws_cluster_lease_expiries_total",
+		"Cluster members evicted from the view after their lease lapsed.")
+	mClusterRedirects = metrics.NewCounter(
+		"nws_cluster_redirects_total",
+		"Requests answered with an ownership redirect (code moved) because the contacted node does not own the series key under the current view.")
+	mClusterViewRefreshes = metrics.NewCounterVec(
+		"nws_cluster_view_refreshes_total",
+		"Routing-view refreshes adopted by cluster clients, by trigger: redirect (a moved response carried a newer view) or registry (a view fetch after routing failures).", "trigger")
+	mClusterHandoffPoints = metrics.NewCounter(
+		"nws_cluster_handoff_points_total",
+		"Measurement points streamed between shard owners by rebalancing handoff (joins and takeovers).")
+	mClusterHandoffBytes = metrics.NewCounter(
+		"nws_cluster_handoff_bytes_total",
+		"Approximate wire bytes of rebalancing handoff traffic (16 bytes per point before varint packing).")
 )
 
 // otherOp is the bounded fallback label for ops arriving off the wire that
@@ -204,7 +227,8 @@ const otherOp Op = "other"
 // per-request path is a switch on the op instead of the vec's With (an
 // RWMutex acquisition plus a map lookup each call).
 type opCounters struct {
-	ping, register, lookup, list, store, fetch, series, batch, forecast, other *metrics.Counter
+	ping, register, lookup, list, store, fetch, series, batch, forecast *metrics.Counter
+	join, lease, view, other                                            *metrics.Counter
 }
 
 func perOpCounters(v *metrics.CounterVec) *opCounters {
@@ -218,6 +242,9 @@ func perOpCounters(v *metrics.CounterVec) *opCounters {
 		series:   v.With(string(OpSeries)),
 		batch:    v.With(string(OpBatch)),
 		forecast: v.With(string(OpForecast)),
+		join:     v.With(string(OpJoin)),
+		lease:    v.With(string(OpLease)),
+		view:     v.With(string(OpView)),
 		other:    v.With(string(otherOp)),
 	}
 }
@@ -243,13 +270,20 @@ func (c *opCounters) get(op Op) *metrics.Counter {
 		return c.list
 	case OpSeries:
 		return c.series
+	case OpJoin:
+		return c.join
+	case OpLease:
+		return c.lease
+	case OpView:
+		return c.view
 	}
 	return c.other
 }
 
 // opHistograms is the same resolution for a HistogramVec.
 type opHistograms struct {
-	ping, register, lookup, list, store, fetch, series, batch, forecast, other *metrics.Histogram
+	ping, register, lookup, list, store, fetch, series, batch, forecast *metrics.Histogram
+	join, lease, view, other                                            *metrics.Histogram
 }
 
 func perOpHistograms(v *metrics.HistogramVec) *opHistograms {
@@ -263,6 +297,9 @@ func perOpHistograms(v *metrics.HistogramVec) *opHistograms {
 		series:   v.With(string(OpSeries)),
 		batch:    v.With(string(OpBatch)),
 		forecast: v.With(string(OpForecast)),
+		join:     v.With(string(OpJoin)),
+		lease:    v.With(string(OpLease)),
+		view:     v.With(string(OpView)),
 		other:    v.With(string(otherOp)),
 	}
 }
@@ -287,6 +324,12 @@ func (h *opHistograms) get(op Op) *metrics.Histogram {
 		return h.list
 	case OpSeries:
 		return h.series
+	case OpJoin:
+		return h.join
+	case OpLease:
+		return h.lease
+	case OpView:
+		return h.view
 	}
 	return h.other
 }
@@ -307,4 +350,7 @@ var (
 	mMemoryRequestsByOp = perOpCounters(mMemoryRequests)
 	mMemoryErrorsByOp   = perOpCounters(mMemoryErrors)
 	mMemoryLatencyByOp  = perOpHistograms(mMemoryLatency)
+
+	mClusterRefreshRedirect = mClusterViewRefreshes.With("redirect")
+	mClusterRefreshRegistry = mClusterViewRefreshes.With("registry")
 )

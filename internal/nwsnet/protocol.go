@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"nwscpu/internal/nwsnet/cluster"
 )
 
 // Kind labels a registered component.
@@ -56,6 +58,9 @@ const (
 	OpSeries   Op = "series"   // memory: list stored series keys
 	OpBatch    Op = "batch"    // memory: execute sub-requests in one round trip
 	OpForecast Op = "forecast" // forecaster: predict the next measurement
+	OpJoin     Op = "join"     // registry: enter the cluster (joining, then active)
+	OpLease    Op = "lease"    // registry: renew a member's lease
+	OpView     Op = "view"     // registry: fetch the membership view
 )
 
 // opLabel maps a wire operation to a bounded metric label: known ops map to
@@ -64,7 +69,8 @@ const (
 // per arbitrary op string and grow registry memory without bound.
 func opLabel(op Op) string {
 	switch op {
-	case OpPing, OpRegister, OpLookup, OpList, OpStore, OpFetch, OpSeries, OpBatch, OpForecast:
+	case OpPing, OpRegister, OpLookup, OpList, OpStore, OpFetch, OpSeries, OpBatch, OpForecast,
+		OpJoin, OpLease, OpView:
 		return string(op)
 	}
 	return "other"
@@ -112,6 +118,15 @@ type Request struct {
 	// one round trip. Nesting is rejected. Responses come back in the same
 	// order in Response.Batch.
 	Batch []Request `json:"batch,omitempty"`
+
+	// Cluster membership fields (see docs/PROTOCOL.md, "Cluster
+	// operations"). Member carries the joining/renewing node on OpJoin and
+	// OpLease (lease needs only Member.ID). Epoch is the view epoch the
+	// caller already holds: OpView answers "not modified" (no view) when it
+	// matches the current epoch, and OpLease uses it to decide whether the
+	// renewal response must carry a fresh view.
+	Member *cluster.Member `json:"member,omitempty"`
+	Epoch  uint64          `json:"epoch,omitempty"`
 }
 
 // ForecastResult carries a forecaster answer.
@@ -128,6 +143,46 @@ type ForecastResult struct {
 // (with backoff) where ordinary protocol errors are terminal, and the
 // client circuit breaker counts them as failures of the endpoint.
 const CodeBusy = "busy"
+
+// CodeMoved marks a request routed to a node that does not own its series
+// key under the current membership view. The response carries the server's
+// view so the client refreshes its routing table and re-routes without a
+// registry round trip; the redirect is terminal for the attempt against
+// this endpoint (retrying the same node cannot help) but the routing layer
+// retries against the proper owner.
+const CodeMoved = "moved"
+
+// MovedError is the typed form of a CodeMoved response: the contacted node
+// is not an owner of the key under View (the server's current view, when it
+// attached one).
+type MovedError struct {
+	Addr   string        // the endpoint that redirected
+	Series string        // the misrouted series key, when the server echoed it
+	View   *cluster.View // the server's membership view, nil if absent
+	Msg    string        // the server's human-readable error text
+}
+
+func (e *MovedError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("nwsnet: %s: %s", e.Addr, e.Msg)
+	}
+	return fmt.Sprintf("nwsnet: %s: moved under current view", e.Addr)
+}
+
+// IsMoved extracts the MovedError from an error chain, reporting whether
+// err is an ownership redirect.
+func IsMoved(err error) (*MovedError, bool) {
+	var me *MovedError
+	if errors.As(err, &me) {
+		return me, true
+	}
+	return nil, false
+}
+
+// movedResp builds an ownership redirect carrying the current view.
+func movedResp(view *cluster.View, format string, args ...any) Response {
+	return Response{Error: fmt.Sprintf(format, args...), Code: CodeMoved, View: view}
+}
 
 // errBusySentinel is wrapped into errors built from responses carrying
 // CodeBusy so IsBusy can recognize them across wrapping.
@@ -161,6 +216,12 @@ type Response struct {
 	// request order. The envelope's own Error is empty unless the envelope
 	// itself was malformed; per-sub failures live in Batch[i].Error.
 	Batch []Response `json:"batch,omitempty"`
+
+	// View is the cluster membership snapshot: the answer to OpView and
+	// OpJoin, attached to OpLease renewals when the caller's epoch is
+	// stale, and attached to CodeMoved redirects so misrouted clients
+	// refresh without polling the registry.
+	View *cluster.View `json:"view,omitempty"`
 }
 
 // errResp builds an error response.

@@ -22,11 +22,21 @@ func SeriesKey(host, method string) string {
 //
 // For simulated hosts the caller advances virtual time and calls Step; for
 // live hosts Start runs a wall-clock loop.
+// StoreBackend is the delivery-plane contract a SensorDaemon pushes
+// through: a ReplicaGroup (fixed replica set, full fan-out) and a
+// ClusterClient (partitioned cluster, ring-routed with redirect-driven
+// rebalancing) both satisfy it, so the daemon's store-and-forward logic is
+// identical across deployments.
+type StoreBackend interface {
+	StoreBatch(ctx context.Context, stores []BatchStore) ([]error, error)
+	Health() []ReplicaHealth
+}
+
 type SensorDaemon struct {
 	hostName string
 	host     sensors.Host
 	client   *Client
-	group    *ReplicaGroup
+	group    StoreBackend
 	sensors  []sensors.Sensor
 
 	// Store-and-forward: measurements that could not be delivered are
@@ -100,6 +110,20 @@ func NewSensorDaemonReplicasCodec(hostName string, h sensors.Host, memAddrs []st
 			sensors.NewHybridSensor(h, hybrid),
 		},
 	}
+}
+
+// NewSensorDaemonCluster builds a daemon pushing into a partitioned
+// cluster: measurements are routed by series key to the ring owners under
+// the membership view served by the registry at nsAddr, and each delivery
+// succeeds once a majority of a key's owners acknowledges. Ownership
+// redirects refresh the daemon's routing table in-band, so rebalancing
+// costs one extra round trip, not an outage — and anything still
+// undeliverable rides the same store-and-forward backlog as the replicated
+// path.
+func NewSensorDaemonCluster(hostName string, h sensors.Host, nsAddr string, hybrid sensors.HybridConfig) *SensorDaemon {
+	d := NewSensorDaemonReplicasCodec(hostName, h, nil, 0, hybrid, CodecBinary)
+	d.group = NewClusterClient(d.client, nsAddr)
+	return d
 }
 
 // SetLogger directs the daemon's outage diagnostics (backlog overflow,
