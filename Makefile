@@ -6,9 +6,9 @@ GOFMT ?= gofmt
 #   make fuzz-smoke FUZZTIME=2m
 FUZZTIME ?= 5s
 
-.PHONY: all build test test-race chaos chaos-cluster vet docs-check fuzz-smoke bench bench-forecast bench-forecast-smoke bench-memory bench-memory-smoke bench-wire-smoke bench-paper experiments report clean
+.PHONY: all build test test-race chaos chaos-cluster vet docs-check fuzz-smoke bench bench-forecast bench-forecast-smoke bench-memory bench-memory-smoke bench-wire-smoke bench-subscribe-smoke bench-paper experiments report clean
 
-all: build vet docs-check test chaos-cluster fuzz-smoke bench-forecast-smoke bench-memory-smoke bench-wire-smoke
+all: build vet docs-check test chaos-cluster fuzz-smoke bench-forecast-smoke bench-memory-smoke bench-wire-smoke bench-subscribe-smoke
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,13 @@ bench-memory-smoke:
 # (guards both codecs' serving and client paths under concurrency, not perf).
 bench-wire-smoke:
 	$(GO) run -race ./cmd/nwsload -smoke -wire-only -out /tmp/BENCH_wire.smoke.json
+
+# Read-plane CI smoke: the subscribe_push and tenant_quota rows only — a
+# bounded, down-scaled run under the race detector writing to a scratch
+# file (guards the subscription hub, forecast cache, and tenant quota
+# paths under concurrency, not perf).
+bench-subscribe-smoke:
+	$(GO) run -race ./cmd/nwsload -smoke -subscribe-only -out /tmp/BENCH_subscribe.smoke.json
 
 # One iteration of every table/figure/ablation benchmark at 6-hour scale.
 bench:

@@ -4,6 +4,7 @@
 //	nwsctl -memory localhost:8091 series
 //	nwsctl -memory localhost:8091 fetch thing1/cpu/nws_hybrid [maxPoints]
 //	nwsctl -forecaster localhost:8092 forecast thing1/cpu/nws_hybrid
+//	nwsctl -forecaster localhost:8092 subscribe thing1/cpu/nws_hybrid [n]
 //	nwsctl -nameserver localhost:8090 ping
 //	nwsctl -memory localhost:8091,localhost:8092,localhost:8093 health
 //	nwsctl -nameserver localhost:8090 health
@@ -20,6 +21,12 @@
 // fewer active memory members remain than the replication factor — the
 // cluster analogue of losing write quorum. ring <series> resolves which
 // members own a series key under the current view.
+//
+// subscribe watches a series on the forecaster's push plane: it prints the
+// acknowledgement's current forecast, then one line per server push as the
+// series' forecast changes. With a count n it exits after n pushes;
+// otherwise it runs until the subscription ends (server gone, or the series
+// moved to another shard during a rebalance) or the process is interrupted.
 package main
 
 import (
@@ -46,6 +53,7 @@ func run(args []string, out io.Writer) error {
 	nameserver := fs.String("nameserver", "", "name server address")
 	memory := fs.String("memory", "", "memory server address")
 	forecaster := fs.String("forecaster", "", "forecaster address")
+	tenant := fs.String("tenant", "", "tenant ID to attribute requests to")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,7 +62,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("no command; try: list | series | fetch <key> | forecast <key> | ping | health")
 	}
 
-	c := nwsnet.NewClient(0)
+	c := nwsnet.NewClientOptions(nwsnet.ClientOptions{Tenant: *tenant})
 	switch cmd[0] {
 	case "ping":
 		for _, addr := range []string{*nameserver, *memory, *forecaster} {
@@ -158,6 +166,18 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "forecast %.4f (method %s, MAE %.4f over %d measurements)\n",
 			f.Value, f.Method, f.MAE, f.N)
 		return nil
+	case "subscribe":
+		if *forecaster == "" || len(cmd) < 2 {
+			return fmt.Errorf("subscribe needs -forecaster and a series key")
+		}
+		limit := 0
+		if len(cmd) >= 3 {
+			var err error
+			if limit, err = strconv.Atoi(cmd[2]); err != nil {
+				return fmt.Errorf("bad count %q: %w", cmd[2], err)
+			}
+		}
+		return subscribe(*forecaster, *tenant, cmd[1], limit, out)
 	case "members":
 		if *nameserver == "" {
 			return fmt.Errorf("members needs -nameserver")
@@ -171,6 +191,49 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd[0])
 	}
+}
+
+// subscribe watches series on the forecaster's push plane and prints each
+// pushed forecast. limit > 0 exits after that many pushes.
+func subscribe(addr, tenant, series string, limit int, out io.Writer) error {
+	m, err := nwsnet.DialMuxTenant(addr, tenant, 0)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	type push struct {
+		resp nwsnet.Response
+		err  error
+	}
+	pushes := make(chan push, 64)
+	call := m.Subscribe(series, func(resp nwsnet.Response, err error) {
+		select {
+		case pushes <- push{resp, err}:
+		default: // a stalled stdout must not block the reader goroutine
+		}
+	})
+	ack, err := call.Wait()
+	if err != nil {
+		return fmt.Errorf("subscribe %s: %w", series, err)
+	}
+	if f := ack.Forecast; f != nil {
+		fmt.Fprintf(out, "current  %.4f (method %s, MAE %.4f over %d measurements)\n",
+			f.Value, f.Method, f.MAE, f.N)
+	} else {
+		fmt.Fprintf(out, "current  no forecast yet (series empty)\n")
+	}
+	for n := 0; limit <= 0 || n < limit; {
+		p := <-pushes
+		if p.err != nil {
+			return fmt.Errorf("subscription ended: %w", p.err)
+		}
+		if f := p.resp.Forecast; f != nil {
+			fmt.Fprintf(out, "push     %.4f (method %s, MAE %.4f over %d measurements)\n",
+				f.Value, f.Method, f.MAE, f.N)
+			n++
+		}
+	}
+	return nil
 }
 
 // members prints the cluster membership view — epoch, ring geometry, and

@@ -41,6 +41,16 @@
 //
 //	nwsd -role memory -listen :8091 -max-conns 512 -max-inflight 64
 //
+// Server roles also take -tenant-rate / -tenant-burst to layer per-tenant
+// token-bucket quotas on those limits (clients name their tenant with the
+// hello op; an over-quota tenant is answered with the same retryable busy).
+// The forecaster role additionally accepts -push-refresh, the cadence at
+// which it re-reads watched series and pushes changed forecasts to
+// subscribers — see "Subscriptions and server push" in docs/PROTOCOL.md:
+//
+//	nwsd -role forecaster -listen :8093 -memory localhost:8091 \
+//	     -push-refresh 5s -tenant-rate 100 -tenant-burst 200
+//
 // A partitioned cluster shards the series key space across many memory
 // servers (see "The partitioned cluster" in docs/ARCHITECTURE.md). The
 // nameserver role is the cluster registry; -replication and -vnodes set the
@@ -113,6 +123,9 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "server roles: how long a request may wait for an in-flight slot before being shed (with -max-inflight)")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "server roles: disconnect connections idle this long (0 = never)")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "server roles: disconnect clients that stall reading a response this long (0 = never)")
+	tenantRate := flag.Float64("tenant-rate", 0, "server roles: per-tenant sustained requests/sec (tenants identify with a hello); over-quota requests shed with a retryable busy error (0 = no quotas)")
+	tenantBurst := flag.Int("tenant-burst", 0, "server roles: per-tenant burst capacity above -tenant-rate (0 = max(1, rate))")
+	pushRefresh := flag.Duration("push-refresh", 5*time.Second, "forecaster: poll memory and push changed forecasts to subscribers this often (0 = serve subscriptions but never push)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "nwsd: ", log.LstdFlags)
@@ -123,12 +136,15 @@ func main() {
 		metricsAddr: *metricsAddr, replicas: *replicas, codec: nwsnet.Codec(*codec),
 		clusterAddr: *clusterAddr, nodeID: *nodeID,
 		replication: *replication, vnodes: *vnodes,
+		pushRefresh: *pushRefresh,
 		limits: nwsnet.ServerLimits{
 			MaxConns:     *maxConns,
 			MaxInFlight:  *maxInFlight,
 			QueueWait:    *queueWait,
 			IdleTimeout:  *idleTimeout,
 			WriteTimeout: *writeTimeout,
+			TenantRate:   *tenantRate,
+			TenantBurst:  *tenantBurst,
 		},
 	}
 	if err := run(opts, logger); err != nil {
@@ -155,6 +171,10 @@ type daemonOpts struct {
 	// codec is the wire codec client roles speak to the memory servers; the
 	// zero value selects the binary (v2) default.
 	codec nwsnet.Codec
+	// pushRefresh is the forecaster's subscription refresher interval: how
+	// often it polls memory for new points and pushes changed forecasts to
+	// subscribers. 0 disables pushing (subscriptions still acknowledge).
+	pushRefresh time.Duration
 	// limits is the server-role overload protection; the zero value (what
 	// tests constructing daemonOpts directly get) imposes no limits.
 	limits nwsnet.ServerLimits
@@ -213,6 +233,10 @@ func run(o daemonOpts, logger *log.Logger) error {
 			logger.Printf("forecaster warmed with %d points", n)
 		}
 		cancel()
+		if o.pushRefresh > 0 {
+			fs.StartRefresher(o.pushRefresh)
+			defer fs.StopRefresher()
+		}
 		return serve(o, fs, logger)
 	case "reflector":
 		r := netsensor.NewReflector()
@@ -427,10 +451,18 @@ func runClusterForecaster(o daemonOpts, logger *log.Logger) error {
 	if id == "" {
 		id = addr
 	}
+	fs.SetClusterSelf(id)
 	agent := nwsnet.NewClusterAgent(nil, o.clusterAddr, cluster.Member{
 		ID: id, Kind: string(nwsnet.KindForecaster), Addr: addr,
 	}, nil)
 	agent.SetLogger(logger)
+	// Terminate subscriptions for series this shard no longer owns on every
+	// adopted view, redirecting subscribers with the authoritative view.
+	agent.OnView(fs.AdoptView)
+	if o.pushRefresh > 0 {
+		fs.StartRefresher(o.pushRefresh)
+		defer fs.StopRefresher()
+	}
 	interval := o.period / 3
 	if interval <= 0 {
 		interval = time.Second

@@ -53,10 +53,12 @@ import (
 	"runtime/pprof"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nwscpu/internal/nwsnet"
 	"nwscpu/internal/nwsnet/cluster"
+	"nwscpu/internal/resilience"
 	"nwscpu/internal/series"
 )
 
@@ -137,6 +139,12 @@ type config struct {
 	Pipeline int     `json:"pipeline"`         // in-flight requests per worker, pipelined scenarios
 	Skew     float64 `json:"skew,omitempty"`   // Zipf s for key selection (0 = uniform rotation)
 	WireOnly bool    `json:"wire_only,omitempty"`
+	// Subscribers is the concurrent-subscription count of the
+	// subscribe_push scenario (spread over Clients multiplexed
+	// connections); SubOnly restricts the run to the read-plane rows
+	// (make bench-subscribe-smoke).
+	Subscribers int  `json:"subscribers,omitempty"`
+	SubOnly     bool `json:"subscribe_only,omitempty"`
 }
 
 // Measurement is one scenario's sustained observed performance.
@@ -151,6 +159,13 @@ type Measurement struct {
 	// 4-member consistent-hash ring — uniform rotation lands near 25% each,
 	// while -skew concentrates ops on whichever shards own the hot keys.
 	ShardOps map[string]int64 `json:"shard_ops,omitempty"`
+	// Read-plane extras: Subscribers and CacheHitRate on the
+	// subscribe_push row (ops there are received pushes, latency is
+	// store-to-push including the refresher tick), Throttled on the
+	// tenant_quota/contended row (the hog tenant's busy-shed ops).
+	Subscribers  int     `json:"subscribers,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	Throttled    int64   `json:"throttled_ops,omitempty"`
 }
 
 // Result is one scenario's row in the report.
@@ -175,6 +190,19 @@ type Acceptance struct {
 	WireStoreOpsPerSecBinary    float64 `json:"wire_store_ops_per_sec_binary"` // binary-pipelined
 	WireSpeedup                 float64 `json:"wire_speedup"`
 	Meets10xWireStoreThroughput bool    `json:"meets_10x_wire_store_throughput"`
+
+	// Read plane: the subscribe_push scenario must hold a >=90% forecast
+	// cache hit rate under its store/query mix, and the tenant_quota pair
+	// must shed the hog tenant while the paced good tenants' store p99
+	// stays within 2x of their uncontended baseline.
+	SubscribePushP99Micros float64 `json:"subscribe_push_p99_us,omitempty"`
+	ForecastCacheHitRate   float64 `json:"forecast_cache_hit_rate,omitempty"`
+	Meets90PctCacheHitRate bool    `json:"meets_90pct_cache_hit_rate,omitempty"`
+	TenantGoodP99Baseline  float64 `json:"tenant_good_p99_us_baseline,omitempty"`
+	TenantGoodP99Contended float64 `json:"tenant_good_p99_us_contended,omitempty"`
+	TenantP99Ratio         float64 `json:"tenant_p99_ratio,omitempty"`
+	TenantThrottledOps     int64   `json:"tenant_throttled_ops,omitempty"`
+	MeetsTenantIsolation   bool    `json:"meets_tenant_isolation,omitempty"`
 }
 
 // Report is the BENCH_memory.json document.
@@ -566,6 +594,309 @@ func wireFetchScenario(cfg config, h nwsnet.Handler, codec nwsnet.Codec) Measure
 	})
 }
 
+// quantilesOf sorts lats in place and fills the measurement's latency
+// quantiles.
+func quantilesOf(m *Measurement, lats []float64) {
+	sort.Float64s(lats)
+	q := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(p*float64(len(lats)-1))]
+	}
+	m.P50Micros, m.P90Micros, m.P99Micros = q(0.50), q(0.90), q(0.99)
+}
+
+// subscribeScenario measures the multi-tenant read plane end to end: nSubs
+// subscriptions spread over nConns multiplexed connections against a live
+// forecaster (fed by a live memory server, refresher ticking), while a
+// store driver changes a rotating batch of series each tick and query
+// workers hammer OpForecast to exercise the forecast cache. Ops are
+// received pushes; latency is store-to-push wall time, which includes
+// waiting out the refresher tick — the figure a subscriber actually
+// experiences. CacheHitRate is the forecaster's hits/(hits+misses) over
+// the whole scenario.
+func subscribeScenario(cfg config, nSubs, nConns int, tick time.Duration) Measurement {
+	mem := nwsnet.NewMemory(cfg.Capacity)
+	keys := make([]string, cfg.Series)
+	next := make([]float64, cfg.Series)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sub/host%03d/cpu", i)
+		pts := make([][2]float64, 16)
+		for t := range pts {
+			pts[t] = [2]float64{float64(t + 1), 0.5}
+		}
+		if resp := mem.Handle(nwsnet.Request{Op: nwsnet.OpStore, Series: keys[i], Points: pts}); resp.Error != "" {
+			panic("nwsload: subscribe seed: " + resp.Error)
+		}
+		next[i] = float64(len(pts) + 1)
+	}
+	memAddr, stopMem := startServer(mem)
+	defer stopMem()
+	f := nwsnet.NewForecasterService(memAddr, 10*time.Second)
+	f.StartRefresher(tick)
+	defer f.StopRefresher()
+	fcAddr, stopFc := startServer(f)
+	defer stopFc()
+
+	if max := nConns * cfg.Series; nSubs > max {
+		nSubs = max // one subscription per (connection, series) pair
+	}
+	// stamps[i] is the wall time of the latest store on series i; a push
+	// arriving before any timed store (the initial catch-up) is not counted.
+	stamps := make([]atomic.Int64, cfg.Series)
+	var pushed atomic.Int64
+	var latMu sync.Mutex
+	var lats []float64
+
+	conns := make([]*nwsnet.MuxConn, nConns)
+	for i := range conns {
+		mux, err := nwsnet.DialMux(fcAddr, 10*time.Second)
+		if err != nil {
+			panic("nwsload: dial mux: " + err.Error())
+		}
+		defer mux.Close()
+		conns[i] = mux
+	}
+	calls := make([]*nwsnet.MuxCall, 0, nSubs)
+	for i := 0; i < nSubs; i++ {
+		idx := (i / nConns) % cfg.Series
+		calls = append(calls, conns[i%nConns].Subscribe(keys[idx], func(resp nwsnet.Response, err error) {
+			if err != nil || resp.Forecast == nil {
+				return
+			}
+			t0 := stamps[idx].Load()
+			if t0 == 0 {
+				return
+			}
+			lat := float64(time.Now().UnixNano()-t0) / 1e3
+			pushed.Add(1)
+			latMu.Lock()
+			lats = append(lats, lat)
+			latMu.Unlock()
+		}))
+	}
+	for _, c := range calls {
+		if _, err := c.Wait(); err != nil {
+			panic("nwsload: subscribe: " + err.Error())
+		}
+	}
+
+	// Query workers: cache reads riding on the same serving plane.
+	queryStop := make(chan struct{})
+	var qwg sync.WaitGroup
+	for q := 0; q < 4; q++ {
+		q := q
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			mux, err := nwsnet.DialMux(fcAddr, 10*time.Second)
+			if err != nil {
+				panic("nwsload: dial query mux: " + err.Error())
+			}
+			defer mux.Close()
+			for i := q; ; i += 4 {
+				select {
+				case <-queryStop:
+					return
+				default:
+				}
+				if _, err := mux.Do(nwsnet.Request{Op: nwsnet.OpForecast, Series: keys[i%cfg.Series]}); err != nil {
+					panic("nwsload: query forecast: " + err.Error())
+				}
+			}
+		}()
+	}
+
+	// Store driver: one rotating batch of series changes per tick.
+	batch := cfg.Series / 16
+	if batch < 1 {
+		batch = 1
+	}
+	start := time.Now()
+	deadline := start.Add(time.Duration(cfg.Duration * float64(time.Second)))
+	for round := 0; time.Now().Before(deadline); round++ {
+		for b := 0; b < batch; b++ {
+			idx := (round*batch + b) % cfg.Series
+			stamps[idx].Store(time.Now().UnixNano())
+			if resp := mem.Handle(nwsnet.Request{Op: nwsnet.OpStore, Series: keys[idx],
+				Points: [][2]float64{{next[idx], 0.5}}}); resp.Error != "" {
+				panic("nwsload: subscribe store: " + resp.Error)
+			}
+			next[idx]++
+		}
+		time.Sleep(tick)
+	}
+	// Let the final tick's pushes land before reading the counters.
+	time.Sleep(2 * tick)
+	elapsed := time.Since(start).Seconds()
+	close(queryStop)
+	qwg.Wait()
+
+	hits, misses, _ := f.CacheStats()
+	var m Measurement
+	m.Ops = pushed.Load()
+	m.OpsPerSec = float64(m.Ops) / elapsed
+	m.Subscribers = nSubs
+	if hits+misses > 0 {
+		m.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	latMu.Lock()
+	quantilesOf(&m, lats)
+	latMu.Unlock()
+	return m
+}
+
+// tenantScenario measures per-tenant quota isolation on the serving plane:
+// paced "good" tenants (each its own quota bucket, issuing far under
+// TenantRate) are measured alone for a baseline, then again while hog
+// workers sharing one over-quota tenant hammer the same server, retrying
+// each shed after a short breath. The hog must be shed with retryable busy
+// errors, and the good tenants' store p99 must stay within 2x of baseline —
+// quota pressure lands on the tenant that caused it.
+func tenantScenario(cfg config) (baseline, contended Measurement) {
+	// The read-plane scenario runs just before this one in the same process
+	// and retires a large heap (10k+ subscriptions); flush it so its GC debt
+	// isn't collected inside the baseline's latency window.
+	runtime.GC()
+	const (
+		tenantRate  = 1000 // sustained req/s per tenant bucket
+		tenantBurst = 100
+		goodWorkers = 4
+		hogWorkers  = 4
+	)
+	goodPace := 2 * time.Millisecond // 500 req/s per good tenant, half its quota
+	mem := nwsnet.NewMemory(cfg.Capacity)
+	srv := nwsnet.NewServerLimits(mem, nil, nwsnet.ServerLimits{
+		TenantRate: tenantRate, TenantBurst: tenantBurst,
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		panic("nwsload: listen: " + err.Error())
+	}
+	defer srv.Close()
+
+	half := time.Duration(cfg.Duration * float64(time.Second) / 2)
+	// The first few ops pay for the dial, the hello exchange, and warming
+	// the server's stripe for the key; discard them so the p99 compares
+	// steady-state phases instead of cold-start artifacts that dwarf the
+	// quota's effect. Capped to a quarter of the window so a -smoke run
+	// still records samples.
+	warmupOps := 25
+	if n := int(half/goodPace) / 4; n < warmupOps {
+		warmupOps = n
+	}
+	runGood := func(deadline time.Time) (Measurement, []float64) {
+		var wg sync.WaitGroup
+		latCh := make([][]float64, goodWorkers)
+		ops := make([]int64, goodWorkers)
+		for g := 0; g < goodWorkers; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := nwsnet.NewClientOptions(nwsnet.ClientOptions{
+					Timeout: 10 * time.Second, MaxIdlePerAddr: 1,
+					Codec: nwsnet.CodecBinary, Tenant: fmt.Sprintf("good-%d", g),
+				})
+				defer c.Close()
+				key := fmt.Sprintf("tenant/good%d/cpu", g)
+				for t := 1.0; time.Now().Before(deadline); t++ {
+					t0 := time.Now()
+					if err := c.Store(addr, key, [][2]float64{{t, 0.5}}); err != nil {
+						panic("nwsload: good tenant store: " + err.Error())
+					}
+					if t > float64(warmupOps) {
+						latCh[g] = append(latCh[g], float64(time.Since(t0).Nanoseconds())/1e3)
+						ops[g]++
+					}
+					if d := goodPace - time.Since(t0); d > 0 {
+						time.Sleep(d)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		var m Measurement
+		var lats []float64
+		for g := range latCh {
+			m.Ops += ops[g]
+			lats = append(lats, latCh[g]...)
+		}
+		m.OpsPerSec = float64(m.Ops) / half.Seconds()
+		quantilesOf(&m, lats)
+		return m, lats
+	}
+
+	// A single p99 over one ~1s window is at the mercy of whatever GC cycle
+	// or scheduler burst lands inside it, so each phase runs three trials —
+	// fresh connections, fresh warmup — and computes its quantiles over the
+	// pooled samples, trading a longer run for a tail estimate stable enough
+	// to compare across phases on small, shared machines.
+	const trials = 3
+	runPhase := func() Measurement {
+		var m Measurement
+		var all []float64
+		for i := 0; i < trials; i++ {
+			t, lats := runGood(time.Now().Add(half))
+			m.Ops += t.Ops
+			all = append(all, lats...)
+		}
+		m.OpsPerSec = float64(m.Ops) / (time.Duration(trials) * half).Seconds()
+		quantilesOf(&m, all)
+		return m
+	}
+
+	baseline = runPhase()
+
+	// Contended phase: the hog shares one tenant bucket across its workers
+	// and offers far more than its rate, so nearly everything past the
+	// bucket rate is shed busy. Hog ops count only successes; sheds are
+	// tallied separately.
+	var hogOps, hogShed atomic.Int64
+	// Slack past the last trial's deadline keeps every trial fully contended
+	// despite the small gaps between them.
+	hogDeadline := time.Now().Add(trials*half + 250*time.Millisecond)
+	var hwg sync.WaitGroup
+	for h := 0; h < hogWorkers; h++ {
+		h := h
+		hwg.Add(1)
+		go func() {
+			defer hwg.Done()
+			c := nwsnet.NewClientOptions(nwsnet.ClientOptions{
+				Timeout: 10 * time.Second, MaxIdlePerAddr: 1,
+				Codec: nwsnet.CodecBinary, Tenant: "hog",
+				// No retries: each quota shed surfaces immediately, so the
+				// scenario counts sheds instead of retry backoff sleeps.
+				Retry: resilience.Policy{MaxAttempts: 1},
+			})
+			defer c.Close()
+			key := fmt.Sprintf("tenant/hog%d/cpu", h)
+			for t := 1.0; time.Now().Before(hogDeadline); t++ {
+				err := c.Store(addr, key, [][2]float64{{t, 0.5}})
+				switch {
+				case err == nil:
+					hogOps.Add(1)
+				case nwsnet.IsBusy(err):
+					hogShed.Add(1)
+					// An aggressive-but-sane client: retry hot after a short
+					// breath rather than spinning through the shed path. On
+					// small machines an unpaced busy-loop turns the benchmark
+					// into a CPU-scheduling contest that drowns the good
+					// tenants' p99 in noise the quota can't control.
+					time.Sleep(5 * time.Millisecond)
+				default:
+					panic("nwsload: hog tenant store: " + err.Error())
+				}
+			}
+		}()
+	}
+	contended = runPhase()
+	hwg.Wait()
+	contended.Throttled = hogShed.Load()
+	return baseline, contended
+}
+
 // runAll executes every scenario the config selects and assembles the
 // report. -codec restricts the wire rows to one codec; -wire-only skips the
 // handler-level rows (and the JSON-codec seed-memory context rows with
@@ -586,10 +917,10 @@ func runAll(cfg config) Report {
 		rep.Results = append(rep.Results, Result{Name: name, Current: m})
 		return m
 	}
-	doJSON := cfg.Codec == "json" || cfg.Codec == "both"
-	doBin := cfg.Codec == "binary" || cfg.Codec == "both"
+	doJSON := (cfg.Codec == "json" || cfg.Codec == "both") && !cfg.SubOnly
+	doBin := (cfg.Codec == "binary" || cfg.Codec == "both") && !cfg.SubOnly
 
-	if !cfg.WireOnly {
+	if !cfg.WireOnly && !cfg.SubOnly {
 		seed := add("serve_store/seed", serveScenario(cfg, newSeedMemory(cfg.Capacity)))
 		sharded := add("serve_store/sharded", serveScenario(cfg, nwsnet.NewMemory(cfg.Capacity)))
 		rep.Acceptance.StoreOpsPerSecSeed = seed.OpsPerSec
@@ -625,6 +956,24 @@ func runAll(cfg config) Report {
 		rep.Acceptance.WireSpeedup = binPipeStore.OpsPerSec / jsonStore.OpsPerSec
 		rep.Acceptance.Meets10xWireStoreThroughput = rep.Acceptance.WireSpeedup >= 10
 	}
+
+	// Read-plane rows (binary-only: subscriptions are a v2 construct).
+	if cfg.Subscribers > 0 && cfg.Codec != "json" {
+		sub := add("subscribe_push/binary", subscribeScenario(cfg, cfg.Subscribers, cfg.Clients, 20*time.Millisecond))
+		rep.Acceptance.SubscribePushP99Micros = sub.P99Micros
+		rep.Acceptance.ForecastCacheHitRate = sub.CacheHitRate
+		rep.Acceptance.Meets90PctCacheHitRate = sub.CacheHitRate >= 0.90
+		base, cont := tenantScenario(cfg)
+		add("tenant_quota/baseline", base)
+		add("tenant_quota/contended", cont)
+		rep.Acceptance.TenantGoodP99Baseline = base.P99Micros
+		rep.Acceptance.TenantGoodP99Contended = cont.P99Micros
+		if base.P99Micros > 0 {
+			rep.Acceptance.TenantP99Ratio = cont.P99Micros / base.P99Micros
+		}
+		rep.Acceptance.TenantThrottledOps = cont.Throttled
+		rep.Acceptance.MeetsTenantIsolation = cont.Throttled > 0 && rep.Acceptance.TenantP99Ratio <= 2
+	}
 	return rep
 }
 
@@ -648,6 +997,8 @@ func main() {
 	pipeline := flag.Int("pipeline", 64, "in-flight requests per worker in */binary-pipelined scenarios")
 	skew := flag.Float64("skew", 0, "Zipf parameter s (> 1) for skewed key selection (0 = uniform rotation)")
 	wireOnly := flag.Bool("wire-only", false, "skip the handler-level serve_store and seed-memory scenarios")
+	subscribers := flag.Int("subscribers", 10000, "concurrent subscriptions in the subscribe_push scenario (0 skips the read-plane rows)")
+	subOnly := flag.Bool("subscribe-only", false, "run only the read-plane rows: subscribe_push and tenant_quota (make bench-subscribe-smoke)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
 
@@ -675,10 +1026,12 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := config{Clients: *clients, Series: *nSeries, Capacity: *capacity,
-		Duration: duration.Seconds(), Codec: *codec, Pipeline: *pipeline, Skew: *skew, WireOnly: *wireOnly}
+		Duration: duration.Seconds(), Codec: *codec, Pipeline: *pipeline, Skew: *skew,
+		WireOnly: *wireOnly, Subscribers: *subscribers, SubOnly: *subOnly}
 	if *smoke {
 		cfg = config{Clients: 8, Series: 32, Capacity: 256, Duration: 0.1,
-			Codec: *codec, Pipeline: min(*pipeline, 8), Skew: *skew, WireOnly: *wireOnly}
+			Codec: *codec, Pipeline: min(*pipeline, 8), Skew: *skew,
+			WireOnly: *wireOnly, Subscribers: min(*subscribers, 256), SubOnly: *subOnly}
 	}
 	if cfg.Series < cfg.Clients {
 		fmt.Fprintln(os.Stderr, "nwsload: -series must be >= -clients")
@@ -702,15 +1055,24 @@ func main() {
 		}
 		fmt.Println(line)
 	}
-	if !cfg.WireOnly {
+	if !cfg.WireOnly && !cfg.SubOnly {
 		fmt.Printf("store serving path: %.0f -> %.0f ops/s (%.1fx, 5x met: %v)\n",
 			rep.Acceptance.StoreOpsPerSecSeed, rep.Acceptance.StoreOpsPerSecSharded,
 			rep.Acceptance.StoreSpeedup, rep.Acceptance.Meets5xStoreThroughput)
 	}
-	if cfg.Codec == "both" {
+	if cfg.Codec == "both" && !cfg.SubOnly {
 		fmt.Printf("wire store path: json %.0f -> binary-pipelined %.0f ops/s (%.1fx, 10x met: %v)\n",
 			rep.Acceptance.WireStoreOpsPerSecJSON, rep.Acceptance.WireStoreOpsPerSecBinary,
 			rep.Acceptance.WireSpeedup, rep.Acceptance.Meets10xWireStoreThroughput)
+	}
+	if cfg.Subscribers > 0 && cfg.Codec != "json" {
+		fmt.Printf("read plane: %d subscribers, push p99 %.0fus, cache hit rate %.1f%% (90%% met: %v)\n",
+			cfg.Subscribers, rep.Acceptance.SubscribePushP99Micros,
+			rep.Acceptance.ForecastCacheHitRate*100, rep.Acceptance.Meets90PctCacheHitRate)
+		fmt.Printf("tenant quota: good p99 %.0f -> %.0fus (%.1fx, 2x met: %v), hog shed %d ops\n",
+			rep.Acceptance.TenantGoodP99Baseline, rep.Acceptance.TenantGoodP99Contended,
+			rep.Acceptance.TenantP99Ratio, rep.Acceptance.MeetsTenantIsolation,
+			rep.Acceptance.TenantThrottledOps)
 	}
 	fmt.Printf("wrote %s\n", *out)
 }

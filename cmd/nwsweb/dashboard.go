@@ -34,12 +34,19 @@ type dashboard struct {
 	mux        *http.ServeMux
 }
 
-func newDashboard(memory, forecaster string) *dashboard {
+// newDashboard builds the handler. tenant, when non-empty, attributes every
+// outbound backend call to that tenant's quota bucket (nwsd -tenant-rate),
+// so a dashboard's read traffic is throttled like any other tenant's
+// instead of riding anonymously.
+func newDashboard(memory, forecaster, tenant string) *dashboard {
 	d := &dashboard{
 		memory:     memory,
 		forecaster: forecaster,
-		client:     nwsnet.NewClient(5 * time.Second),
-		mux:        http.NewServeMux(),
+		client: nwsnet.NewClientOptions(nwsnet.ClientOptions{
+			Timeout: 5 * time.Second,
+			Tenant:  tenant,
+		}),
+		mux: http.NewServeMux(),
 	}
 	d.mux.HandleFunc("/", d.handleIndex)
 	d.mux.HandleFunc("/api/series", d.handleSeriesList)

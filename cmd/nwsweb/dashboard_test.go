@@ -41,7 +41,7 @@ func startBackends(t *testing.T) (memAddr, fcAddr string) {
 
 func TestDashboardIndex(t *testing.T) {
 	memAddr, fcAddr := startBackends(t)
-	d := newDashboard(memAddr, fcAddr)
+	d := newDashboard(memAddr, fcAddr, "")
 	ts := httptest.NewServer(d)
 	defer ts.Close()
 
@@ -72,7 +72,7 @@ func TestDashboardIndex(t *testing.T) {
 
 func TestDashboardAPI(t *testing.T) {
 	memAddr, fcAddr := startBackends(t)
-	d := newDashboard(memAddr, fcAddr)
+	d := newDashboard(memAddr, fcAddr, "")
 	ts := httptest.NewServer(d)
 	defer ts.Close()
 
@@ -121,7 +121,7 @@ func TestDashboardAPI(t *testing.T) {
 
 func TestDashboardErrors(t *testing.T) {
 	memAddr, _ := startBackends(t)
-	d := newDashboard(memAddr, "") // no forecaster
+	d := newDashboard(memAddr, "", "") // no forecaster
 	ts := httptest.NewServer(d)
 	defer ts.Close()
 
@@ -148,7 +148,7 @@ func TestDashboardErrors(t *testing.T) {
 }
 
 func TestDashboardDeadMemory(t *testing.T) {
-	d := newDashboard("127.0.0.1:1", "")
+	d := newDashboard("127.0.0.1:1", "", "")
 	ts := httptest.NewServer(d)
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/api/series")
@@ -163,7 +163,7 @@ func TestDashboardDeadMemory(t *testing.T) {
 
 func TestDashboardMetricsEndpoints(t *testing.T) {
 	memAddr, fcAddr := startBackends(t)
-	d := newDashboard(memAddr, fcAddr)
+	d := newDashboard(memAddr, fcAddr, "")
 	ts := httptest.NewServer(d)
 	defer ts.Close()
 
@@ -218,7 +218,7 @@ func TestDashboardMetricsEndpoints(t *testing.T) {
 
 func TestDashboardIndexMetricsPanel(t *testing.T) {
 	memAddr, _ := startBackends(t)
-	d := newDashboard(memAddr, "")
+	d := newDashboard(memAddr, "", "")
 	ts := httptest.NewServer(d)
 	defer ts.Close()
 

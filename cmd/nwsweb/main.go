@@ -30,13 +30,14 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
 	memory := flag.String("memory", "", "memory server address (required)")
 	forecaster := flag.String("forecaster", "", "forecaster service address (optional)")
+	tenant := flag.String("tenant", "", "tenant ID to attribute backend calls to (optional; see nwsd -tenant-rate)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "nwsweb: ", log.LstdFlags)
 	if *memory == "" {
 		logger.Fatal("-memory is required")
 	}
-	srv := newDashboard(*memory, *forecaster)
+	srv := newDashboard(*memory, *forecaster, *tenant)
 	logger.Printf("dashboard on http://%s/ (memory %s)", *listen, *memory)
 	logger.Fatal(http.ListenAndServe(*listen, srv))
 }

@@ -93,35 +93,41 @@ const maxBatchDepth = 4
 // Binary opcodes, one per protocol Op. The table is mirrored in the
 // "Operations" table of docs/PROTOCOL.md (enforced by docs-check).
 const (
-	binOpPing     byte = 0x01
-	binOpRegister byte = 0x02
-	binOpLookup   byte = 0x03
-	binOpList     byte = 0x04
-	binOpStore    byte = 0x05
-	binOpFetch    byte = 0x06
-	binOpSeries   byte = 0x07
-	binOpBatch    byte = 0x08
-	binOpForecast byte = 0x09
-	binOpJoin     byte = 0x0A
-	binOpLease    byte = 0x0B
-	binOpView     byte = 0x0C
+	binOpPing        byte = 0x01
+	binOpRegister    byte = 0x02
+	binOpLookup      byte = 0x03
+	binOpList        byte = 0x04
+	binOpStore       byte = 0x05
+	binOpFetch       byte = 0x06
+	binOpSeries      byte = 0x07
+	binOpBatch       byte = 0x08
+	binOpForecast    byte = 0x09
+	binOpJoin        byte = 0x0A
+	binOpLease       byte = 0x0B
+	binOpView        byte = 0x0C
+	binOpSubscribe   byte = 0x0D
+	binOpUnsubscribe byte = 0x0E
+	binOpHello       byte = 0x0F
 )
 
 // wireOps is the canonical Op ↔ opcode registry: the ops the wire speaks, in
 // both codecs. docs-check compares the PROTOCOL.md op tables against it.
 var wireOps = map[Op]byte{
-	OpPing:     binOpPing,
-	OpRegister: binOpRegister,
-	OpLookup:   binOpLookup,
-	OpList:     binOpList,
-	OpStore:    binOpStore,
-	OpFetch:    binOpFetch,
-	OpSeries:   binOpSeries,
-	OpBatch:    binOpBatch,
-	OpForecast: binOpForecast,
-	OpJoin:     binOpJoin,
-	OpLease:    binOpLease,
-	OpView:     binOpView,
+	OpPing:        binOpPing,
+	OpRegister:    binOpRegister,
+	OpLookup:      binOpLookup,
+	OpList:        binOpList,
+	OpStore:       binOpStore,
+	OpFetch:       binOpFetch,
+	OpSeries:      binOpSeries,
+	OpBatch:       binOpBatch,
+	OpForecast:    binOpForecast,
+	OpJoin:        binOpJoin,
+	OpLease:       binOpLease,
+	OpView:        binOpView,
+	OpSubscribe:   binOpSubscribe,
+	OpUnsubscribe: binOpUnsubscribe,
+	OpHello:       binOpHello,
 }
 
 // binOpToOp is the reverse mapping, built once at init.
@@ -485,8 +491,10 @@ func encodeRequestBody(b []byte, req Request, depth int) ([]byte, error) {
 		b = appendF64(b, req.From)
 		b = appendF64(b, req.To)
 		b = binary.AppendUvarint(b, uint64(max(req.Max, 0)))
-	case OpForecast:
+	case OpForecast, OpSubscribe, OpUnsubscribe:
 		b = appendString(b, req.Series)
+	case OpHello:
+		b = appendString(b, req.Tenant)
 	case OpJoin, OpLease:
 		b = appendMember(b, req.Member)
 		b = binary.AppendUvarint(b, req.Epoch)
@@ -587,8 +595,12 @@ func decodeRequestBody(r *binReader, depth int) (Request, error) {
 			return req, errBinMalformed
 		}
 		req.Max = int(m)
-	case OpForecast:
+	case OpForecast, OpSubscribe, OpUnsubscribe:
 		if req.Series, err = r.str(); err != nil {
+			return req, err
+		}
+	case OpHello:
+		if req.Tenant, err = r.str(); err != nil {
 			return req, err
 		}
 	case OpJoin, OpLease:

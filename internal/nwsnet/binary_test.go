@@ -259,7 +259,7 @@ func TestFrameRoundTrip(t *testing.T) {
 // silently into a codec that cannot carry it.
 func TestWireOpsCoverAllOps(t *testing.T) {
 	all := []Op{OpPing, OpRegister, OpLookup, OpList, OpStore, OpFetch, OpSeries, OpBatch, OpForecast,
-		OpJoin, OpLease, OpView}
+		OpJoin, OpLease, OpView, OpSubscribe, OpUnsubscribe, OpHello}
 	if len(wireOps) != len(all) {
 		t.Errorf("wireOps has %d entries, protocol has %d ops", len(wireOps), len(all))
 	}

@@ -56,6 +56,11 @@ type ClientOptions struct {
 	// A server that declines v2 fails the call with a terminal error naming
 	// the accepted version, so misconfiguration surfaces instead of looping.
 	Codec Codec
+	// Tenant, when non-empty, names the tenant every connection announces
+	// with an OpHello before its first request, so servers enforcing
+	// per-tenant quotas (ServerLimits.TenantRate) attribute this client's
+	// traffic correctly. Unattributed clients share the anonymous bucket.
+	Tenant string
 }
 
 // Client performs protocol calls against nwsnet servers. Connections are
@@ -71,6 +76,7 @@ type Client struct {
 	idleTimeout time.Duration
 	breakerCfg  *resilience.BreakerConfig
 	codec       Codec
+	tenant      string
 
 	mu       sync.Mutex
 	pools    map[string]*resilience.Pool
@@ -105,6 +111,7 @@ func NewClientOptions(o ClientOptions) *Client {
 		idleTimeout: o.IdleTimeout,
 		breakerCfg:  o.Breaker,
 		codec:       codec,
+		tenant:      o.Tenant,
 		pools:       make(map[string]*resilience.Pool),
 		breakers:    make(map[string]*resilience.Breaker),
 	}
@@ -122,6 +129,9 @@ type poolConn struct {
 	negotiated bool
 	nextID     uint64
 	rbuf       []byte
+
+	// helloDone records that the connection has announced its tenant.
+	helloDone bool
 }
 
 func (pc *poolConn) Close() error { return pc.c.Close() }
@@ -235,6 +245,13 @@ func (c *Client) exchange(ctx context.Context, addr string, req Request) (Respon
 		pl.Put(pc, false)
 		return Response{}, err
 	}
+	if c.tenant != "" && !pc.helloDone {
+		if err := c.hello(pc, addr); err != nil {
+			pl.Put(pc, false)
+			return Response{}, err
+		}
+		pc.helloDone = true
+	}
 	if c.codec == CodecBinary {
 		resp, err := exchangeBinary(pc, addr, req)
 		if err == errShedConn {
@@ -317,6 +334,26 @@ func exchangeBinary(pc *poolConn, addr string, req Request) (Response, error) {
 // errShedConn marks a connection-level busy response (request ID 0): the
 // response itself is valid, but the connection must not be reused.
 var errShedConn = errors.New("nwsnet: connection shed by server")
+
+// hello announces the client's tenant as a connection's first request, on
+// whichever codec the connection speaks.
+func (c *Client) hello(pc *poolConn, addr string) error {
+	req := Request{Op: OpHello, Tenant: c.tenant}
+	var resp Response
+	var err error
+	if c.codec == CodecBinary {
+		resp, err = exchangeBinary(pc, addr, req)
+	} else if err = writeMsg(pc.w, req); err == nil {
+		err = readMsg(pc.r, &resp)
+	}
+	if err == nil {
+		err = respError(addr, resp)
+	}
+	if err != nil {
+		return fmt.Errorf("nwsnet: hello to %s: %w", addr, err)
+	}
+	return nil
+}
 
 // do performs a call under the retry policy and converts protocol-level
 // errors to Go errors. Protocol errors (the server answered, rejecting the

@@ -40,10 +40,11 @@ type ClusterAgent struct {
 	self   cluster.Member
 	logger *log.Logger
 
-	mu     sync.Mutex
-	epoch  uint64
-	stopCh chan struct{}
-	doneCh chan struct{}
+	mu        sync.Mutex
+	epoch     uint64
+	viewHooks []func(*cluster.View)
+	stopCh    chan struct{}
+	doneCh    chan struct{}
 }
 
 // NewClusterAgent builds the lifecycle agent for the node guarding member
@@ -75,7 +76,22 @@ func (a *ClusterAgent) Epoch() uint64 {
 	return a.epoch
 }
 
-// adopt installs a view into the node's guard and the agent's epoch.
+// OnView registers fn to run after every view the agent adopts (join,
+// renew, rebalance). Hooks run outside the agent's lock, in registration
+// order, on the lifecycle goroutine; members with no partitioned store use
+// this to react to ownership moves (e.g. a forecaster handing off
+// subscriptions). Register before Start.
+func (a *ClusterAgent) OnView(fn func(*cluster.View)) {
+	if fn == nil {
+		return
+	}
+	a.mu.Lock()
+	a.viewHooks = append(a.viewHooks, fn)
+	a.mu.Unlock()
+}
+
+// adopt installs a view into the node's guard and the agent's epoch, then
+// runs the registered view hooks.
 func (a *ClusterAgent) adopt(v *cluster.View) {
 	if v == nil {
 		return
@@ -87,7 +103,11 @@ func (a *ClusterAgent) adopt(v *cluster.View) {
 	if v.Epoch > a.epoch {
 		a.epoch = v.Epoch
 	}
+	hooks := a.viewHooks
 	a.mu.Unlock()
+	for _, fn := range hooks {
+		fn(v)
+	}
 }
 
 // Join runs the two-phase join: lease in the joining state, sync the

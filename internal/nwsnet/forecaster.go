@@ -2,10 +2,13 @@ package nwsnet
 
 import (
 	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nwscpu/internal/forecast"
+	"nwscpu/internal/nwsnet/cluster"
 	"nwscpu/internal/resilience"
 )
 
@@ -32,11 +35,38 @@ type ForecasterService struct {
 
 	mu      sync.Mutex
 	engines map[string]*engineState
+
+	// Subscription hub (docs/PROTOCOL.md §8): which push sinks watch which
+	// series. Guarded by hubMu, which is never held across a Push — the
+	// serve loop holds a sink's write lock while registering, so pushing
+	// under hubMu would invert that order and deadlock.
+	hubMu  sync.Mutex
+	subs   map[string]map[PushSink]uint64 // series → sink → subscription request ID
+	bySink map[PushSink]map[string]struct{}
+
+	// refreshing is set while the background refresher runs; the per-series
+	// forecast cache is authoritative only then (without the refresher
+	// nothing would ever invalidate a stale entry on behalf of remote
+	// stores).
+	refreshing  atomic.Bool
+	stopRefresh chan struct{}
+	refreshDone chan struct{}
+
+	// selfID is this forecaster's cluster member ID, when it serves a slice
+	// of a partitioned deployment; AdoptView uses it to hand off
+	// subscriptions for series the forecaster ring no longer assigns here.
+	selfID atomic.Pointer[string]
+
+	cacheHits, cacheMisses, cacheInvals atomic.Uint64 // mirrors of the global counters, for in-process harnesses
 }
 
 type engineState struct {
 	eng   *forecast.Engine
 	lastT float64
+	// cached is the memoized forecast at the current frontier, nil after
+	// any update touched the engine. Served to queries only while the
+	// refresher runs (it bounds staleness to one tick).
+	cached *ForecastResult
 }
 
 // NewForecasterService returns a forecaster pulling from the memory server
@@ -76,6 +106,8 @@ func NewForecasterServiceReplicasCodec(memAddrs []string, timeout time.Duration,
 		group:   NewReplicaGroup(client, memAddrs, 0),
 		timeout: timeout,
 		engines: make(map[string]*engineState),
+		subs:    make(map[string]map[PushSink]uint64),
+		bySink:  make(map[PushSink]map[string]struct{}),
 	}
 }
 
@@ -126,25 +158,50 @@ func (f *ForecasterService) Warm(ctx context.Context, keys []string) (int, error
 	if err != nil {
 		return 0, err
 	}
+	// Batch results align with the fetches by position only (FetchResult
+	// carries no series echo). A backend returning a short or long slice —
+	// a cancelled batch cut mid-envelope, say — would silently feed series
+	// A's points into series B's engine from here on; refuse instead. The
+	// skipped series keep their frontier, so the next Warm or Forecast
+	// re-primes them from where priming actually stopped.
+	if len(results) != len(fetches) {
+		return 0, fmt.Errorf("nwsnet: warm batch returned %d results for %d fetches", len(results), len(fetches))
+	}
 	total := 0
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for i, res := range results {
 		if res.Err != nil {
+			// Priming this series failed; its frontier is untouched, so it
+			// is not marked warm in any sense — no cached forecast exists
+			// for it until a later Warm or Forecast succeeds.
 			continue
 		}
-		st := states[i]
-		for _, tv := range res.Points {
-			if tv[0] <= st.lastT {
-				continue
-			}
-			st.eng.Update(tv[1])
-			st.lastT = tv[0]
-			total++
-		}
+		total += f.applyLocked(states[i], res.Points)
 	}
 	mFcPointsPulled.Add(uint64(total))
 	return total, nil
+}
+
+// applyLocked feeds every point newer than the frontier into st, dropping
+// any cached forecast the moment the engine changes. Returns the number of
+// points consumed. Callers hold f.mu.
+func (f *ForecasterService) applyLocked(st *engineState, points [][2]float64) int {
+	n := 0
+	for _, tv := range points {
+		if tv[0] <= st.lastT {
+			continue
+		}
+		st.eng.Update(tv[1])
+		st.lastT = tv[0]
+		n++
+	}
+	if n > 0 && st.cached != nil {
+		st.cached = nil
+		f.cacheInvals.Add(1)
+		mFcCacheInvalidations.Inc()
+	}
+	return n
 }
 
 // engine returns (creating on first use) the state for key. Callers must
@@ -187,7 +244,19 @@ func (f *ForecasterService) Handle(req Request) Response {
 func (f *ForecasterService) handleForecast(key string) Response {
 	f.mu.Lock()
 	st := f.engine(key)
+	// The cached result is the answer at the current frontier; it is
+	// authoritative only while the refresher runs, because only the
+	// refresher observes stores made by other clients and invalidates.
+	if st.cached != nil && f.refreshing.Load() {
+		res := *st.cached
+		f.mu.Unlock()
+		f.cacheHits.Add(1)
+		mFcCacheHits.Inc()
+		return Response{Forecast: &res}
+	}
 	f.mu.Unlock()
+	f.cacheMisses.Add(1)
+	mFcCacheMisses.Inc()
 
 	// Pull only points newer than what the engine has consumed. The group
 	// fails over across replicas; the deadline bounds the whole read.
@@ -201,27 +270,37 @@ func (f *ForecasterService) handleForecast(key string) Response {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	tEng := time.Now()
-	pulled := 0
-	for _, tv := range points {
-		if tv[0] <= st.lastT {
-			continue
-		}
-		st.eng.Update(tv[1])
-		st.lastT = tv[0]
-		pulled++
-	}
-	mFcPointsPulled.Add(uint64(pulled))
-	pred, ok := st.eng.Forecast()
+	mFcPointsPulled.Add(uint64(f.applyLocked(st, points)))
+	res, ok := f.forecastLocked(st)
 	mFcEngineLatency.ObserveSince(tEng)
 	if !ok {
 		return errResp("forecast: no measurements for %q", key)
 	}
-	return Response{Forecast: &ForecastResult{
+	return Response{Forecast: res}
+}
+
+// forecastLocked computes the forecast at st's current frontier and caches
+// it. Callers hold f.mu.
+func (f *ForecasterService) forecastLocked(st *engineState) (*ForecastResult, bool) {
+	pred, ok := st.eng.Forecast()
+	if !ok {
+		return nil, false
+	}
+	res := &ForecastResult{
 		Value:  pred.Value,
 		Method: pred.Method,
 		MAE:    pred.MAE,
 		N:      st.eng.N(),
-	}}
+	}
+	st.cached = res
+	return res, true
+}
+
+// CacheStats reports the forecast cache's hit/miss/invalidation counts —
+// the same values the nws_forecast_cache_* metrics export, readable
+// per-instance by in-process harnesses (nwsload's acceptance run).
+func (f *ForecasterService) CacheStats() (hits, misses, invalidations uint64) {
+	return f.cacheHits.Load(), f.cacheMisses.Load(), f.cacheInvals.Load()
 }
 
 // nextAfter returns the smallest fetch lower bound excluding t. Memory range
@@ -234,4 +313,283 @@ func nextAfter(t float64) float64 {
 	return t + 1e-6
 }
 
-var _ Handler = (*ForecasterService)(nil)
+// --- subscription hub (SubscriptionHandler implementation) ---
+
+// Subscribe implements SubscriptionHandler: it registers the sink for
+// pushes on req.Series before computing the acknowledgement, so a refresh
+// tick racing the registration can only add a push behind the ack (the
+// serve loop holds the sink's write lock across this call), never lose one.
+// The ack carries the current forecast when one is computable; a series
+// with no measurements yet is still a valid subscription — its first push
+// arrives with its first points.
+func (f *ForecasterService) Subscribe(req Request, id uint64, sink PushSink) Response {
+	if req.Series == "" {
+		return errResp("subscribe requires a series key")
+	}
+	f.hubMu.Lock()
+	sinks := f.subs[req.Series]
+	if sinks == nil {
+		sinks = make(map[PushSink]uint64)
+		f.subs[req.Series] = sinks
+	}
+	_, existed := sinks[sink]
+	sinks[sink] = id
+	watched := f.bySink[sink]
+	if watched == nil {
+		watched = make(map[string]struct{})
+		f.bySink[sink] = watched
+	}
+	watched[req.Series] = struct{}{}
+	f.hubMu.Unlock()
+	if !existed {
+		mSubscriptionsActive.Inc()
+		if c, ok := sink.(subCounter); ok {
+			c.addSubs(1)
+		}
+	}
+	ack := Response{}
+	if resp := f.handleForecast(req.Series); resp.Error == "" {
+		ack.Forecast = resp.Forecast
+	}
+	return ack
+}
+
+// Unsubscribe implements SubscriptionHandler. Unsubscribing a series that
+// was never subscribed acknowledges cleanly (idempotent).
+func (f *ForecasterService) Unsubscribe(req Request, sink PushSink) Response {
+	if req.Series == "" {
+		return errResp("unsubscribe requires a series key")
+	}
+	f.hubMu.Lock()
+	f.removeSubLocked(req.Series, sink)
+	f.hubMu.Unlock()
+	return Response{}
+}
+
+// DropSink implements SubscriptionHandler: connection teardown.
+func (f *ForecasterService) DropSink(sink PushSink) {
+	f.hubMu.Lock()
+	for series := range f.bySink[sink] {
+		f.removeSubLocked(series, sink)
+	}
+	f.hubMu.Unlock()
+}
+
+// removeSubLocked removes one (series, sink) subscription, reporting
+// whether it existed. Callers hold hubMu.
+func (f *ForecasterService) removeSubLocked(series string, sink PushSink) bool {
+	sinks := f.subs[series]
+	if _, ok := sinks[sink]; !ok {
+		return false
+	}
+	delete(sinks, sink)
+	if len(sinks) == 0 {
+		delete(f.subs, series)
+	}
+	if watched := f.bySink[sink]; watched != nil {
+		delete(watched, series)
+		if len(watched) == 0 {
+			delete(f.bySink, sink)
+		}
+	}
+	mSubscriptionsActive.Dec()
+	if c, ok := sink.(subCounter); ok {
+		c.addSubs(-1)
+	}
+	return true
+}
+
+// Subscriptions reports how many (series, connection) subscriptions are
+// currently registered.
+func (f *ForecasterService) Subscriptions() int {
+	f.hubMu.Lock()
+	defer f.hubMu.Unlock()
+	n := 0
+	for _, sinks := range f.subs {
+		n += len(sinks)
+	}
+	return n
+}
+
+// --- background refresher ---
+
+// StartRefresher launches the read plane's maintenance loop: every interval
+// it batch-fetches the unseen points of every tracked series in one round
+// trip, feeds the engines, recomputes and re-caches changed forecasts, and
+// pushes them to each changed series' subscribers. While it runs, forecast
+// queries are served from the cache, so a poll costs no memory round trip
+// and staleness is bounded by one tick. interval <= 0 selects 1 s.
+// Idempotent while running; StopRefresher ends it.
+func (f *ForecasterService) StartRefresher(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if !f.refreshing.CompareAndSwap(false, true) {
+		return
+	}
+	stop, done := make(chan struct{}), make(chan struct{})
+	f.stopRefresh, f.refreshDone = stop, done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			f.refreshTick()
+		}
+	}()
+}
+
+// StopRefresher ends the maintenance loop and waits for it; forecast
+// queries go back to fetching per query. Safe without a prior
+// StartRefresher.
+func (f *ForecasterService) StopRefresher() {
+	if !f.refreshing.CompareAndSwap(true, false) {
+		return
+	}
+	close(f.stopRefresh)
+	<-f.refreshDone
+}
+
+// refreshTick is one maintenance pass. It holds no lock across the batch
+// fetch or any push (pushing under hubMu or f.mu would deadlock against a
+// subscribe in progress).
+func (f *ForecasterService) refreshTick() {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.engines))
+	states := make([]*engineState, 0, len(f.engines))
+	fetches := make([]BatchFetch, 0, len(f.engines))
+	for k, st := range f.engines {
+		keys = append(keys, k)
+		states = append(states, st)
+		fetches = append(fetches, BatchFetch{Series: k, From: nextAfter(st.lastT)})
+	}
+	f.mu.Unlock()
+	if len(fetches) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+	results, err := f.group.FetchBatch(ctx, fetches)
+	cancel()
+	if err != nil || len(results) != len(fetches) {
+		return // transient; the next tick retries from the same frontiers
+	}
+	type update struct {
+		series string
+		res    ForecastResult
+	}
+	var changed []update
+	total := 0
+	f.mu.Lock()
+	for i, res := range results {
+		if res.Err != nil || len(res.Points) == 0 {
+			continue
+		}
+		st := states[i]
+		n := f.applyLocked(st, res.Points)
+		total += n
+		if n == 0 {
+			continue
+		}
+		if r, ok := f.forecastLocked(st); ok {
+			changed = append(changed, update{series: keys[i], res: *r})
+		}
+	}
+	f.mu.Unlock()
+	mFcPointsPulled.Add(uint64(total))
+	for _, u := range changed {
+		f.pushSeries(u.series, u.res)
+	}
+}
+
+// pushSeries delivers one updated forecast to every subscriber of series.
+func (f *ForecasterService) pushSeries(series string, res ForecastResult) {
+	type target struct {
+		sink PushSink
+		id   uint64
+	}
+	f.hubMu.Lock()
+	targets := make([]target, 0, len(f.subs[series]))
+	for sink, id := range f.subs[series] {
+		targets = append(targets, target{sink, id})
+	}
+	f.hubMu.Unlock()
+	for _, t := range targets {
+		r := res
+		if t.sink.Push(t.id, Response{Forecast: &r}) != nil {
+			// The connection is on its way down and its serve loop will
+			// DropSink; dropping here too keeps this tick from hammering
+			// a dead sink once per series it watched.
+			f.DropSink(t.sink)
+			continue
+		}
+		mFcPushes.Inc()
+	}
+}
+
+// --- subscription handoff (partitioned deployments) ---
+
+// SetClusterSelf names this forecaster's member ID in a partitioned
+// deployment; AdoptView then hands off subscriptions the forecaster ring
+// moves away from this member.
+func (f *ForecasterService) SetClusterSelf(id string) { f.selfID.Store(&id) }
+
+// AdoptView reacts to a membership view change (rebalance, join, lease
+// expiry): every subscribed series the forecaster ring no longer assigns
+// to this member is terminated with a moved push carrying the
+// authoritative view, so the subscriber re-routes to the new owner instead
+// of listening to a node that would otherwise just go quiet for it.
+func (f *ForecasterService) AdoptView(v *cluster.View) {
+	self := f.selfID.Load()
+	if v == nil || self == nil || *self == "" {
+		return
+	}
+	ring := v.Ring(string(KindForecaster))
+	if ring == nil {
+		return
+	}
+	rf := v.Config.Normalize().Replication
+	type target struct {
+		sink   PushSink
+		id     uint64
+		series string
+	}
+	var lost []target
+	f.hubMu.Lock()
+	for series, sinks := range f.subs {
+		owners := ring.Owners(series, rf)
+		if len(owners) == 0 {
+			continue // empty forecaster ring: nowhere to redirect
+		}
+		owned := false
+		for _, id := range owners {
+			if id == *self {
+				owned = true
+				break
+			}
+		}
+		if owned {
+			continue
+		}
+		for sink, id := range sinks {
+			lost = append(lost, target{sink, id, series})
+		}
+	}
+	for _, t := range lost {
+		f.removeSubLocked(t.series, t.sink)
+	}
+	f.hubMu.Unlock()
+	for _, t := range lost {
+		t.sink.Push(t.id, movedResp(v, "forecast %q: not an owner under epoch %d", t.series, v.Epoch))
+		mFcPushes.Inc()
+	}
+}
+
+var (
+	_ Handler             = (*ForecasterService)(nil)
+	_ SubscriptionHandler = (*ForecasterService)(nil)
+)

@@ -38,6 +38,9 @@ func FuzzDecodeRequest(f *testing.F) {
 		`{"op":"lease","member":{"id":"m1"},"epoch":12}`,
 		`{"op":"view"}`,
 		`{"op":"view","epoch":3}`,
+		`{"op":"subscribe","series":"k"}`,
+		`{"op":"unsubscribe","series":"k"}`,
+		`{"op":"hello","tenant":"team-a"}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s + "\n"))
@@ -189,6 +192,10 @@ func binaryRequestSeeds() [][]byte {
 		{Op: OpLease, Member: &cluster.Member{ID: "m1"}, Epoch: 12},
 		{Op: OpView},
 		{Op: OpView, Epoch: 1 << 40},
+		{Op: OpSubscribe, Series: "k"},
+		{Op: OpUnsubscribe, Series: "k"},
+		{Op: OpHello, Tenant: "team-a"},
+		{Op: OpHello},
 	}
 	var out [][]byte
 	for _, r := range reqs {

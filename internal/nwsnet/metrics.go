@@ -175,6 +175,29 @@ var (
 		"nws_forecaster_engines",
 		"Per-series forecasting engines instantiated.")
 
+	// Forecast read plane (cache, subscriptions, per-tenant quotas).
+	mFcCacheHits = metrics.NewCounter(
+		"nws_forecast_cache_hits_total",
+		"Forecast queries answered from the per-series result cache without a memory fetch.")
+	mFcCacheMisses = metrics.NewCounter(
+		"nws_forecast_cache_misses_total",
+		"Forecast queries that had to fetch from memory and recompute (cold, invalidated, or refresher not running).")
+	mFcCacheInvalidations = metrics.NewCounter(
+		"nws_forecast_cache_invalidations_total",
+		"Cached forecast results discarded because their series consumed new measurements.")
+	mSubscriptionsActive = metrics.NewGauge(
+		"nws_subscriptions_active",
+		"Forecast subscriptions currently registered across all connections.")
+	mFcPushes = metrics.NewCounter(
+		"nws_forecast_pushes_total",
+		"Forecast results pushed to subscribers (moved terminations included).")
+	mTenantThrottled = metrics.NewCounter(
+		"nws_tenant_throttled_total",
+		"Requests shed with a busy response because the connection's tenant was over its token-bucket quota.")
+	mMuxRedials = metrics.NewCounter(
+		"nws_client_mux_redials_total",
+		"MuxConn transports transparently redialed and their unanswered in-flight window replayed after an idle server cut the connection.")
+
 	// Sensor daemon.
 	mSensorMeasurements = metrics.NewCounterVec(
 		"nws_sensor_measurements_total",
@@ -228,24 +251,27 @@ const otherOp Op = "other"
 // RWMutex acquisition plus a map lookup each call).
 type opCounters struct {
 	ping, register, lookup, list, store, fetch, series, batch, forecast *metrics.Counter
-	join, lease, view, other                                            *metrics.Counter
+	join, lease, view, subscribe, unsubscribe, hello, other             *metrics.Counter
 }
 
 func perOpCounters(v *metrics.CounterVec) *opCounters {
 	return &opCounters{
-		ping:     v.With(string(OpPing)),
-		register: v.With(string(OpRegister)),
-		lookup:   v.With(string(OpLookup)),
-		list:     v.With(string(OpList)),
-		store:    v.With(string(OpStore)),
-		fetch:    v.With(string(OpFetch)),
-		series:   v.With(string(OpSeries)),
-		batch:    v.With(string(OpBatch)),
-		forecast: v.With(string(OpForecast)),
-		join:     v.With(string(OpJoin)),
-		lease:    v.With(string(OpLease)),
-		view:     v.With(string(OpView)),
-		other:    v.With(string(otherOp)),
+		ping:        v.With(string(OpPing)),
+		register:    v.With(string(OpRegister)),
+		lookup:      v.With(string(OpLookup)),
+		list:        v.With(string(OpList)),
+		store:       v.With(string(OpStore)),
+		fetch:       v.With(string(OpFetch)),
+		series:      v.With(string(OpSeries)),
+		batch:       v.With(string(OpBatch)),
+		forecast:    v.With(string(OpForecast)),
+		join:        v.With(string(OpJoin)),
+		lease:       v.With(string(OpLease)),
+		view:        v.With(string(OpView)),
+		subscribe:   v.With(string(OpSubscribe)),
+		unsubscribe: v.With(string(OpUnsubscribe)),
+		hello:       v.With(string(OpHello)),
+		other:       v.With(string(otherOp)),
 	}
 }
 
@@ -276,6 +302,12 @@ func (c *opCounters) get(op Op) *metrics.Counter {
 		return c.lease
 	case OpView:
 		return c.view
+	case OpSubscribe:
+		return c.subscribe
+	case OpUnsubscribe:
+		return c.unsubscribe
+	case OpHello:
+		return c.hello
 	}
 	return c.other
 }
@@ -283,24 +315,27 @@ func (c *opCounters) get(op Op) *metrics.Counter {
 // opHistograms is the same resolution for a HistogramVec.
 type opHistograms struct {
 	ping, register, lookup, list, store, fetch, series, batch, forecast *metrics.Histogram
-	join, lease, view, other                                            *metrics.Histogram
+	join, lease, view, subscribe, unsubscribe, hello, other             *metrics.Histogram
 }
 
 func perOpHistograms(v *metrics.HistogramVec) *opHistograms {
 	return &opHistograms{
-		ping:     v.With(string(OpPing)),
-		register: v.With(string(OpRegister)),
-		lookup:   v.With(string(OpLookup)),
-		list:     v.With(string(OpList)),
-		store:    v.With(string(OpStore)),
-		fetch:    v.With(string(OpFetch)),
-		series:   v.With(string(OpSeries)),
-		batch:    v.With(string(OpBatch)),
-		forecast: v.With(string(OpForecast)),
-		join:     v.With(string(OpJoin)),
-		lease:    v.With(string(OpLease)),
-		view:     v.With(string(OpView)),
-		other:    v.With(string(otherOp)),
+		ping:        v.With(string(OpPing)),
+		register:    v.With(string(OpRegister)),
+		lookup:      v.With(string(OpLookup)),
+		list:        v.With(string(OpList)),
+		store:       v.With(string(OpStore)),
+		fetch:       v.With(string(OpFetch)),
+		series:      v.With(string(OpSeries)),
+		batch:       v.With(string(OpBatch)),
+		forecast:    v.With(string(OpForecast)),
+		join:        v.With(string(OpJoin)),
+		lease:       v.With(string(OpLease)),
+		view:        v.With(string(OpView)),
+		subscribe:   v.With(string(OpSubscribe)),
+		unsubscribe: v.With(string(OpUnsubscribe)),
+		hello:       v.With(string(OpHello)),
+		other:       v.With(string(otherOp)),
 	}
 }
 
@@ -330,6 +365,12 @@ func (h *opHistograms) get(op Op) *metrics.Histogram {
 		return h.lease
 	case OpView:
 		return h.view
+	case OpSubscribe:
+		return h.subscribe
+	case OpUnsubscribe:
+		return h.unsubscribe
+	case OpHello:
+		return h.hello
 	}
 	return h.other
 }

@@ -27,13 +27,20 @@ var ErrMuxClosed = errors.New("nwsnet: mux connection closed")
 // monotonic-frontier dedup); requests racing from different goroutines are
 // ordered by an internal lock.
 //
-// Failure: a MuxConn does not redial. Any transport error, decode error, or
-// read silence past the timeout fails every pending call with the same
-// error and poisons the connection; callers reconnect with DialMux. That
-// keeps the failure semantics explicit — a pipeline's worth of calls can
-// never be half-retried behind the caller's back. The read timeout spans
-// pending responses, so an idle MuxConn (nothing in flight) is not
-// disturbed, but an idle connection's next burst redials only on error.
+// Failure: with one exception, any transport error, decode error, or read
+// silence past the timeout fails every pending call with the same error and
+// poisons the connection; callers reconnect with DialMux. That keeps the
+// failure semantics explicit — a pipeline's worth of calls can never be
+// half-retried behind the caller's back. The exception is the idle-server
+// cut: when the transport dies cleanly (EOF or reset at a frame boundary)
+// before ANY response to the pending window has arrived — the signature of
+// a server that idle-closed the connection before reading the burst — the
+// MuxConn redials once and replays the window verbatim, same IDs and order,
+// so an idle connection's next burst is not poisoned by a shed that
+// happened before it was sent. The replay guarantee is as safe as the
+// burst itself: the server provably executed none of the window (it
+// answers strictly in order, and nothing came back). One redial is allowed
+// per window; it re-arms only after a frame arrives on the new transport.
 type MuxConn struct {
 	addr    string
 	timeout time.Duration
@@ -64,8 +71,32 @@ type MuxConn struct {
 	err    error
 	quit   chan struct{} // closed by the first fail; stops the flusher
 
+	// Subscription routing (guarded by mu): server pushes carry the
+	// subscription's original request ID, which the FIFO no longer holds
+	// once the acknowledgement drained it, so pushes route through this map.
+	subs        map[uint64]*muxSub
+	subBySeries map[string]uint64
+
+	// Redial-and-replay state (guarded by mu): when the last frame on the
+	// current transport predates the oldest pending call, none of the
+	// pending window has been answered. cut marks a transport that died
+	// cleanly while completely idle — the reader parks on wake until the
+	// next call, which then redials and replays through the window path
+	// instead of poisoning an idle connection.
+	lastFrame time.Time
+	redialed  bool
+	cut       bool
+	wake      chan struct{}
+
 	readerDone  chan struct{}
 	flusherDone chan struct{}
+}
+
+// muxSub is one client-side subscription: the handler that receives the
+// series' push frames.
+type muxSub struct {
+	series string
+	onPush func(Response, error)
 }
 
 // MuxCall is one in-flight request on a MuxConn. Wait blocks until the call
@@ -123,6 +154,25 @@ func DialMux(addr string, timeout time.Duration) (*MuxConn, error) {
 	return m, nil
 }
 
+// DialMuxTenant is DialMux plus tenant attribution: it sends an OpHello
+// naming tenant as the connection's first request and waits for the
+// acknowledgement, so every later request lands in that tenant's quota
+// bucket (ServerLimits.TenantRate). An empty tenant skips the hello.
+func DialMuxTenant(addr, tenant string, timeout time.Duration) (*MuxConn, error) {
+	m, err := DialMux(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tenant == "" {
+		return m, nil
+	}
+	if _, err := m.Do(Request{Op: OpHello, Tenant: tenant}); err != nil {
+		m.Close()
+		return nil, fmt.Errorf("nwsnet: hello to %s: %w", addr, err)
+	}
+	return m, nil
+}
+
 // Addr returns the dialed server address.
 func (m *MuxConn) Addr() string { return m.addr }
 
@@ -143,6 +193,13 @@ func (m *MuxConn) InFlight() int {
 // call.Wait. The returned call may already be complete (with
 // Err set) if the connection is poisoned or the request unencodable.
 func (m *MuxConn) Go(req Request) *MuxCall {
+	return m.goWith(req, nil)
+}
+
+// goWith is Go with an optional hook run under mu right after the request
+// ID is allocated — the subscribe path registers its push routing there, so
+// no acknowledgement (and hence no push) can arrive unrouted.
+func (m *MuxConn) goWith(req Request, onID func(id uint64)) *MuxCall {
 	call := &MuxCall{Req: req, t0: time.Now()}
 	call.done.Add(1)
 	m.mu.Lock()
@@ -156,6 +213,9 @@ func (m *MuxConn) Go(req Request) *MuxCall {
 	m.nextID++
 	id := m.nextID
 	call.id = id
+	if onID != nil {
+		onID(id)
+	}
 	// Compact the drained prefix before it can grow without bound under a
 	// long-lived pipeline.
 	if m.head > 1024 {
@@ -163,6 +223,18 @@ func (m *MuxConn) Go(req Request) *MuxCall {
 		m.head = 0
 	}
 	m.calls = append(m.calls, call)
+	if m.cut {
+		// The transport died while idle and the reader is parked: do not
+		// touch the dead writer — wake the reader, which redials and
+		// replays this call (and any racing with it) on the fresh
+		// transport, in FIFO order.
+		select {
+		case m.wake <- struct{}{}:
+		default:
+		}
+		m.mu.Unlock()
+		return call
+	}
 	m.mu.Unlock()
 
 	buf := getEncBuf()
@@ -231,6 +303,69 @@ func (m *MuxConn) Do(req Request) (Response, error) {
 	return m.Go(req).Wait()
 }
 
+// Subscribe registers onPush for server-initiated forecast pushes on series
+// and issues the subscribe request; the returned call's Wait yields the
+// acknowledgement (carrying the current forecast when one is computable).
+// onPush runs on the connection's reader goroutine, so it must not block.
+// It receives (resp, nil) for every push, and exactly one terminal call
+// (resp, err) when the subscription ends without Unsubscribe: a moved push
+// during a cluster rebalance (err wraps *MovedError and resp carries the
+// authoritative view — redial the new owner), a lost transport, or Close.
+// A connection holds at most one subscription per series; re-subscribing
+// replaces the handler.
+func (m *MuxConn) Subscribe(series string, onPush func(Response, error)) *MuxCall {
+	if onPush == nil {
+		onPush = func(Response, error) {}
+	}
+	return m.goWith(Request{Op: OpSubscribe, Series: series}, func(id uint64) {
+		if m.subs == nil {
+			m.subs = make(map[uint64]*muxSub)
+			m.subBySeries = make(map[string]uint64)
+		}
+		if old, ok := m.subBySeries[series]; ok {
+			delete(m.subs, old)
+		}
+		m.subs[id] = &muxSub{series: series, onPush: onPush}
+		m.subBySeries[series] = id
+	})
+}
+
+// Unsubscribe stops pushes for series and issues the unsubscribe request.
+// The push handler gets no terminal call (the caller asked), and
+// unsubscribing a series that was never subscribed is not an error.
+func (m *MuxConn) Unsubscribe(series string) *MuxCall {
+	m.mu.Lock()
+	if id, ok := m.subBySeries[series]; ok {
+		delete(m.subBySeries, series)
+		delete(m.subs, id)
+	}
+	m.mu.Unlock()
+	return m.Go(Request{Op: OpUnsubscribe, Series: series})
+}
+
+// Subscriptions reports how many subscriptions are active on the
+// connection.
+func (m *MuxConn) Subscriptions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.subs)
+}
+
+// dropSub removes the push routing for id, reporting the subscription if
+// one was registered.
+func (m *MuxConn) dropSub(id uint64) *muxSub {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sub := m.subs[id]
+	if sub != nil {
+		delete(m.subs, id)
+		if m.subBySeries[sub.series] == id {
+			delete(m.subBySeries, sub.series)
+		}
+	}
+	return sub
+}
+
 // oldestPending returns the issue time of the longest-waiting pending call,
 // or the zero time when nothing is pending. Calls are issued in t0 order, so
 // it is the front of the FIFO.
@@ -247,9 +382,16 @@ func (m *MuxConn) oldestPending() time.Time {
 
 // forget drops a pending call that never made it onto the wire, reporting
 // whether it was still pending (false means a concurrent fail completed it).
+// Any push routing registered for the ID goes with it.
 func (m *MuxConn) forget(id uint64) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if sub := m.subs[id]; sub != nil {
+		delete(m.subs, id)
+		if m.subBySeries[sub.series] == id {
+			delete(m.subBySeries, sub.series)
+		}
+	}
 	for i := len(m.calls) - 1; i >= m.head; i-- {
 		if c := m.calls[i]; c != nil && c.id == id {
 			m.calls[i] = nil
@@ -294,7 +436,8 @@ func (m *MuxConn) take(id uint64) *MuxCall {
 }
 
 // fail poisons the connection: every pending call (and every later Go)
-// completes with err. Idempotent — the first failure wins.
+// completes with err, and every subscription gets its terminal push.
+// Idempotent — the first failure wins.
 func (m *MuxConn) fail(err error) {
 	m.mu.Lock()
 	if m.err == nil {
@@ -306,8 +449,14 @@ func (m *MuxConn) fail(err error) {
 	pending := m.calls[m.head:]
 	m.calls = nil
 	m.head = 0
+	subs := m.subs
+	m.subs = nil
+	m.subBySeries = nil
 	m.mu.Unlock()
+	// The conn pointer swaps under writeMu during a redial; close under it.
+	m.writeMu.Lock()
 	m.conn.Close()
+	m.writeMu.Unlock()
 	for _, call := range pending {
 		if call == nil {
 			continue
@@ -315,6 +464,9 @@ func (m *MuxConn) fail(err error) {
 		call.Err = err
 		observeCall(call.Req.Op, call.t0, call.Err)
 		call.deliver()
+	}
+	for _, sub := range subs {
+		sub.onPush(Response{}, err)
 	}
 }
 
@@ -363,10 +515,22 @@ func (m *MuxConn) reader() {
 				if oldest.IsZero() || time.Since(oldest) < m.timeout {
 					continue
 				}
+			} else if n == 0 {
+				// A clean cut at a frame boundary. Completely idle (nothing
+				// pending, no subscriptions): park until the next call needs
+				// a transport. Then — parked or not — if nothing in the
+				// pending window has been answered, the server closed before
+				// reading it: redial once and replay.
+				m.parkOnCut()
+				if nbr, ok := m.tryRedial(); ok {
+					br = nbr
+					continue
+				}
 			}
 			m.fail(fmt.Errorf("nwsnet: receive from %s: %w", m.addr, err))
 			return
 		}
+		m.noteFrame()
 		id, resp, err := decodeResponsePayload(payload)
 		if err != nil {
 			m.fail(fmt.Errorf("nwsnet: receive from %s: %w", m.addr, err))
@@ -381,16 +545,192 @@ func (m *MuxConn) reader() {
 			}
 			continue // unknown connection-level frame: ignore
 		}
+		rerr := respError(m.addr, resp)
 		call := m.take(id)
 		if call == nil {
-			continue // duplicate or unsolicited ID: ignore
+			// Not a pending call: a push frame for a subscription (or a
+			// duplicate/unsolicited ID, which drops here too). An error push
+			// is terminal — a moved push during a rebalance means the server
+			// already discarded the subscription.
+			if sub := m.routeSub(id, rerr != nil); sub != nil {
+				sub.onPush(resp, rerr)
+			}
+			continue
 		}
-		if rerr := respError(m.addr, resp); rerr != nil {
+		if rerr != nil {
 			call.Err = rerr
+			if call.Req.Op == OpSubscribe {
+				m.dropSub(id) // refused: nothing registered server-side
+			}
 		} else {
 			call.Resp = resp
 		}
 		observeCall(call.Req.Op, call.t0, call.Err)
 		call.deliver()
 	}
+}
+
+// noteFrame records a successful frame receipt on the current transport:
+// the redial gate re-arms, and the pending window is marked answered.
+func (m *MuxConn) noteFrame() {
+	m.mu.Lock()
+	m.lastFrame = time.Now()
+	m.redialed = false
+	m.mu.Unlock()
+}
+
+// routeSub resolves a push frame's subscription; terminal removes it.
+func (m *MuxConn) routeSub(id uint64, terminal bool) *muxSub {
+	if terminal {
+		return m.dropSub(id)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.subs[id]
+}
+
+// parkOnCut handles a clean transport cut with nothing in flight and no
+// subscriptions: poisoning would make the connection's very idleness fatal
+// (a server idle-timeout reaps quiet transports), and reconnecting eagerly
+// would race the same reaper in a dial loop. Instead the reader closes the
+// dead transport and parks until the next call arrives; that call is
+// appended unsent and the reader replays it through the normal redial
+// window. No-op when the cut has in-flight state to deal with.
+func (m *MuxConn) parkOnCut() {
+	m.mu.Lock()
+	pending := false
+	for _, c := range m.calls[m.head:] {
+		if c != nil {
+			pending = true
+			break
+		}
+	}
+	if m.err != nil || pending || len(m.subs) > 0 {
+		m.mu.Unlock()
+		return
+	}
+	if m.wake == nil {
+		m.wake = make(chan struct{}, 1)
+	}
+	// Drain any stale wake left from a previous burst (extra calls signal
+	// into the buffer after the reader is already up). goWith only signals
+	// while cut is set, and cut is set under this same lock, so anything
+	// in the buffer here predates this park.
+	select {
+	case <-m.wake:
+	default:
+	}
+	m.cut = true
+	wake := m.wake
+	m.mu.Unlock()
+	m.writeMu.Lock()
+	m.conn.Close() // dead transport; release it while parked
+	m.writeMu.Unlock()
+	select {
+	case <-wake:
+	case <-m.quit:
+	}
+}
+
+// tryRedial is the one-shot transparent reconnect: called by the reader on
+// a clean transport cut, it checks that the pending window is entirely
+// unanswered (the server answers strictly in order, so no frame since the
+// oldest pending call means none of the window executed), dials a fresh
+// connection, and replays the window verbatim — same IDs, same order. It
+// returns the new transport's reader on success. Subscriptions that were
+// already acknowledged lived on the dead connection's server state and do
+// not survive: they get a terminal push telling the caller to re-subscribe.
+// Un-acked subscribes in the window replay and re-register normally.
+func (m *MuxConn) tryRedial() (*bufio.Reader, bool) {
+	m.writeMu.Lock()
+	m.mu.Lock()
+	m.cut = false // calls append-and-write normally from here on
+	if m.err != nil || m.redialed {
+		m.mu.Unlock()
+		m.writeMu.Unlock()
+		return nil, false
+	}
+	var window []*MuxCall
+	pendingIDs := make(map[uint64]struct{})
+	for _, c := range m.calls[m.head:] {
+		if c != nil {
+			window = append(window, c)
+			pendingIDs[c.id] = struct{}{}
+		}
+	}
+	if len(window) == 0 || !m.lastFrame.Before(window[0].t0) {
+		m.mu.Unlock()
+		m.writeMu.Unlock()
+		return nil, false
+	}
+	m.redialed = true
+	var ended []*muxSub
+	for id, sub := range m.subs {
+		if _, pending := pendingIDs[id]; pending {
+			continue
+		}
+		delete(m.subs, id)
+		if m.subBySeries[sub.series] == id {
+			delete(m.subBySeries, sub.series)
+		}
+		ended = append(ended, sub)
+	}
+	m.mu.Unlock()
+	br, ok := m.replayWindow(window)
+	m.writeMu.Unlock()
+	if len(ended) > 0 {
+		err := fmt.Errorf("nwsnet: %s: subscription lost to reconnect; re-subscribe", m.addr)
+		for _, sub := range ended {
+			sub.onPush(Response{}, err)
+		}
+	}
+	return br, ok
+}
+
+// replayWindow dials, negotiates, swaps the transport in, and re-sends the
+// window. Callers hold writeMu (no frame can interleave with the replay).
+// On failure the caller poisons the connection with the original error.
+func (m *MuxConn) replayWindow(window []*MuxCall) (*bufio.Reader, bool) {
+	nc, err := net.DialTimeout("tcp", m.addr, m.timeout)
+	if err != nil {
+		return nil, false
+	}
+	nc.SetWriteDeadline(time.Now().Add(m.timeout))
+	if _, err := nc.Write(wirePreamble[:]); err != nil {
+		nc.Close()
+		return nil, false
+	}
+	old := m.conn
+	m.conn = nc
+	m.w.Reset(nc) // unflushed frames are pending calls; they replay below
+	old.Close()
+	for _, c := range window {
+		buf := getEncBuf()
+		payload, perr := encodeRequestPayload(*buf, c.id, c.Req)
+		if perr == nil {
+			perr = writeFrame(m.w, payload)
+			*buf = payload
+		}
+		putEncBuf(buf)
+		if perr != nil {
+			return nil, false
+		}
+	}
+	if m.w.Flush() != nil {
+		return nil, false
+	}
+	nc.SetWriteDeadline(time.Time{})
+	// The server buffers its accept byte in front of the first response
+	// (negotiation costs zero round trips), so it can be read only after
+	// the window is on the wire — waiting for it before sending would
+	// deadlock against a server waiting out its idle deadline for a frame.
+	nc.SetReadDeadline(time.Now().Add(m.timeout))
+	br := bufio.NewReaderSize(nc, 256<<10)
+	accept, err := br.ReadByte()
+	if err != nil || accept != wireVersionBinary {
+		return nil, false
+	}
+	nc.SetReadDeadline(time.Time{})
+	mMuxRedials.Inc()
+	return br, true
 }

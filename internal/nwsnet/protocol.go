@@ -61,6 +61,12 @@ const (
 	OpJoin     Op = "join"     // registry: enter the cluster (joining, then active)
 	OpLease    Op = "lease"    // registry: renew a member's lease
 	OpView     Op = "view"     // registry: fetch the membership view
+
+	// Read-plane operations (wire protocol v2 only; a v1 JSON client asking
+	// for them gets a terminal "unsupported op" error from the handler).
+	OpSubscribe   Op = "subscribe"   // forecaster: watch a series for forecast pushes
+	OpUnsubscribe Op = "unsubscribe" // forecaster: stop watching a series
+	OpHello       Op = "hello"       // any server: negotiate connection metadata (tenant ID)
 )
 
 // opLabel maps a wire operation to a bounded metric label: known ops map to
@@ -70,7 +76,7 @@ const (
 func opLabel(op Op) string {
 	switch op {
 	case OpPing, OpRegister, OpLookup, OpList, OpStore, OpFetch, OpSeries, OpBatch, OpForecast,
-		OpJoin, OpLease, OpView:
+		OpJoin, OpLease, OpView, OpSubscribe, OpUnsubscribe, OpHello:
 		return string(op)
 	}
 	return "other"
@@ -127,6 +133,11 @@ type Request struct {
 	// renewal response must carry a fresh view.
 	Member *cluster.Member `json:"member,omitempty"`
 	Epoch  uint64          `json:"epoch,omitempty"`
+
+	// Tenant is the client's tenant ID, carried by OpHello: the server
+	// attributes every later request on the connection to it when per-tenant
+	// quotas are configured (see ServerLimits.TenantRate).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ForecastResult carries a forecaster answer.

@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,10 +18,11 @@ type Handler interface {
 
 // Shed reasons, the label values of nws_server_shed_total.
 const (
-	shedConns = "connections" // accepted past MaxConns
-	shedQueue = "queue"       // no in-flight slot within QueueWait
-	shedIdle  = "idle"        // connection silent past IdleTimeout
-	shedWrite = "write"       // response write blocked past WriteTimeout
+	shedConns  = "connections" // accepted past MaxConns
+	shedQueue  = "queue"       // no in-flight slot within QueueWait
+	shedIdle   = "idle"        // connection silent past IdleTimeout
+	shedWrite  = "write"       // response write blocked past WriteTimeout
+	shedTenant = "tenant"      // request over its tenant's token-bucket quota
 )
 
 // ServerLimits bounds what a Server will take on before it starts shedding
@@ -54,6 +56,17 @@ type ServerLimits struct {
 	// defense against stalled readers that stop draining their socket
 	// while the server blocks mid-write. 0 = no write deadline.
 	WriteTimeout time.Duration
+	// TenantRate enables per-tenant token-bucket quotas: each tenant (the
+	// ID negotiated by OpHello; connections that never send one share the
+	// anonymous "" tenant) may issue this many requests per second
+	// sustained. A request over quota is answered with the retryable busy
+	// code (reason "tenant") and counted in nws_tenant_throttled_total, so
+	// one hot tenant backs off instead of starving the rest. 0 = no
+	// quotas.
+	TenantRate float64
+	// TenantBurst is each tenant bucket's capacity — how far a tenant may
+	// burst above the sustained rate. 0 selects max(1, TenantRate).
+	TenantBurst int
 }
 
 // Server accepts JSON-line connections and dispatches them to a Handler.
@@ -69,6 +82,11 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+	// Tenant quota state, under its own lock so the per-request quota
+	// check never contends with connection bookkeeping.
+	tenantMu       sync.Mutex
+	tenants        map[string]*tokenBucket
+	tenantOverflow *tokenBucket
 }
 
 // NewServer wraps handler with no limits. logger may be nil to disable
@@ -270,6 +288,7 @@ func (s *Server) negotiateBinary(conn net.Conn, reader *bufio.Reader, writer *bu
 // serveJSON is the v1 serve loop: newline-framed JSON, strict
 // request/response lockstep.
 func (s *Server) serveJSON(conn net.Conn, reader *bufio.Reader, writer *bufio.Writer) {
+	var tenant string
 	for {
 		if s.limits.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.limits.IdleTimeout))
@@ -289,7 +308,18 @@ func (s *Server) serveJSON(conn net.Conn, reader *bufio.Reader, writer *bufio.Wr
 			return
 		}
 		mServerRequestsByOp.get(req.Op).Inc()
-		resp := s.dispatch(req)
+		var resp Response
+		switch {
+		case req.Op == OpHello:
+			// Connection-level: attribute the rest of the connection to
+			// the named tenant. Handled by the server, not the handler,
+			// so quotas work identically on every role.
+			tenant = req.Tenant
+		case !s.allowTenant(tenant):
+			resp = s.tenantBusy(tenant)
+		default:
+			resp = s.dispatch(req)
+		}
 		resp.OK = resp.Error == ""
 		if s.limits.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.limits.WriteTimeout))
@@ -315,13 +345,128 @@ type wireInbound struct {
 	req Request
 }
 
+// binSink is the serialized write half of one binary connection: every
+// outbound frame — ordinary responses from the executor and server-initiated
+// pushes from a SubscriptionHandler — goes through its lock, so pushes
+// interleave with responses at frame granularity and never corrupt the
+// stream. It implements PushSink.
+type binSink struct {
+	conn   net.Conn
+	limits ServerLimits
+	subs   atomic.Int64 // active subscriptions on this connection
+
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error // first write failure; poisons all later writes
+}
+
+func (k *binSink) addSubs(delta int64) { k.subs.Add(delta) }
+
+// poisoned reports whether a write failure (or teardown) has killed the
+// sink; the frame reader checks it before excusing a read timeout on a
+// subscribed connection.
+func (k *binSink) poisoned() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.err != nil
+}
+
+// close poisons the sink so no further push lands and no read timeout is
+// excused; the serve loop calls it on its way out.
+func (k *binSink) close() {
+	k.mu.Lock()
+	if k.err == nil {
+		k.err = net.ErrClosed
+	}
+	k.mu.Unlock()
+}
+
+// writeLocked frames payload and optionally flushes; callers hold k.mu. A
+// failure poisons the sink and expires the connection's read deadline so
+// the serve loop tears the connection down promptly.
+func (k *binSink) writeLocked(payload []byte, flush bool) error {
+	if k.err != nil {
+		return k.err
+	}
+	// Arm the write deadline once per flush batch (the buffer is empty
+	// exactly when a batch starts): it still bounds how long a stalled
+	// peer can pin the connection, without a deadline call per frame.
+	if k.limits.WriteTimeout > 0 && k.w.Buffered() == 0 {
+		k.conn.SetWriteDeadline(time.Now().Add(k.limits.WriteTimeout))
+	}
+	err := writeFrame(k.w, payload)
+	if err == nil {
+		mWireFramesOut.Inc()
+		mWireBytesOut.Add(uint64(len(payload)))
+		if flush {
+			err = k.w.Flush()
+		}
+	}
+	if err != nil {
+		if isTimeout(err) {
+			mServerShed.With(shedWrite).Inc()
+		}
+		k.err = err
+		k.conn.SetReadDeadline(time.Now().Add(-time.Second))
+	}
+	return err
+}
+
+// send encodes and writes one response frame tagged with id.
+func (k *binSink) send(id uint64, resp Response, flush bool) error {
+	buf := getEncBuf()
+	payload, err := encodeResponsePayload(*buf, id, resp)
+	if err != nil {
+		putEncBuf(buf)
+		return err
+	}
+	k.mu.Lock()
+	err = k.writeLocked(payload, flush)
+	k.mu.Unlock()
+	*buf = payload
+	putEncBuf(buf)
+	return err
+}
+
+// Push implements PushSink: a server-initiated frame reusing the
+// subscription's request ID, flushed immediately (push latency is the point
+// of the read plane; there is no pipelined burst to coalesce with).
+func (k *binSink) Push(id uint64, resp Response) error {
+	resp.OK = resp.Error == ""
+	return k.send(id, resp, true)
+}
+
+// subscribe runs the registration and writes its acknowledgement under the
+// sink lock, so a push for the new subscription — which needs the same lock
+// — cannot overtake the ack on the wire.
+func (k *binSink) subscribe(h SubscriptionHandler, in wireInbound, flush bool) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	resp := h.Subscribe(in.req, in.id, k)
+	resp.OK = resp.Error == ""
+	buf := getEncBuf()
+	payload, err := encodeResponsePayload(*buf, in.id, resp)
+	if err != nil {
+		putEncBuf(buf)
+		return err
+	}
+	err = k.writeLocked(payload, flush)
+	*buf = payload
+	putEncBuf(buf)
+	return err
+}
+
 // serveBinary is the v2 serve loop. A reader goroutine decodes frames ahead
 // of execution into a bounded queue — the server half of pipelining — while
 // this goroutine executes them strictly in arrival order (order matters: the
 // memory server's idempotent-store dedup relies on a connection's stores
 // applying in the sequence they were sent) and writes responses back tagged
-// with the request ID, coalescing flushes while more work is queued.
+// with the request ID, coalescing flushes while more work is queued. All
+// writes go through a binSink so subscription pushes (server-initiated
+// frames from a SubscriptionHandler) serialize cleanly with responses.
 func (s *Server) serveBinary(conn net.Conn, reader *bufio.Reader, writer *bufio.Writer) {
+	sink := &binSink{conn: conn, limits: s.limits, w: writer}
+	subHandler, _ := s.handler.(SubscriptionHandler)
 	queue := make(chan wireInbound, wireReadAhead)
 	go func() {
 		defer close(queue)
@@ -329,16 +474,25 @@ func (s *Server) serveBinary(conn net.Conn, reader *bufio.Reader, writer *bufio.
 		for {
 			// Arm the idle deadline only when the next frame has to touch the
 			// socket; frames already buffered (pipelined bursts) mean the
-			// connection is anything but idle.
-			if s.limits.IdleTimeout > 0 && reader.Buffered() == 0 {
+			// connection is anything but idle. A connection with active
+			// subscriptions is never idle-disconnected: it is quiet because
+			// it is listening, not because it is gone.
+			if s.limits.IdleTimeout > 0 && reader.Buffered() == 0 && sink.subs.Load() == 0 {
 				conn.SetReadDeadline(time.Now().Add(s.limits.IdleTimeout))
 			}
-			payload, _, err := readFrame(reader, &buf)
+			payload, n, err := readFrame(reader, &buf)
 			if err != nil {
 				if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) || s.isClosed() {
 					return
 				}
 				if isTimeout(err) {
+					if n == 0 && sink.subs.Load() > 0 && !sink.poisoned() {
+						// The deadline was armed before the executor
+						// registered a subscription; clear it and keep
+						// listening.
+						conn.SetReadDeadline(time.Time{})
+						continue
+					}
 					mServerShed.With(shedIdle).Inc()
 					return
 				}
@@ -363,58 +517,61 @@ func (s *Server) serveBinary(conn net.Conn, reader *bufio.Reader, writer *bufio.
 			queue <- wireInbound{id: id, req: req}
 		}
 	}()
-	// On exit, unblock the reader (it may be parked on a read or a queue
-	// send) and drain until it closes the channel, so serveConn's deferred
-	// conn.Close never races a goroutine still using the bufio.Reader.
+	// On exit, poison the sink (so no read timeout is excused and no push
+	// lands mid-teardown), unblock the reader (it may be parked on a read
+	// or a queue send), and drain until it closes the channel, so
+	// serveConn's deferred conn.Close never races a goroutine still using
+	// the bufio.Reader.
 	defer func() {
+		sink.close()
 		conn.SetReadDeadline(time.Now().Add(-time.Second))
 		for range queue {
 		}
 	}()
+	// Drop this connection's subscriptions first (LIFO), before the reader
+	// is reaped, so the handler stops pushing to a connection on its way out.
+	if subHandler != nil {
+		defer subHandler.DropSink(sink)
+	}
+	var tenant string
 	for in := range queue {
 		mServerRequestsByOp.get(in.req.Op).Inc()
 		mWirePipelineDepth.Observe(float64(len(queue)))
-		resp := s.dispatch(in.req)
+		// Flush only when no further request is queued: under pipelining
+		// many responses share one syscall.
+		flush := len(queue) == 0
+		var resp Response
+		switch {
+		case in.req.Op == OpHello:
+			// Connection-level: attribute the rest of the connection to
+			// the named tenant.
+			tenant = in.req.Tenant
+		case !s.allowTenant(tenant):
+			resp = s.tenantBusy(tenant)
+		case in.req.Op == OpSubscribe && subHandler != nil:
+			if err := sink.subscribe(subHandler, in, flush); err != nil {
+				if s.logger != nil && !isTimeout(err) {
+					s.logger.Printf("nwsnet: subscribe: %v", err)
+				}
+				return
+			}
+			continue
+		case in.req.Op == OpUnsubscribe && subHandler != nil:
+			resp = subHandler.Unsubscribe(in.req, sink)
+		default:
+			resp = s.dispatch(in.req)
+		}
 		resp.OK = resp.Error == ""
-		buf := getEncBuf()
-		payload, err := encodeResponsePayload(*buf, in.id, resp)
-		if err != nil {
-			// Unencodable responses cannot happen for handler output (the
-			// handler never nests batches); treat it as a server bug.
-			putEncBuf(buf)
-			if s.logger != nil {
-				s.logger.Printf("nwsnet: encode response: %v", err)
-			}
-			return
-		}
-		// Arm the write deadline once per flush batch (the buffer is empty
-		// exactly when a batch starts): it still bounds how long a stalled
-		// peer can pin the connection, without a deadline call per response.
-		if s.limits.WriteTimeout > 0 && writer.Buffered() == 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.limits.WriteTimeout))
-		}
-		werr := writeFrame(writer, payload)
-		if werr == nil {
-			mWireFramesOut.Inc()
-			mWireBytesOut.Add(uint64(len(payload)))
-			// Flush only when no further request is queued: under pipelining
-			// many responses share one syscall.
-			if len(queue) == 0 {
-				werr = writer.Flush()
-			}
-		}
-		*buf = payload
-		putEncBuf(buf)
-		if werr != nil {
-			if isTimeout(werr) {
-				mServerShed.With(shedWrite).Inc()
-			} else if s.logger != nil {
-				s.logger.Printf("nwsnet: write frame: %v", werr)
+		if err := sink.send(in.id, resp, flush); err != nil {
+			if s.logger != nil && !isTimeout(err) {
+				s.logger.Printf("nwsnet: write frame: %v", err)
 			}
 			return
 		}
 	}
+	sink.mu.Lock()
 	writer.Flush()
+	sink.mu.Unlock()
 }
 
 // dispatch runs one request through the handler, bounded by the in-flight

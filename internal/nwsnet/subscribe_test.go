@@ -1,0 +1,431 @@
+package nwsnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nwscpu/internal/nwsnet/cluster"
+	"nwscpu/internal/resilience"
+)
+
+// startForecastPlane runs a memory server plus a forecaster over it with
+// the refresher ticking, returning the memory handler (store points through
+// it directly), the forecaster, and the forecaster's address.
+func startForecastPlane(t *testing.T, tick time.Duration) (*Memory, *ForecasterService, string) {
+	t.Helper()
+	mem := NewMemory(0)
+	_, memAddr := startServerLimits(t, mem, ServerLimits{})
+	f := NewForecasterService(memAddr, 2*time.Second)
+	f.StartRefresher(tick)
+	t.Cleanup(f.StopRefresher)
+	_, fcAddr := startServerLimits(t, f, ServerLimits{})
+	return mem, f, fcAddr
+}
+
+// TestSubscribeAckAndPush walks the whole read-plane lifecycle on one
+// connection: subscribe acks with the current forecast, a remote store is
+// pushed within a refresh tick, and unsubscribe stops the pushes.
+func TestSubscribeAckAndPush(t *testing.T) {
+	mem, _, fcAddr := startForecastPlane(t, 20*time.Millisecond)
+	if resp := mem.Handle(Request{Op: OpStore, Series: "s", Points: [][2]float64{{1, 0.5}, {2, 0.5}, {3, 0.5}}}); resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+
+	mux, err := DialMux(fcAddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	pushes := make(chan Response, 16)
+	ack, err := mux.Subscribe("s", func(resp Response, err error) {
+		if err == nil {
+			pushes <- resp
+		}
+	}).Wait()
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if ack.Forecast == nil || ack.Forecast.N != 3 {
+		t.Fatalf("ack forecast %+v, want one over 3 points", ack.Forecast)
+	}
+	if got := mux.Subscriptions(); got != 1 {
+		t.Fatalf("client tracks %d subscriptions, want 1", got)
+	}
+
+	mem.Handle(Request{Op: OpStore, Series: "s", Points: [][2]float64{{4, 0.5}, {5, 0.5}}})
+	select {
+	case resp := <-pushes:
+		if resp.Forecast == nil || resp.Forecast.N != 5 {
+			t.Fatalf("push forecast %+v, want one over 5 points", resp.Forecast)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no push within 100 refresh ticks of the store")
+	}
+
+	if _, err := mux.Unsubscribe("s").Wait(); err != nil {
+		t.Fatalf("unsubscribe: %v", err)
+	}
+	mem.Handle(Request{Op: OpStore, Series: "s", Points: [][2]float64{{6, 0.5}}})
+	select {
+	case resp := <-pushes:
+		t.Fatalf("push %+v after unsubscribe", resp.Forecast)
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+// TestSubscribeUnsupportedOnJSON pins the v1 story: a JSON-lines client
+// asking to subscribe gets a terminal error, not a hang and not a busy.
+func TestSubscribeUnsupportedOnJSON(t *testing.T) {
+	_, f, fcAddr := startForecastPlane(t, 50*time.Millisecond)
+	c := NewClientOptions(ClientOptions{Timeout: time.Second, Codec: CodecJSON})
+	defer c.Close()
+	_, err := c.do(context.Background(), fcAddr, Request{Op: OpSubscribe, Series: "s"})
+	if err == nil || !resilience.IsTerminal(err) {
+		t.Fatalf("v1 subscribe: %v, want terminal", err)
+	}
+	if n := f.Subscriptions(); n != 0 {
+		t.Fatalf("v1 subscribe registered %d subscriptions", n)
+	}
+}
+
+// TestManySubscribersOneTick races 32 subscribers against one store: every
+// subscriber must see the resulting push exactly once — the hub may not
+// drop a sink mid-registration, and a tick that consumed no new points may
+// not push. Run under -race, it is also the lock-order check for the
+// sink-write/hub/engine lock triangle.
+func TestManySubscribersOneTick(t *testing.T) {
+	mem, f, fcAddr := startForecastPlane(t, 25*time.Millisecond)
+
+	const subscribers = 32
+	var counts [subscribers]atomic.Int64
+	conns := make([]*MuxConn, subscribers)
+	var wg sync.WaitGroup
+	errs := make(chan error, subscribers)
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mux, err := DialMux(fcAddr, 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			conns[i] = mux
+			if _, err := mux.Subscribe("s", func(resp Response, err error) {
+				if err == nil {
+					counts[i].Add(1)
+				}
+			}).Wait(); err != nil {
+				errs <- fmt.Errorf("subscriber %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, mux := range conns {
+			if mux != nil {
+				mux.Close()
+			}
+		}
+	}()
+	if n := f.Subscriptions(); n != subscribers {
+		t.Fatalf("hub holds %d subscriptions, want %d", n, subscribers)
+	}
+
+	// One store; the next tick recomputes once and fans out once.
+	mem.Handle(Request{Op: OpStore, Series: "s", Points: [][2]float64{{1, 0.25}, {2, 0.25}}})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		all := true
+		for i := range counts {
+			if counts[i].Load() < 1 {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("not every subscriber saw the push")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Several more ticks with no new points: counts must not move.
+	time.Sleep(200 * time.Millisecond)
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("subscriber %d saw %d pushes for one store, want exactly 1", i, got)
+		}
+	}
+
+	// Teardown drops every subscription server-side.
+	for _, mux := range conns {
+		mux.Close()
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for f.Subscriptions() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("hub still holds %d subscriptions after every connection closed", f.Subscriptions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSubscribedConnectionSurvivesIdleTimeout checks the idle-reaper
+// exemption: a connection whose only activity is inbound pushes must not be
+// shed, while an unsubscribed idle connection on the same server still is.
+func TestSubscribedConnectionSurvivesIdleTimeout(t *testing.T) {
+	mem := NewMemory(0)
+	_, memAddr := startServerLimits(t, mem, ServerLimits{})
+	f := NewForecasterService(memAddr, 2*time.Second)
+	f.StartRefresher(20 * time.Millisecond)
+	t.Cleanup(f.StopRefresher)
+	_, fcAddr := startServerLimits(t, f, ServerLimits{IdleTimeout: 120 * time.Millisecond})
+
+	mux, err := DialMux(fcAddr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+	var pushed atomic.Int64
+	if _, err := mux.Subscribe("s", func(resp Response, err error) {
+		if err == nil {
+			pushed.Add(1)
+		}
+	}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(400 * time.Millisecond) // several idle-timeout laps, zero requests
+	mem.Handle(Request{Op: OpStore, Series: "s", Points: [][2]float64{{1, 1}}})
+	deadline := time.Now().Add(2 * time.Second)
+	for pushed.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscribed connection was idle-reaped: store never pushed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The connection is still serviceable for ordinary requests too.
+	if _, err := mux.Do(Request{Op: OpPing}); err != nil {
+		t.Fatalf("ping on long-idle subscribed connection: %v", err)
+	}
+}
+
+// TestMuxRedialReplaysIdleCutWindow is the regression for the idle-poisoned
+// burst: a server idle-closes a quiet MuxConn, the next pipelined window
+// hits the dead transport, and the client must redial once and replay the
+// window transparently — every call succeeds, nothing is dropped or
+// doubled, and the gate re-arms for the next idle period.
+func TestMuxRedialReplaysIdleCutWindow(t *testing.T) {
+	mem := NewMemory(0)
+	_, addr := startServerLimits(t, mem, ServerLimits{IdleTimeout: 100 * time.Millisecond})
+
+	mux, err := DialMux(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+	if _, err := mux.Do(Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+
+	redials0 := mMuxRedials.Value()
+	const rounds, per = 2, 40
+	for round := 0; round < rounds; round++ {
+		time.Sleep(300 * time.Millisecond) // server idle-reaps the connection
+		calls := make([]*MuxCall, per)
+		for i := 0; i < per; i++ {
+			calls[i] = mux.Go(Request{Op: OpStore, Series: "k",
+				Points: [][2]float64{{float64(round*per + i + 1), 1}}})
+		}
+		for i, c := range calls {
+			if _, err := c.Wait(); err != nil {
+				t.Fatalf("round %d call %d: %v", round, i, err)
+			}
+		}
+	}
+	resp, err := mux.Do(Request{Op: OpFetch, Series: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != rounds*per {
+		t.Fatalf("stored %d points across redials, fetched %d", rounds*per, len(resp.Points))
+	}
+	if got := mMuxRedials.Value() - redials0; got != rounds {
+		t.Fatalf("%d redials for %d idle-cut bursts", got, rounds)
+	}
+}
+
+// TestMuxRedialIsOneShot checks the failure semantics stay explicit when
+// the redial cannot help: a server that is gone stays gone, and the window
+// fails with a transport error after exactly one replay attempt.
+func TestMuxRedialIsOneShot(t *testing.T) {
+	mem := NewMemory(0)
+	srv, addr := startServerLimits(t, mem, ServerLimits{})
+	mux, err := DialMux(addr, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+	if _, err := mux.Do(Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	time.Sleep(50 * time.Millisecond)
+	// The burst hits a closed server; the one redial fails to connect, so
+	// every call completes with an error rather than retrying forever.
+	calls := make([]*MuxCall, 8)
+	for i := range calls {
+		calls[i] = mux.Go(Request{Op: OpStore, Series: "k", Points: [][2]float64{{float64(i + 1), 1}}})
+	}
+	for i, c := range calls {
+		if _, err := c.Wait(); err == nil {
+			t.Fatalf("call %d succeeded against a closed server", i)
+		}
+	}
+}
+
+// TestWarmPartialFailure is the regression for half-primed warm-up: when
+// priming fails for one series mid-batch, the others must land in their own
+// engines (no positional cross-feeding), the failed series must stay
+// cold — not marked warm — and the next Warm must re-prime it from its
+// untouched frontier.
+func TestWarmPartialFailure(t *testing.T) {
+	mem := NewMemory(0)
+	var failBad atomic.Bool
+	// Chaos wrapper: truncate (fail) the "bad" sub-fetch inside a batch,
+	// exactly what a mid-envelope cancellation does to one series.
+	flaky := handlerFunc(func(req Request) Response {
+		resp := mem.Handle(req)
+		if failBad.Load() && req.Op == OpBatch {
+			for i, sub := range req.Batch {
+				if sub.Op == OpFetch && sub.Series == "bad" && i < len(resp.Batch) {
+					resp.Batch[i] = errResp("chaos: truncated fetch")
+				}
+			}
+		}
+		return resp
+	})
+	_, addr := startServerLimits(t, flaky, ServerLimits{})
+
+	const per = 50
+	good := make([][2]float64, per)
+	bad := make([][2]float64, per)
+	for i := 0; i < per; i++ {
+		good[i] = [2]float64{float64(i + 1), 1.0}
+		bad[i] = [2]float64{float64(i + 1), 2.0}
+	}
+	mem.Handle(Request{Op: OpStore, Series: "good", Points: good})
+	mem.Handle(Request{Op: OpStore, Series: "bad", Points: bad})
+
+	f := NewForecasterService(addr, 2*time.Second)
+	ctx := context.Background()
+
+	failBad.Store(true)
+	n, err := f.Warm(ctx, []string{"good", "bad"})
+	if err != nil {
+		t.Fatalf("warm with one failed series: %v", err)
+	}
+	if n != per {
+		t.Fatalf("first warm consumed %d points, want %d (good only)", n, per)
+	}
+
+	failBad.Store(false)
+	n, err = f.Warm(ctx, []string{"good", "bad"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != per {
+		t.Fatalf("re-warm consumed %d points, want %d (bad, from its untouched frontier)", n, per)
+	}
+
+	// Both engines forecast over their own full history; a constant series
+	// forecasts its constant, so a cross-fed point would move the value.
+	for series, want := range map[string]float64{"good": 1.0, "bad": 2.0} {
+		resp := f.Handle(Request{Op: OpForecast, Series: series})
+		if resp.Error != "" {
+			t.Fatalf("forecast %q: %s", series, resp.Error)
+		}
+		if resp.Forecast.N != per {
+			t.Fatalf("forecast %q over %d points, want %d", series, resp.Forecast.N, per)
+		}
+		if resp.Forecast.Value != want {
+			t.Fatalf("forecast %q = %g, want %g — engines cross-fed", series, resp.Forecast.Value, want)
+		}
+	}
+}
+
+// TestAdoptViewHandsOffSubscriptions checks the ownership-change path: when
+// a view stops assigning a subscribed series to this forecaster, the
+// subscriber gets one terminal moved push carrying the authoritative view,
+// and the hub forgets the subscription. Series still owned keep flowing.
+func TestAdoptViewHandsOffSubscriptions(t *testing.T) {
+	_, f, fcAddr := startForecastPlane(t, 20*time.Millisecond)
+	f.SetClusterSelf("fc-self")
+
+	mux, err := DialMux(fcAddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	type end struct {
+		resp Response
+		err  error
+	}
+	moved := make(chan end, 1)
+	if _, err := mux.Subscribe("a", func(resp Response, err error) {
+		if err != nil {
+			moved <- end{resp, err}
+		}
+	}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A view that still assigns everything here: nothing moves.
+	keep := &cluster.View{
+		Epoch:  3,
+		Config: cluster.Config{Replication: 1, VNodes: 16},
+		Members: []cluster.Member{
+			{ID: "fc-self", Kind: string(KindForecaster), Addr: fcAddr, State: cluster.StateActive},
+		},
+	}
+	f.AdoptView(keep)
+	if n := f.Subscriptions(); n != 1 {
+		t.Fatalf("owned subscription dropped by a view that kept it (%d left)", n)
+	}
+
+	// A view that moves every series to another member: one moved push.
+	away := &cluster.View{
+		Epoch:  4,
+		Config: cluster.Config{Replication: 1, VNodes: 16},
+		Members: []cluster.Member{
+			{ID: "fc-other", Kind: string(KindForecaster), Addr: "127.0.0.1:9", State: cluster.StateActive},
+		},
+	}
+	f.AdoptView(away)
+	select {
+	case got := <-moved:
+		if _, ok := IsMoved(got.err); !ok {
+			t.Fatalf("terminal push classified %v, want moved", got.err)
+		}
+		if got.resp.View == nil || got.resp.View.Epoch != 4 {
+			t.Fatalf("moved push view %+v, want the epoch-4 view", got.resp.View)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no moved push after losing ownership")
+	}
+	if n := f.Subscriptions(); n != 0 {
+		t.Fatalf("hub still holds %d subscriptions after handoff", n)
+	}
+}
