@@ -6,9 +6,9 @@ GOFMT ?= gofmt
 #   make fuzz-smoke FUZZTIME=2m
 FUZZTIME ?= 5s
 
-.PHONY: all build test test-race chaos chaos-cluster vet docs-check fuzz-smoke bench bench-forecast bench-forecast-smoke bench-memory bench-memory-smoke bench-wire-smoke bench-subscribe-smoke bench-paper experiments report clean
+.PHONY: all build test test-race chaos chaos-cluster vet docs-check fuzz-smoke grid grid-smoke bench bench-forecast bench-forecast-smoke bench-memory bench-memory-smoke bench-wire-smoke bench-subscribe-smoke bench-paper experiments report clean
 
-all: build vet docs-check test chaos-cluster fuzz-smoke bench-forecast-smoke bench-memory-smoke bench-wire-smoke bench-subscribe-smoke
+all: build vet docs-check test chaos-cluster fuzz-smoke grid-smoke bench-forecast-smoke bench-memory-smoke bench-wire-smoke bench-subscribe-smoke
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,21 @@ fuzz-smoke:
 	$(GO) test -run - -fuzz 'FuzzDecodeResponse$$' -fuzztime $(FUZZTIME) ./internal/nwsnet
 	$(GO) test -run - -fuzz 'FuzzDecodeBinaryRequest$$' -fuzztime $(FUZZTIME) ./internal/nwsnet
 	$(GO) test -run - -fuzz 'FuzzDecodeBinaryResponse$$' -fuzztime $(FUZZTIME) ./internal/nwsnet
+
+# Grid-scale capacity baseline: the full 1000-host scenario harness
+# regenerating BENCH_grid.json (schema nws/grid-report/v1). Deterministic:
+# rerunning with an unchanged harness leaves the file byte-identical.
+grid:
+	$(GO) run ./cmd/nwsgrid -seed 1 -json BENCH_grid.json
+
+# CI smoke for the harness: the grid package and nwsgrid CLI tests under
+# the race detector (including the same-seed byte-identity checks), then a
+# down-scaled run executed twice and compared byte for byte.
+grid-smoke:
+	$(GO) test -race -count=1 ./internal/grid ./cmd/nwsgrid
+	$(GO) run ./cmd/nwsgrid -smoke -hosts 21 -duration 120 -out /tmp/nwsgrid.smoke.a >/dev/null
+	$(GO) run ./cmd/nwsgrid -smoke -hosts 21 -duration 120 -out /tmp/nwsgrid.smoke.b >/dev/null
+	cmp /tmp/nwsgrid.smoke.a /tmp/nwsgrid.smoke.b
 
 # Forecaster hot-path baseline: the Go benchmark suite with allocation
 # accounting, then the nwsperf harness regenerating BENCH_forecast.json

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nwscpu/internal/grid"
+)
+
+func runCLI(t *testing.T, args ...string) (stdout string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	if code != 0 && !strings.Contains(strings.Join(args, " "), "bogus") {
+		t.Fatalf("run(%v) = %d, stderr: %s", args, code, errb.String())
+	}
+	return out.String(), code
+}
+
+// TestCLISameSeedByteIdentical drives the determinism guarantee end to end
+// through the binary's code path: the same seed and flags twice must write
+// byte-identical text and JSON artifacts; a different seed must not.
+func TestCLISameSeedByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	args := func(seed, tag string) []string {
+		return []string{
+			"-seed", seed, "-hosts", "14", "-duration", "100",
+			"-out", filepath.Join(dir, tag+".txt"),
+			"-json", filepath.Join(dir, tag+".json"),
+		}
+	}
+	out1, _ := runCLI(t, args("9", "a")...)
+	out2, _ := runCLI(t, args("9", "b")...)
+	if out1 != out2 {
+		t.Fatalf("same seed, different stdout")
+	}
+	for _, ext := range []string{".txt", ".json"} {
+		a, err := os.ReadFile(filepath.Join(dir, "a"+ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "b"+ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("same seed, different %s artifacts", ext)
+		}
+	}
+	out3, _ := runCLI(t, args("10", "c")...)
+	if out1 == out3 {
+		t.Fatalf("different seeds, identical reports")
+	}
+}
+
+// TestCLIJSONReport checks the JSON artifact: versioned schema, and at
+// least one passing and one failing SLO verdict under the shipped default
+// SLOs (the acceptance bar for the capacity report).
+func TestCLIJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	runCLI(t, "-seed", "1", "-hosts", "14", "-duration", "100", "-json", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep grid.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if rep.Schema != grid.SchemaVersion {
+		t.Fatalf("schema %q, want %q", rep.Schema, grid.SchemaVersion)
+	}
+	var pass, fail bool
+	for _, v := range rep.Verdicts {
+		if v.Pass {
+			pass = true
+		} else {
+			fail = true
+		}
+	}
+	if !pass || !fail {
+		t.Fatalf("default run did not produce both PASS and FAIL verdicts: %+v", rep.Verdicts)
+	}
+}
+
+func TestCLIBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-factors", "1,bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad factors exited %d, want 2", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown flag exited %d, want 2", code)
+	}
+}

@@ -4,10 +4,23 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"nwscpu/internal/core"
 	"nwscpu/internal/series"
 )
+
+// sortedKeys returns m's keys in sorted order, so exports walk hosts
+// deterministically instead of in map-iteration order — same-seed runs
+// must produce their artifacts in the same sequence, byte for byte.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Export writes every series the suite has cached so far to dir as CSV
 // files (creating dir if needed), one file per series:
@@ -48,7 +61,8 @@ func (s *Suite) Export(dir string) (int, error) {
 		{"short", s.short},
 		{"medium", s.medium},
 	} {
-		for host, m := range kind.runs {
+		for _, host := range sortedKeys(kind.runs) {
+			m := kind.runs[host]
 			for _, method := range core.Methods {
 				if err := write(fmt.Sprintf("%s_%s_%s", host, kind.label, method),
 					m.Measurements[method]); err != nil {
@@ -60,8 +74,8 @@ func (s *Suite) Export(dir string) (int, error) {
 			}
 		}
 	}
-	for host, w := range s.week {
-		if err := write(host+"_week", w); err != nil {
+	for _, host := range sortedKeys(s.week) {
+		if err := write(host+"_week", s.week[host]); err != nil {
 			return written, err
 		}
 	}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"nwscpu/internal/series"
+)
+
+// TestExportWalksHostsInSortedOrder pins the emitter-determinism fix:
+// Export must walk its host maps in sorted key order, not map-iteration
+// order, so same-seed runs produce their artifacts in the same sequence.
+// The observable is file creation time: with a dozen hosts inserted in
+// scrambled order, creation times must be non-decreasing along the sorted
+// names (ties allowed; a map-order walk violates the monotonicity with
+// overwhelming probability).
+func TestExportWalksHostsInSortedOrder(t *testing.T) {
+	s := NewSuite(QuickConfig())
+	hosts := []string{"mira", "zeus", "ada", "kilo", "quux", "brahe", "yarn", "echo", "nova", "lima", "xray", "gauss"}
+	for _, h := range hosts {
+		w := series.FromValues(h+" week", 0, 10, []float64{0.5, 0.6, 0.7})
+		s.week[h] = w
+	}
+	dir := t.TempDir()
+	n, err := s.Export(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(hosts) {
+		t.Fatalf("exported %d files, want %d", n, len(hosts))
+	}
+	sorted := append([]string(nil), hosts...)
+	sort.Strings(sorted)
+	var last string
+	for i := 1; i < len(sorted); i++ {
+		prev, err := os.Stat(filepath.Join(dir, sorted[i-1]+"_week.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err := os.Stat(filepath.Join(dir, sorted[i]+"_week.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.ModTime().Before(prev.ModTime()) {
+			t.Fatalf("%s_week.csv written before %s_week.csv: export order is not sorted (last ok: %q)",
+				sorted[i], sorted[i-1], last)
+		}
+		last = sorted[i]
+	}
+}

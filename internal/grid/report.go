@@ -1,0 +1,201 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"nwscpu/internal/report"
+)
+
+// SchemaVersion identifies the JSON report layout. Bump it on any breaking
+// change to the Report structure; consumers (BENCH_grid.json readers,
+// dashboards) dispatch on it.
+const SchemaVersion = "nws/grid-report/v1"
+
+// Report is the capacity-planning output of one harness run. It is built
+// exclusively from slices populated in deterministic order (scenarios in
+// catalog order, members sorted, serving points in load-factor order,
+// verdicts serving-then-forecast), so both emitters are byte-stable for a
+// given seed and configuration.
+type Report struct {
+	Schema    string           `json:"schema"`
+	Seed      int64            `json:"seed"`
+	Config    ReportConfig     `json:"config"`
+	Totals    Totals           `json:"totals"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+	Serving   []ServePoint     `json:"serving"`
+	Verdicts  []Verdict        `json:"verdicts"`
+}
+
+// ReportConfig echoes the run parameters into the report, making an emitted
+// report self-describing (and a reproduction recipe: feed them back to
+// cmd/nwsgrid and the bytes come back).
+type ReportConfig struct {
+	Hosts        int       `json:"hosts"`
+	DurationS    float64   `json:"duration_s"`
+	CadenceS     float64   `json:"cadence_s"`
+	TickS        float64   `json:"tick_s"`
+	ServeRateOps float64   `json:"serve_rate_ops_per_sec"`
+	LoadFactors  []float64 `json:"load_factors"`
+	SubEvery     int       `json:"subscribe_every"`
+	QueryEvery   int       `json:"query_every"`
+	SLO          SLO       `json:"slo"`
+}
+
+// Totals are the whole-run serving-plane counts.
+type Totals struct {
+	Rounds             int     `json:"rounds"`
+	Series             int     `json:"series"`
+	PointsStored       uint64  `json:"points_stored"`
+	MemoryOps          uint64  `json:"memory_ops"`
+	OpsPerRound        float64 `json:"ops_per_round"`
+	Queries            uint64  `json:"forecast_queries"`
+	CacheHits          uint64  `json:"cache_hits"`
+	CacheMisses        uint64  `json:"cache_misses"`
+	CacheInvalidations uint64  `json:"cache_invalidations"`
+	Subscriptions      int     `json:"subscriptions"`
+	Pushes             uint64  `json:"pushes"`
+}
+
+// ScenarioResult is one scenario's forecast-accuracy table: the mean error
+// of every bank member across the scenario's hosts (the paper's Tables 2
+// and 3, at fleet scale), plus the dynamically selected engine's error.
+type ScenarioResult struct {
+	Name      string        `json:"name"`
+	Desc      string        `json:"desc"`
+	Hosts     int           `json:"hosts"`
+	MeanAvail float64       `json:"mean_availability"`
+	EngineMAE float64       `json:"engine_mae"`
+	EngineMSE float64       `json:"engine_mse"`
+	Members   []MemberError `json:"members"`
+}
+
+// MemberError is one forecaster's mean error over a scenario's hosts.
+type MemberError struct {
+	Name string  `json:"name"`
+	MAE  float64 `json:"mae"`
+	MSE  float64 `json:"mse"`
+}
+
+// Verdict is one "config X meets SLO Y" judgement.
+type Verdict struct {
+	Config string  `json:"config"`
+	SLO    string  `json:"slo"`
+	Value  float64 `json:"value"`
+	Target float64 `json:"target"`
+	Pass   bool    `json:"pass"`
+}
+
+// sortedMemberNames returns the aggregation map's keys sorted — member
+// tables must never inherit map-iteration order.
+func sortedMemberNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sortMembers orders a scenario table by ascending MAE (best forecaster
+// first, as the paper's tables read), name-tiebroken for determinism.
+func sortMembers(ms []MemberError) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].MAE != ms[j].MAE {
+			return ms[i].MAE < ms[j].MAE
+		}
+		return ms[i].Name < ms[j].Name
+	})
+}
+
+// WriteJSON emits the report as indented JSON (schema SchemaVersion).
+// encoding/json marshals structs in field order and the report holds no
+// maps, so the bytes are deterministic.
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteText emits the human-readable capacity report: run summary,
+// per-scenario forecast-error tables, serving-plane latency versus load,
+// and the SLO verdicts.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "nwsgrid capacity report (%s)\n", r.Schema); err != nil {
+		return err
+	}
+	c := r.Config
+	if _, err := fmt.Fprintf(w, "seed %d  hosts %d  duration %gs  cadence %gs  rounds %d\n\n",
+		r.Seed, c.Hosts, c.DurationS, c.CadenceS, r.Totals.Rounds); err != nil {
+		return err
+	}
+
+	t := report.NewTable("total", "value")
+	tt := r.Totals
+	t.AddRow("series", fmt.Sprintf("%d", tt.Series))
+	t.AddRow("points stored", fmt.Sprintf("%d", tt.PointsStored))
+	t.AddRow("memory ops", fmt.Sprintf("%d", tt.MemoryOps))
+	t.AddRow("ops/round", fmt.Sprintf("%.1f", tt.OpsPerRound))
+	t.AddRow("forecast queries", fmt.Sprintf("%d", tt.Queries))
+	t.AddRow("cache hits", fmt.Sprintf("%d", tt.CacheHits))
+	t.AddRow("cache misses", fmt.Sprintf("%d", tt.CacheMisses))
+	t.AddRow("cache invalidations", fmt.Sprintf("%d", tt.CacheInvalidations))
+	t.AddRow("subscriptions", fmt.Sprintf("%d", tt.Subscriptions))
+	t.AddRow("pushes delivered", fmt.Sprintf("%d", tt.Pushes))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	for _, sc := range r.Scenarios {
+		if _, err := fmt.Fprintf(w, "scenario %s — %s (%d hosts, mean availability %.4f)\n",
+			sc.Name, sc.Desc, sc.Hosts, sc.MeanAvail); err != nil {
+			return err
+		}
+		t := report.NewTable("forecaster", "MAE", "MSE")
+		t.AddRow("[dynamic engine]", fmt.Sprintf("%.4f", sc.EngineMAE), fmt.Sprintf("%.5f", sc.EngineMSE))
+		for _, m := range sc.Members {
+			t.AddRow(m.Name, fmt.Sprintf("%.4f", m.MAE), fmt.Sprintf("%.5f", m.MSE))
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "serving plane (batch-drain FIFO model, %g ops/s capacity)\n",
+		c.ServeRateOps); err != nil {
+		return err
+	}
+	t = report.NewTable("load", "offered ops/s", "util", "p50 ms", "p90 ms", "p99 ms")
+	for _, sp := range r.Serving {
+		t.AddRow(
+			fmt.Sprintf("%gx", sp.Factor),
+			fmt.Sprintf("%.1f", sp.OfferedOpsPerSec),
+			fmt.Sprintf("%.3f", sp.Utilization),
+			fmt.Sprintf("%.3f", sp.P50Ms),
+			fmt.Sprintf("%.3f", sp.P90Ms),
+			fmt.Sprintf("%.3f", sp.P99Ms),
+		)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	if _, err := fmt.Fprintln(w, "SLO verdicts"); err != nil {
+		return err
+	}
+	t = report.NewTable("config", "slo", "value", "target", "verdict")
+	for _, v := range r.Verdicts {
+		verdict := "PASS"
+		if !v.Pass {
+			verdict = "FAIL"
+		}
+		t.AddRow(v.Config, v.SLO, fmt.Sprintf("%.4f", v.Value), fmt.Sprintf("%.4f", v.Target), verdict)
+	}
+	return t.Render(w)
+}

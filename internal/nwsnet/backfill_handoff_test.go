@@ -1,0 +1,183 @@
+package nwsnet
+
+import (
+	"context"
+	"testing"
+
+	"nwscpu/internal/nwsnet/cluster"
+)
+
+// handoffView builds a two-member active view whose ring (replication 1)
+// assigns key to wantOwner, searching ring seeds deterministically.
+func handoffView(t *testing.T, key, wantOwner string) cluster.View {
+	t.Helper()
+	for seed := uint64(0); seed < 256; seed++ {
+		v := cluster.View{
+			Epoch:  2,
+			Config: cluster.Config{Replication: 1, VNodes: 16, Seed: seed},
+			Members: []cluster.Member{
+				{ID: "node-a", Kind: string(KindMemory), Addr: "a:1", State: cluster.StateActive},
+				{ID: "node-b", Kind: string(KindMemory), Addr: "b:1", State: cluster.StateActive},
+			},
+		}
+		ring := v.Ring(string(KindMemory))
+		owners := ring.Owners(key, 1)
+		if len(owners) == 1 && owners[0] == wantOwner {
+			return v
+		}
+	}
+	t.Fatalf("no ring seed assigns %q to %s", key, wantOwner)
+	return cluster.View{}
+}
+
+func storeSeq(t *testing.T, h Handler, key string, from, to int) {
+	t.Helper()
+	var pts [][2]float64
+	for i := from; i <= to; i++ {
+		pts = append(pts, [2]float64{float64(i), float64(i) / 100})
+	}
+	if resp := h.Handle(Request{Op: OpStore, Series: key, Points: pts}); resp.Error != "" {
+		t.Fatalf("store: %v", resp.Error)
+	}
+}
+
+// TestHandoffBatchFetchSemantics replays the ClusterAgent.sync handoff —
+// batch fetches against the previous owner, Backfill into the new owner —
+// through the exact batch envelope the agent uses, pinning the fetch range
+// semantics on that path: To == 0 is open-ended, an inverted [from, to)
+// yields empty without an error, and a held-but-no-longer-owned series is
+// still served by the old owner. PR 4 pinned these on the server fetch
+// path; this is the batch-backfill twin.
+func TestHandoffBatchFetchSemantics(t *testing.T) {
+	const key = "handoff-host/cpu/nws_hybrid"
+	view := handoffView(t, key, "node-b") // key moves to node-b
+
+	memA := NewMemory(0)
+	nodeA := NewClusterNode("node-a", memA)
+	storeSeq(t, memA, key, 1, 10) // history landed before the epoch bump
+	nodeA.AdoptView(view)
+
+	memB := NewMemory(0)
+	nodeB := NewClusterNode("node-b", memB)
+	nodeB.AdoptView(view)
+
+	ctx := context.Background()
+	old := NewLocalBackend(nodeA)
+
+	// A fetch of a key node-a neither owns nor holds redirects with the
+	// view; the batch envelope must carry that per-sub, not fail whole.
+	res, err := NewLocalBackend(nodeA).FetchBatch(ctx, []BatchFetch{{Series: "other/cpu/m"}})
+	if err != nil || len(res) != 1 {
+		t.Fatalf("probe batch: %v %v", res, err)
+	}
+	if _, moved := IsMoved(res[0].Err); !moved &&
+		view.Ring(string(KindMemory)).Owners("other/cpu/m", 1)[0] == "node-b" {
+		t.Fatalf("unowned unheld fetch did not redirect: %v", res[0].Err)
+	}
+
+	// Phase 1 of sync: open-ended batch fetch (From 0, To 0) against the
+	// held-but-unowned old owner, backfilled into the new owner.
+	results, err := old.FetchBatch(ctx, []BatchFetch{{Series: key}})
+	if err != nil || len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("open-ended handoff fetch: %+v %v", results, err)
+	}
+	if len(results[0].Points) != 10 {
+		t.Fatalf("open-ended fetch returned %d points, want all 10", len(results[0].Points))
+	}
+	if n := memB.Backfill(key, results[0].Points); n != 10 {
+		t.Fatalf("backfill inserted %d, want 10", n)
+	}
+
+	// Writes keep landing on the old owner during the window; phase 2
+	// drains them with an incremental open-ended fetch from the frontier.
+	storeSeq(t, memA, key, 11, 13)
+	results, err = old.FetchBatch(ctx, []BatchFetch{{Series: key, From: nextAfter(10)}})
+	if err != nil || results[0].Err != nil {
+		t.Fatalf("incremental handoff fetch: %+v %v", results, err)
+	}
+	if len(results[0].Points) != 3 {
+		t.Fatalf("incremental fetch returned %d points, want 3", len(results[0].Points))
+	}
+	if n := memB.Backfill(key, results[0].Points); n != 3 {
+		t.Fatalf("incremental backfill inserted %d, want 3", n)
+	}
+	// Redelivering the full history is idempotent on the backfill path.
+	full, _ := old.FetchBatch(ctx, []BatchFetch{{Series: key}})
+	if n := memB.Backfill(key, full[0].Points); n != 0 {
+		t.Fatalf("redelivered backfill inserted %d, want 0", n)
+	}
+	if memB.Len(key) != 13 {
+		t.Fatalf("new owner holds %d points, want 13", memB.Len(key))
+	}
+
+	// Range edge cases through the cluster batch path, inline (<=4 subs)
+	// and concurrent (>4 subs) envelopes alike: inverted ranges are empty,
+	// not errors; To == 0 with a mid frontier returns the tail.
+	for _, width := range []int{3, 6} {
+		fetches := make([]BatchFetch, width)
+		fetches[0] = BatchFetch{Series: key, From: 8, To: 3} // inverted
+		fetches[1] = BatchFetch{Series: key, From: 12}       // open-ended tail
+		for i := 2; i < width; i++ {
+			fetches[i] = BatchFetch{Series: key, From: 1, To: 4}
+		}
+		results, err := NewLocalBackend(nodeB).FetchBatch(ctx, fetches)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if results[0].Err != nil || len(results[0].Points) != 0 {
+			t.Fatalf("width %d: inverted range: %+v", width, results[0])
+		}
+		if results[1].Err != nil || len(results[1].Points) != 2 {
+			t.Fatalf("width %d: open-ended tail: %+v", width, results[1])
+		}
+		for i := 2; i < width; i++ {
+			if results[i].Err != nil || len(results[i].Points) != 3 {
+				t.Fatalf("width %d sub %d: %+v", width, i, results[i])
+			}
+		}
+	}
+}
+
+// TestBackfillCountSurvivesCapacityTrim pins the Backfill return value
+// against the capacity trim: history merged in behind the frontier and
+// immediately evicted by the ring bound was never observably inserted, so
+// it must not be counted (the agent reports these counts as handoff
+// progress and meters nws_cluster_handoff_bytes from them).
+func TestBackfillCountSurvivesCapacityTrim(t *testing.T) {
+	mem := NewMemory(5)
+	storeSeq(t, mem, "k", 6, 10) // ring full of the newest five
+	old := [][2]float64{{1, 0.01}, {2, 0.02}, {3, 0.03}, {4, 0.04}, {5, 0.05}}
+	if n := mem.Backfill("k", old); n != 0 {
+		t.Fatalf("fully trimmed backfill reported %d insertions, want 0", n)
+	}
+	if mem.Len("k") != 5 {
+		t.Fatalf("capacity overflow: %d points", mem.Len("k"))
+	}
+
+	mem2 := NewMemory(8)
+	storeSeq(t, mem2, "k", 6, 10)
+	if n := mem2.Backfill("k", old); n != 3 {
+		t.Fatalf("partially trimmed backfill reported %d insertions, want 3 (t=3,4,5)", n)
+	}
+	resp := mem2.Handle(Request{Op: OpFetch, Series: "k"})
+	if len(resp.Points) != 8 || resp.Points[0][0] != 3 {
+		t.Fatalf("after trim: %v", resp.Points)
+	}
+}
+
+// TestBackfillKeepsStoredValuesOnEqualTimestamps pins the merge rules: a
+// stored point wins over an incoming point at the same timestamp, and
+// duplicate timestamps within the incoming stream collapse to one.
+func TestBackfillKeepsStoredValuesOnEqualTimestamps(t *testing.T) {
+	mem := NewMemory(0)
+	mem.Handle(Request{Op: OpStore, Series: "k", Points: [][2]float64{{5, 0.5}}})
+	n := mem.Backfill("k", [][2]float64{{5, 9.9}, {4, 0.4}, {4, 0.4}})
+	if n != 1 {
+		t.Fatalf("backfill inserted %d, want 1 (t=4 once)", n)
+	}
+	resp := mem.Handle(Request{Op: OpFetch, Series: "k"})
+	want := [][2]float64{{4, 0.4}, {5, 0.5}}
+	if len(resp.Points) != 2 || resp.Points[0] != want[0] || resp.Points[1] != want[1] {
+		t.Fatalf("merged series = %v, want %v", resp.Points, want)
+	}
+}

@@ -455,6 +455,25 @@ func (f *ForecasterService) StopRefresher() {
 	<-f.refreshDone
 }
 
+// RefreshNow runs one maintenance pass synchronously: batch-fetch every
+// tracked series' unseen points, feed the engines, re-cache changed
+// forecasts and push them to subscribers. It is the simulated-clock
+// counterpart of the wall-clock refresher: a deterministic harness
+// (cmd/nwsgrid) calls it once per virtual cadence tick instead of racing a
+// ticker goroutine against the simulation. Combine with SetCacheServing so
+// queries between passes are answered from the cache, exactly as they
+// would be under StartRefresher.
+func (f *ForecasterService) RefreshNow() { f.refreshTick() }
+
+// SetCacheServing marks the per-series forecast cache authoritative (or
+// not) without launching the background refresher. The cache is only safe
+// to serve while *something* invalidates stale entries on behalf of remote
+// stores; StartRefresher is that something in wall-clock deployments, and
+// a harness driving RefreshNow every virtual tick is the equivalent under
+// a simulated clock. Do not mix with StartRefresher/StopRefresher, which
+// own the same flag.
+func (f *ForecasterService) SetCacheServing(on bool) { f.refreshing.Store(on) }
+
 // refreshTick is one maintenance pass. It holds no lock across the batch
 // fetch or any push (pushing under hubMu or f.mu would deadlock against a
 // subscribe in progress).

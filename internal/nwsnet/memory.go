@@ -305,6 +305,12 @@ func (m *Memory) Backfill(key string, pts [][2]float64) int {
 	}
 	if len(merged) > m.capacity {
 		merged = merged[len(merged)-m.capacity:]
+		// History the trim just evicted was never observably inserted;
+		// recount so the reported insertions are the ones that survived
+		// (merged minus the surviving pre-existing points).
+		cut := merged[0].T
+		kept := len(existing) - sort.Search(len(existing), func(i int) bool { return existing[i].T >= cut })
+		added = len(merged) - kept
 	}
 	r.Reset()
 	for _, p := range merged {

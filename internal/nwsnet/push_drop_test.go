@@ -1,0 +1,141 @@
+package nwsnet
+
+import (
+	"bufio"
+	"net"
+	"testing"
+	"time"
+)
+
+// newStalledSink builds a binSink over a net.Pipe whose far end nobody
+// reads — the wire picture of a subscriber that stopped draining its
+// socket. The tiny write buffer makes every push hit the pipe directly.
+func newStalledSink(t *testing.T, limits ServerLimits) (*binSink, net.Conn) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+	return &binSink{conn: c1, limits: limits, w: bufio.NewWriterSize(c1, 16)}, c2
+}
+
+func pushResult() Response {
+	return Response{Forecast: &ForecastResult{Value: 0.5, Method: "mean", MAE: 0.01, N: 10}}
+}
+
+// TestPushNeverWedgesOnStalledSink is the slow-subscriber regression test:
+// with no configured WriteTimeout (the default), a push into a stalled
+// connection must not block its caller forever — the historical behavior
+// wedged the refresher, and with it every other subscription on the
+// service. A concurrent push while the first is still draining must be
+// dropped immediately and counted in nws_forecast_pushes_dropped_total.
+func TestPushNeverWedgesOnStalledSink(t *testing.T) {
+	sink, _ := newStalledSink(t, ServerLimits{}) // WriteTimeout == 0: the buggy configuration
+	drops0 := mFcPushesDropped.Value()
+
+	// First push occupies the sink: it blocks on the unread pipe until the
+	// push write budget expires and poisons the sink.
+	firstErr := make(chan error, 1)
+	go func() { firstErr <- sink.Push(1, pushResult()) }()
+
+	// Give the first push time to enter the blocking write, then push
+	// again: it must return (nil) promptly, dropping the frame.
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	if err := sink.Push(2, pushResult()); err != nil {
+		t.Fatalf("concurrent push returned error: %v", err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("concurrent push blocked %v behind a stalled sink", d)
+	}
+	if got := mFcPushesDropped.Value() - drops0; got != 1 {
+		t.Fatalf("dropped-push counter after concurrent push = %d, want 1", got)
+	}
+
+	// The first push must come back too — bounded by pushWriteBudget, not
+	// wedged forever — with a timeout error that poisons the sink.
+	select {
+	case err := <-firstErr:
+		if err == nil {
+			t.Fatal("stalled push reported success")
+		}
+	case <-time.After(2 * pushWriteBudget):
+		t.Fatal("stalled push still wedged after twice the write budget")
+	}
+	if !sink.poisoned() {
+		t.Fatal("sink not poisoned after push write budget expired")
+	}
+	if got := mFcPushesDropped.Value() - drops0; got != 2 {
+		t.Fatalf("dropped-push counter after budget expiry = %d, want 2", got)
+	}
+
+	// Later pushes fail fast on the poisoned sink and count as drops.
+	if err := sink.Push(3, pushResult()); err == nil {
+		t.Fatal("push into poisoned sink succeeded")
+	}
+	if got := mFcPushesDropped.Value() - drops0; got != 3 {
+		t.Fatalf("dropped-push counter after poisoned push = %d, want 3", got)
+	}
+}
+
+// TestPushSeriesSurvivesStalledSubscriber checks the service-level
+// consequence: one stalled subscriber must not starve a healthy one of its
+// pushes, and the stalled subscription itself stays registered while its
+// frames are dropped (teardown happens only once the sink is poisoned).
+func TestPushSeriesSurvivesStalledSubscriber(t *testing.T) {
+	mem := NewMemory(0)
+	mem.Handle(Request{Op: OpStore, Series: "h/cpu/m", Points: [][2]float64{{1, 0.5}}})
+	f := NewForecasterServiceBackend(NewLocalBackend(mem), 0)
+
+	stalled, _ := newStalledSink(t, ServerLimits{})
+	healthy, healthyPeer := newStalledSink(t, ServerLimits{})
+	// Drain the healthy peer so its pushes always land.
+	received := make(chan int, 64)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := healthyPeer.Read(buf)
+			if n > 0 {
+				received <- n
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	for id, sink := range map[uint64]*binSink{1: stalled, 2: healthy} {
+		if resp := f.Subscribe(Request{Op: OpSubscribe, Series: "h/cpu/m"}, id, sink); resp.Error != "" {
+			t.Fatalf("subscribe: %v", resp.Error)
+		}
+	}
+	if n := f.Subscriptions(); n != 2 {
+		t.Fatalf("subscriptions = %d, want 2", n)
+	}
+
+	// Occupy the stalled sink so pushes to it drop instead of block.
+	go occupySink(stalled)
+	time.Sleep(50 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		f.pushSeries("h/cpu/m", ForecastResult{Value: 0.4, Method: "mean", N: 11})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("pushSeries wedged behind the stalled subscriber")
+	}
+	select {
+	case <-received:
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("healthy subscriber never received its push")
+	}
+	// The stalled subscriber's frame was dropped, not its subscription.
+	if n := f.Subscriptions(); n != 2 {
+		t.Fatalf("subscriptions after drop = %d, want 2 (drop must not unsubscribe)", n)
+	}
+}
+
+// occupySink parks a push in a sink's blocking write until the write
+// budget expires; its result is irrelevant to the callers.
+func occupySink(k *binSink) { _ = k.Push(1, pushResult()) }

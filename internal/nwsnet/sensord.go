@@ -134,6 +134,9 @@ func (d *SensorDaemon) SetLogger(l *log.Logger) { d.logger = l }
 // Register announces this sensor to a name server. addr is where queries
 // about this daemon should go (informational; the daemon itself only pushes).
 func (d *SensorDaemon) Register(nsAddr, addr string) error {
+	if d.client == nil {
+		return fmt.Errorf("nwsnet: sensor %s: no wire client (backend-wired daemon)", d.hostName)
+	}
 	return d.client.Register(nsAddr, Registration{
 		Name: d.hostName + "/cpu",
 		Kind: KindSensor,
@@ -266,8 +269,13 @@ func (d *SensorDaemon) Start(period time.Duration) <-chan error {
 }
 
 // Close releases the daemon's pooled memory connections. Call after the
-// final Step or Stop.
-func (d *SensorDaemon) Close() error { return d.client.Close() }
+// final Step or Stop. A backend-wired daemon owns no connections.
+func (d *SensorDaemon) Close() error {
+	if d.client == nil {
+		return nil
+	}
+	return d.client.Close()
+}
 
 // Replicas reports the health of the daemon's memory replica group.
 func (d *SensorDaemon) Replicas() []ReplicaHealth { return d.group.Health() }

@@ -428,12 +428,57 @@ func (k *binSink) send(id uint64, resp Response, flush bool) error {
 	return err
 }
 
+// pushWriteBudget bounds how long one push may occupy a socket whose
+// server has no configured WriteTimeout. The response path may block
+// indefinitely there — the client is waiting for its answer — but a push
+// blocking means the subscriber stopped draining, and the refresher behind
+// the push serves every other subscriber too.
+const pushWriteBudget = time.Second
+
 // Push implements PushSink: a server-initiated frame reusing the
 // subscription's request ID, flushed immediately (push latency is the point
 // of the read plane; there is no pipelined burst to coalesce with).
+//
+// Slow-subscriber protection: a push never waits on a stalled connection.
+// If the sink's write lock is held — the previous write is still draining
+// into a peer that stopped reading — the frame is dropped and counted in
+// nws_forecast_pushes_dropped_total instead of queueing behind it; the
+// subscription stays live and the next refresh tick supersedes the dropped
+// forecast. When the lock is free, the flush runs under a write deadline
+// even on servers with no WriteTimeout, so the first write into a dead
+// socket poisons the sink (tearing the connection down via DropSink)
+// rather than wedging the caller.
 func (k *binSink) Push(id uint64, resp Response) error {
 	resp.OK = resp.Error == ""
-	return k.send(id, resp, true)
+	if !k.mu.TryLock() {
+		mFcPushesDropped.Inc()
+		return nil
+	}
+	defer k.mu.Unlock()
+	buf := getEncBuf()
+	payload, err := encodeResponsePayload(*buf, id, resp)
+	if err != nil {
+		putEncBuf(buf)
+		return err
+	}
+	armed := false
+	if k.limits.WriteTimeout <= 0 && k.err == nil {
+		k.conn.SetWriteDeadline(time.Now().Add(pushWriteBudget))
+		armed = true
+	}
+	err = k.writeLocked(payload, true)
+	if err == nil && armed {
+		// A write deadline persists on the connection; clear it so later
+		// responses on this deadline-free server are not spuriously timed
+		// out by this push's budget.
+		k.conn.SetWriteDeadline(time.Time{})
+	}
+	*buf = payload
+	putEncBuf(buf)
+	if err != nil {
+		mFcPushesDropped.Inc()
+	}
+	return err
 }
 
 // subscribe runs the registration and writes its acknowledgement under the

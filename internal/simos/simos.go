@@ -130,13 +130,17 @@ func (p *process) runnable(now float64) bool {
 // Counters is the cumulative CPU-time accounting of the host, in seconds.
 // Nice holds CPU time consumed by processes with Nice > 0 (classic vmstat
 // folds this into user time; the sensors do the same, but tests want it
-// separately).
+// separately). Steal is the hypervisor's view of cycles taken from the
+// guest while a process was dispatched; the guest's own counters (User,
+// Nice, Sys) still charge the full quantum, exactly as a guest kernel
+// without a paravirtual steal clock accounts time it never actually got.
 type Counters struct {
 	User  float64
 	Nice  float64
 	Sys   float64
 	Idle  float64
 	Total float64
+	Steal float64
 }
 
 // ProcResult reports the outcome of a completed process.
@@ -172,6 +176,8 @@ type Host struct {
 	nextLoadTick  int64
 	decayTicks    int64
 	loadTicks     int64
+
+	steal func(t float64) float64
 
 	exits   map[PID]exitRec // results of exited processes
 	running []*process      // scratch: processes dispatched this quantum
@@ -215,6 +221,19 @@ func (h *Host) NumCPUs() int { return h.cfg.NumCPUs }
 
 // Counters returns the cumulative CPU accounting.
 func (h *Host) Counters() Counters { return h.ctr }
+
+// SetSteal installs a hypervisor steal schedule: fn(t) is the fraction of
+// each scheduling quantum at virtual time t that the hypervisor takes from
+// this guest, clamped to [0, 1]. While a quantum is stolen the dispatched
+// process makes only (1-steal) of a tick of progress, but the guest's
+// accounting — loadavg, user/nice/system counters — charges the full
+// quantum, because a guest kernel without a paravirtual steal clock cannot
+// tell the difference ("Platform-Agnostic Steal-Time Measurement in a Guest
+// Operating System"). Passive sensors are therefore blind to steal; only an
+// active probe, which observes its own wall-clock progress, sees it. A nil
+// fn (the default) disables steal and reproduces the legacy schedule
+// bit-for-bit.
+func (h *Host) SetSteal(fn func(t float64) float64) { h.steal = fn }
 
 // RunQueue returns the instantaneous number of runnable processes.
 func (h *Host) RunQueue() int {
@@ -407,10 +426,21 @@ func (h *Host) step() {
 		}
 		h.running = append(h.running, best)
 	}
+	stolen := 0.0
+	if h.steal != nil && len(h.running) > 0 {
+		stolen = h.steal(now)
+		if stolen < 0 {
+			stolen = 0
+		} else if stolen > 1 {
+			stolen = 1
+		}
+	}
 	for _, best := range h.running {
-		best.cpuTime += tick
-		best.left -= tick
-		best.burstCPU += tick
+		got := tick * (1 - stolen)
+		best.cpuTime += got
+		best.left -= got
+		best.burstCPU += got
+		h.ctr.Steal += tick - got
 		best.lastRun = h.tickNum
 		best.pcpu += 1
 		if best.pcpu > h.cfg.PCpuMax {

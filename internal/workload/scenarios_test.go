@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func baseProfile() Profile {
+	return Profile{
+		Name: "base", Seed: 42,
+		JobRate: 0.05, JobShape: 1.6, JobScale: 1, JobMax: 300,
+		SessionRate: 0.02, SessionMeanBurst: 0.5, SessionMeanThink: 5, SessionMeanLen: 600,
+		DailyCycle: true, DailyAmp: 0.5,
+	}
+}
+
+// countIn tallies arrivals inside [lo, hi).
+func countIn(as []Arrival, lo, hi float64) int {
+	n := 0
+	for _, a := range as {
+		if a.T >= lo && a.T < hi {
+			n++
+		}
+	}
+	return n
+}
+
+// TestScenarioFieldsDefaultToLegacyStream pins that the new scenario knobs
+// at their zero values reproduce the pre-extension arrival stream exactly,
+// point for point — the thinning envelope and every RNG draw must be
+// untouched.
+func TestScenarioFieldsDefaultToLegacyStream(t *testing.T) {
+	p := baseProfile()
+	want := p.Generate(2 * day)
+	// Regenerate with the scenario fields explicitly zeroed (they already
+	// are; this documents the claim) and with a disabled flash window.
+	q := baseProfile()
+	q.FlashMult = 3 // FlashLen == 0 keeps it off
+	q.StormDuty = 0.5
+	q.ChaosStep = 60 // ChaosAmp == 0 keeps it off
+	got := q.Generate(2 * day)
+	if len(got) != len(want) {
+		t.Fatalf("stream length changed: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].T != want[i].T || got[i].Spec.Demand != want[i].Spec.Demand {
+			t.Fatalf("arrival %d diverged: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFlashCrowdRaisesRateInWindow checks the flash window multiplies the
+// arrival rate inside [FlashStart, FlashStart+FlashLen) and nowhere else.
+func TestFlashCrowdRaisesRateInWindow(t *testing.T) {
+	p := baseProfile()
+	p.DailyCycle = false
+	p.DailyAmp = 0
+	p.JobRate, p.SessionRate = 0.1, 0
+	p.FlashStart, p.FlashLen, p.FlashMult = 20000, 10000, 6
+	as := p.Generate(60000)
+	in := countIn(as, 20000, 30000)
+	out := countIn(as, 40000, 50000)
+	if in < 3*out {
+		t.Fatalf("flash window not hot: %d in-window vs %d out-of-window arrivals", in, out)
+	}
+}
+
+// TestStormAlternates checks the ON/OFF square wave concentrates arrivals
+// in the ON phase of each period.
+func TestStormAlternates(t *testing.T) {
+	p := baseProfile()
+	p.DailyCycle = false
+	p.DailyAmp = 0
+	p.JobRate, p.SessionRate = 0.1, 0
+	p.StormPeriod, p.StormDuty, p.StormMult = 10000, 0.3, 8
+	as := p.Generate(100000)
+	on, off := 0, 0
+	for _, a := range as {
+		if math.Mod(a.T, 10000) < 3000 {
+			on++
+		} else {
+			off++
+		}
+	}
+	// ON carries 0.3*8 = 2.4 rate-seconds per period vs 0.7 OFF.
+	if on < 2*off {
+		t.Fatalf("storm not concentrated: %d ON vs %d OFF arrivals", on, off)
+	}
+}
+
+// TestChaosModulatesDeterministically checks the chaotic modulation is
+// reproducible per seed, differs across seeds, and keeps the stream inside
+// the thinning envelope (no panic, arrivals still sorted and bounded).
+func TestChaosModulatesDeterministically(t *testing.T) {
+	p := baseProfile()
+	p.JobRate, p.SessionRate = 0.1, 0
+	p.ChaosAmp, p.ChaosStep = 0.9, 120
+	a1 := p.Generate(50000)
+	a2 := p.Generate(50000)
+	if len(a1) != len(a2) {
+		t.Fatalf("same seed lengths differ: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i].T != a2[i].T {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	for i := 1; i < len(a1); i++ {
+		if a1[i].T < a1[i-1].T {
+			t.Fatalf("unsorted at %d", i)
+		}
+	}
+	p.Seed = 43
+	a3 := p.Generate(50000)
+	if len(a3) == len(a1) {
+		same := true
+		for i := range a1 {
+			if a1[i].T != a3[i].T {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical chaotic streams")
+		}
+	}
+}
