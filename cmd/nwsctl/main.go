@@ -10,11 +10,21 @@
 //	nwsctl -nameserver localhost:8090 health
 //	nwsctl -nameserver localhost:8090 members
 //	nwsctl -nameserver localhost:8090 ring thing1/cpu/nws_hybrid
+//	nwsctl -memory localhost:8091,localhost:8092 repair thing1/cpu/nws_hybrid
 //
 // health pings every memory replica — the comma-separated -memory list, or
 // every endpoint of every memory registration found via -nameserver — and
-// reports each as healthy or down. It exits non-zero when fewer than a
+// reports each as healthy or down, then compares per-series digest
+// frontiers across the replicas that answered and prints each one's worst
+// frontier lag (how far its newest point trails the group's best) with its
+// behind/missing series counts. Replicas that predate the digest op are
+// reported as such, not failed. It exits non-zero when fewer than a
 // majority answer, i.e. when the group has lost its write quorum.
+//
+// repair <series> runs one client-driven repair pass: it collects the
+// series' digest from every replica, picks the most complete copy, and
+// backfills the laggards from it. It exits non-zero unless at least a
+// majority of replicas end the pass bit-identical to the best copy.
 //
 // members prints the partitioned cluster's membership view (epoch, ring
 // geometry, every lease with state and shard share) and exits non-zero when
@@ -76,42 +86,38 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	case "health":
-		var addrs []string
-		switch {
-		case *memory != "":
-			for _, a := range strings.Split(*memory, ",") {
-				if a = strings.TrimSpace(a); a != "" {
-					addrs = append(addrs, a)
-				}
-			}
-		case *nameserver != "":
-			regs, err := c.List(*nameserver, nwsnet.KindMemory)
-			if err != nil {
-				return err
-			}
-			for _, r := range regs {
-				addrs = append(addrs, r.Endpoints()...)
-			}
-		default:
-			return fmt.Errorf("health needs -memory or -nameserver")
-		}
-		if len(addrs) == 0 {
-			return fmt.Errorf("no memory replicas to check")
+		addrs, err := memoryAddrs(c, *memory, *nameserver)
+		if err != nil {
+			return err
 		}
 		healthy := 0
+		var up []string
 		for _, addr := range addrs {
 			if err := c.Ping(addr); err != nil {
 				fmt.Fprintf(out, "%-24s down (%v)\n", addr, err)
 				continue
 			}
 			healthy++
+			up = append(up, addr)
 			fmt.Fprintf(out, "%-24s healthy\n", addr)
+		}
+		if len(up) > 1 {
+			frontierLag(c, up, out)
 		}
 		fmt.Fprintf(out, "%d/%d replicas healthy\n", healthy, len(addrs))
 		if healthy < len(addrs)/2+1 {
 			return fmt.Errorf("write quorum lost: %d of %d replicas healthy", healthy, len(addrs))
 		}
 		return nil
+	case "repair":
+		if len(cmd) < 2 {
+			return fmt.Errorf("repair needs a series key and -memory or -nameserver")
+		}
+		addrs, err := memoryAddrs(c, *memory, *nameserver)
+		if err != nil {
+			return err
+		}
+		return repairSeries(c, addrs, cmd[1], out)
 	case "list":
 		if *nameserver == "" {
 			return fmt.Errorf("list needs -nameserver")
@@ -191,6 +197,164 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd[0])
 	}
+}
+
+// memoryAddrs resolves the replica set: the comma-separated -memory list,
+// or every endpoint of every memory registration found via -nameserver.
+func memoryAddrs(c *nwsnet.Client, memory, nameserver string) ([]string, error) {
+	var addrs []string
+	switch {
+	case memory != "":
+		for _, a := range strings.Split(memory, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+	case nameserver != "":
+		regs, err := c.List(nameserver, nwsnet.KindMemory)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range regs {
+			addrs = append(addrs, r.Endpoints()...)
+		}
+	default:
+		return nil, fmt.Errorf("need -memory or -nameserver")
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("no memory replicas to check")
+	}
+	return addrs, nil
+}
+
+// frontierLag compares per-series digest frontiers across the replicas that
+// answered and prints each replica's worst lag behind the group's best. A
+// replica whose server predates the digest op is reported, not failed.
+func frontierLag(c *nwsnet.Client, addrs []string, out io.Writer) {
+	digests := make(map[string]map[string]nwsnet.SeriesDigest, len(addrs))
+	best := map[string]float64{}
+	var supported []string
+	for _, addr := range addrs {
+		ds, err := c.Digests(addr, "")
+		if err != nil {
+			fmt.Fprintf(out, "%-24s digests unavailable (%v)\n", addr, err)
+			continue
+		}
+		supported = append(supported, addr)
+		bySeries := make(map[string]nwsnet.SeriesDigest, len(ds))
+		for _, d := range ds {
+			bySeries[d.Series] = d
+			if d.Frontier > best[d.Series] {
+				best[d.Series] = d.Frontier
+			}
+		}
+		digests[addr] = bySeries
+	}
+	if len(supported) < 2 || len(best) == 0 {
+		return
+	}
+	fmt.Fprintln(out, "frontier lag (worst series, vs the group's best frontier):")
+	for _, addr := range supported {
+		bySeries := digests[addr]
+		maxLag, behind, missing := 0.0, 0, 0
+		for series, bf := range best {
+			d, ok := bySeries[series]
+			if !ok {
+				missing++
+				continue
+			}
+			if lag := bf - d.Frontier; lag > 0 {
+				behind++
+				if lag > maxLag {
+					maxLag = lag
+				}
+			}
+		}
+		fmt.Fprintf(out, "%-24s max lag %.1fs  (%d/%d series behind, %d missing)\n",
+			addr, maxLag, behind, len(best), missing)
+	}
+}
+
+// repairSeries runs one client-driven repair pass over a series: digest the
+// replicas, pick the most complete copy, backfill the laggards from it. The
+// exit code is quorum-aware: nil only when at least a majority of the
+// replica set ends the pass bit-identical to the best copy.
+func repairSeries(c *nwsnet.Client, addrs []string, key string, out io.Writer) error {
+	type state struct {
+		addr string
+		d    nwsnet.SeriesDigest
+		ok   bool // replica answered the digest request
+	}
+	states := make([]state, len(addrs))
+	for i, addr := range addrs {
+		states[i] = state{addr: addr}
+		ds, err := c.Digests(addr, key)
+		if err != nil {
+			fmt.Fprintf(out, "%-24s unreachable (%v)\n", addr, err)
+			continue
+		}
+		states[i].ok = true
+		if len(ds) > 0 {
+			states[i].d = ds[0]
+		}
+	}
+
+	// The most complete copy: newest frontier, point count as tiebreak.
+	bestIdx := -1
+	for i, s := range states {
+		if !s.ok || s.d.Count == 0 {
+			continue
+		}
+		if bestIdx < 0 || s.d.Frontier > states[bestIdx].d.Frontier ||
+			(s.d.Frontier == states[bestIdx].d.Frontier && s.d.Count > states[bestIdx].d.Count) {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return fmt.Errorf("repair %s: no reachable replica holds the series", key)
+	}
+	best := states[bestIdx]
+	pts, err := c.Fetch(best.addr, key, 0, 0, 0)
+	if err != nil {
+		return fmt.Errorf("repair %s: fetch from %s: %w", key, best.addr, err)
+	}
+	fmt.Fprintf(out, "%-24s best copy (%d points, frontier %.3f)\n", best.addr, best.d.Count, best.d.Frontier)
+
+	inSync := 1
+	for _, s := range states {
+		if !s.ok || s.addr == best.addr {
+			continue
+		}
+		if s.d == best.d {
+			inSync++
+			fmt.Fprintf(out, "%-24s in sync\n", s.addr)
+			continue
+		}
+		if err := c.Backfill(s.addr, key, pts); err != nil {
+			fmt.Fprintf(out, "%-24s backfill failed (%v)\n", s.addr, err)
+			continue
+		}
+		ds, err := c.Digests(s.addr, key)
+		switch {
+		case err == nil && len(ds) > 0 && ds[0] == best.d:
+			inSync++
+			fmt.Fprintf(out, "%-24s repaired (+%d points)\n", s.addr, best.d.Count-s.d.Count)
+		case err == nil && len(ds) > 0:
+			// Still divergent: the replica holds points the best copy lacks
+			// (it needs its own repair pass the other way) or took writes
+			// mid-repair.
+			fmt.Fprintf(out, "%-24s still divergent after backfill (%d points, frontier %.3f)\n",
+				s.addr, ds[0].Count, ds[0].Frontier)
+		default:
+			fmt.Fprintf(out, "%-24s verify failed (%v)\n", s.addr, err)
+		}
+	}
+	fmt.Fprintf(out, "%d/%d replicas in sync\n", inSync, len(addrs))
+	if inSync < len(addrs)/2+1 {
+		return fmt.Errorf("repair %s: only %d of %d replicas in sync (quorum %d)",
+			key, inSync, len(addrs), len(addrs)/2+1)
+	}
+	return nil
 }
 
 // subscribe watches series on the forecaster's push plane and prints each

@@ -149,6 +149,100 @@ func TestHealthCommand(t *testing.T) {
 	}
 }
 
+func TestHealthFrontierLag(t *testing.T) {
+	a := startComponent(t, nwsnet.NewMemory(0))
+	b := startComponent(t, nwsnet.NewMemory(0))
+	c := nwsnet.NewClient(0)
+	if err := c.Store(a, "h/cpu/vmstat", [][2]float64{{10, 0.5}, {20, 0.5}, {30, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	// Replica b lags two rounds and is missing a second series entirely.
+	if err := c.Store(b, "h/cpu/vmstat", [][2]float64{{10, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(a, "h/cpu/loadavg", [][2]float64{{10, 0.4}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-memory", a + "," + b, "health"}, &buf); err != nil {
+		t.Fatalf("health: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "frontier lag") {
+		t.Fatalf("health output missing frontier lag section:\n%s", out)
+	}
+	if !strings.Contains(out, "max lag 20.0s") || !strings.Contains(out, "1 missing") {
+		t.Fatalf("lagging replica not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "max lag 0.0s  (0/2 series behind, 0 missing)") {
+		t.Fatalf("up-to-date replica not reported clean:\n%s", out)
+	}
+}
+
+func TestRepairCommand(t *testing.T) {
+	if err := run([]string{"repair", "k"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("repair without -memory or -nameserver accepted")
+	}
+	if err := run([]string{"-memory", "x:1", "repair"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("repair without a series key accepted")
+	}
+
+	a := startComponent(t, nwsnet.NewMemory(0))
+	b := startComponent(t, nwsnet.NewMemory(0))
+	cth := startComponent(t, nwsnet.NewMemory(0))
+	c := nwsnet.NewClient(0)
+	full := [][2]float64{{10, 0.1}, {20, 0.2}, {30, 0.3}}
+	if err := c.Store(a, "k", full); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(b, "k", full[:1]); err != nil { // laggard
+		t.Fatal(err)
+	}
+	// Replica c is empty: a full backfill candidate.
+
+	group := a + "," + b + "," + cth
+	var buf bytes.Buffer
+	if err := run([]string{"-memory", group, "repair", "k"}, &buf); err != nil {
+		t.Fatalf("repair: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "best copy (3 points") {
+		t.Fatalf("repair did not pick the complete replica:\n%s", out)
+	}
+	if !strings.Contains(out, "3/3 replicas in sync") {
+		t.Fatalf("repair did not converge the group:\n%s", out)
+	}
+	for _, addr := range []string{a, b, cth} {
+		pts, err := c.Fetch(addr, "k", 0, 0, 0)
+		if err != nil || len(pts) != 3 {
+			t.Fatalf("replica %s after repair: %v, %v", addr, pts, err)
+		}
+	}
+
+	// A second pass is a no-op: everyone already in sync.
+	buf.Reset()
+	if err := run([]string{"-memory", group, "repair", "k"}, &buf); err != nil {
+		t.Fatalf("idempotent repair: %v\n%s", err, buf.String())
+	}
+	if got := strings.Count(buf.String(), "in sync"); got != 3 { // 2 replicas + summary
+		t.Fatalf("second pass output:\n%s", buf.String())
+	}
+
+	// Unknown series everywhere: error, not a zero-replica success.
+	if err := run([]string{"-memory", group, "repair", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("repair of unknown series exited clean")
+	}
+
+	// Quorum-aware exit: with a majority of the listed set unreachable, the
+	// pass cannot certify quorum even though the reachable replica is fine.
+	buf.Reset()
+	err := run([]string{"-memory", a + ",127.0.0.1:1,127.0.0.2:1", "repair", "k"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "quorum") {
+		t.Fatalf("repair with majority unreachable: err=%v", err)
+	}
+}
+
 func TestMembersAndRingCommands(t *testing.T) {
 	nsAddr := startComponent(t, nwsnet.NewNameServerCluster(time.Minute,
 		cluster.Config{Replication: 2, VNodes: 16}))

@@ -12,6 +12,16 @@
 //	nwsgrid -seed 42                         # 1000 hosts, text to stdout
 //	nwsgrid -smoke -json report.json         # CI-sized run + JSON artifact
 //	nwsgrid -hosts 2000 -duration 1800 -factors 1,16,256
+//
+// -faults switches to the seeded fault-campaign mode: the same seed drives
+// an identical schedule of replica crashes, stalls, asymmetric partitions,
+// and sensor clock skews against the in-process replication stack, run once
+// with the anti-entropy repair plane and once without, and the robustness
+// report (schema nws/fault-report/v1) scores both arms against the
+// campaign's invariants.
+//
+//	nwsgrid -faults -seed 42                 # robustness report to stdout
+//	nwsgrid -faults -json fault.json         # + JSON artifact
 package main
 
 import (
@@ -48,6 +58,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		smoke      = fs.Bool("smoke", false, "CI-sized run (48 hosts, 300 s) unless -hosts/-duration are given")
 		outPath    = fs.String("out", "", "also write the text report to this file")
 		jsonPath   = fs.String("json", "", "write the JSON report (schema "+grid.SchemaVersion+") to this file")
+
+		fdef          = grid.DefaultFaultConfig()
+		faults        = fs.Bool("faults", false, "run the seeded fault campaign instead of the capacity harness")
+		faultRounds   = fs.Int("fault-rounds", fdef.Rounds, "fault campaign length in measurement rounds")
+		faultReplicas = fs.Int("fault-replicas", fdef.Replicas, "memory replica count in the fault campaign")
+		faultBacklog  = fs.Int("fault-backlog", fdef.BacklogCap, "sensor backlog cap (the writer's self-healing window)")
+		faultHints    = fs.Int("fault-hints", fdef.HintCap, "hinted-handoff queue cap per replica per series")
+		faultRecovery = fs.Int("fault-recovery", fdef.RecoveryRounds, "rounds allowed for post-fault convergence")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,6 +78,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *faults {
+		fcfg := fdef
+		fcfg.Seed = *seed
+		fcfg.Rounds = *faultRounds
+		fcfg.Replicas = *faultReplicas
+		fcfg.BacklogCap = *faultBacklog
+		fcfg.HintCap = *faultHints
+		fcfg.RecoveryRounds = *faultRecovery
+		if set["hosts"] {
+			fcfg.Hosts = *hosts
+		}
+		if set["cadence"] {
+			fcfg.Cadence = *cadence
+		}
+		frep, err := grid.RunFaultCampaign(fcfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "nwsgrid: %v\n", err)
+			return 1
+		}
+		if err := frep.WriteText(stdout); err != nil {
+			fmt.Fprintf(stderr, "nwsgrid: %v\n", err)
+			return 1
+		}
+		if *outPath != "" {
+			if err := writeReport(*outPath, frep.WriteText); err != nil {
+				fmt.Fprintf(stderr, "nwsgrid: %v\n", err)
+				return 1
+			}
+		}
+		if *jsonPath != "" {
+			if err := writeReport(*jsonPath, frep.WriteJSON); err != nil {
+				fmt.Fprintf(stderr, "nwsgrid: %v\n", err)
+				return 1
+			}
+		}
+		for _, v := range frep.Verdicts {
+			if !v.Pass {
+				fmt.Fprintf(stderr, "nwsgrid: fault invariant failed: %s (%s) = %g\n", v.Config, v.SLO, v.Value)
+				return 1
+			}
+		}
+		return 0
+	}
 	cfg := grid.Config{
 		Seed: *seed, Hosts: *hosts, Duration: *duration, Cadence: *cadence,
 		ServeRate: *serveRate, LoadFactors: loadFactors,

@@ -87,6 +87,59 @@ func TestCLIJSONReport(t *testing.T) {
 	}
 }
 
+// TestCLIFaultCampaign drives -faults end to end: byte-identical artifacts
+// for the same seed, a parsing versioned JSON report, and every invariant
+// verdict passing (a failing invariant exits non-zero, which is what
+// make chaos-repair gates on).
+func TestCLIFaultCampaign(t *testing.T) {
+	dir := t.TempDir()
+	args := func(tag string) []string {
+		return []string{
+			"-faults", "-seed", "3",
+			"-out", filepath.Join(dir, tag+".txt"),
+			"-json", filepath.Join(dir, tag+".json"),
+		}
+	}
+	out1, _ := runCLI(t, args("a")...)
+	out2, _ := runCLI(t, args("b")...)
+	if out1 != out2 {
+		t.Fatal("same seed, different fault-campaign stdout")
+	}
+	for _, ext := range []string{".txt", ".json"} {
+		a, err := os.ReadFile(filepath.Join(dir, "a"+ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "b"+ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("same seed, different fault %s artifacts", ext)
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep grid.FaultReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("JSON fault report does not parse: %v", err)
+	}
+	if rep.Schema != grid.FaultSchemaVersion {
+		t.Fatalf("schema %q, want %q", rep.Schema, grid.FaultSchemaVersion)
+	}
+	if len(rep.Verdicts) == 0 {
+		t.Fatal("fault report holds no verdicts")
+	}
+	for _, v := range rep.Verdicts {
+		if !v.Pass {
+			t.Errorf("fault invariant %s failed: value %g", v.Config, v.Value)
+		}
+	}
+}
+
 func TestCLIBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-factors", "1,bogus"}, &out, &errb); code != 2 {

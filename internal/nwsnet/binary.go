@@ -108,6 +108,8 @@ const (
 	binOpSubscribe   byte = 0x0D
 	binOpUnsubscribe byte = 0x0E
 	binOpHello       byte = 0x0F
+	binOpDigest      byte = 0x10
+	binOpBackfill    byte = 0x11
 )
 
 // wireOps is the canonical Op ↔ opcode registry: the ops the wire speaks, in
@@ -128,6 +130,8 @@ var wireOps = map[Op]byte{
 	OpSubscribe:   binOpSubscribe,
 	OpUnsubscribe: binOpUnsubscribe,
 	OpHello:       binOpHello,
+	OpDigest:      binOpDigest,
+	OpBackfill:    binOpBackfill,
 }
 
 // binOpToOp is the reverse mapping, built once at init.
@@ -156,11 +160,13 @@ const (
 	respFlagForecast uint64 = 1 << 6
 	respFlagBatch    uint64 = 1 << 7
 	respFlagView     uint64 = 1 << 8
+	respFlagDigests  uint64 = 1 << 9
 
 	// respFlagsKnown masks every assigned bit; a decoder rejecting the
 	// rest keeps unknown-section frames from silently losing data.
 	respFlagsKnown = respFlagOK | respFlagError | respFlagCode | respFlagPoints |
-		respFlagNames | respFlagEntries | respFlagForecast | respFlagBatch | respFlagView
+		respFlagNames | respFlagEntries | respFlagForecast | respFlagBatch | respFlagView |
+		respFlagDigests
 )
 
 // errBinMalformed is the generic decode failure; connections are closed on
@@ -491,8 +497,11 @@ func encodeRequestBody(b []byte, req Request, depth int) ([]byte, error) {
 		b = appendF64(b, req.From)
 		b = appendF64(b, req.To)
 		b = binary.AppendUvarint(b, uint64(max(req.Max, 0)))
-	case OpForecast, OpSubscribe, OpUnsubscribe:
+	case OpForecast, OpSubscribe, OpUnsubscribe, OpDigest:
 		b = appendString(b, req.Series)
+	case OpBackfill:
+		b = appendString(b, req.Series)
+		b = appendPoints2(b, req.Points)
 	case OpHello:
 		b = appendString(b, req.Tenant)
 	case OpJoin, OpLease:
@@ -595,8 +604,15 @@ func decodeRequestBody(r *binReader, depth int) (Request, error) {
 			return req, errBinMalformed
 		}
 		req.Max = int(m)
-	case OpForecast, OpSubscribe, OpUnsubscribe:
+	case OpForecast, OpSubscribe, OpUnsubscribe, OpDigest:
 		if req.Series, err = r.str(); err != nil {
+			return req, err
+		}
+	case OpBackfill:
+		if req.Series, err = r.str(); err != nil {
+			return req, err
+		}
+		if req.Points, err = requestPoints(r); err != nil {
 			return req, err
 		}
 	case OpHello:
@@ -693,6 +709,9 @@ func encodeResponseBody(b []byte, resp Response, depth int) ([]byte, error) {
 	if resp.View != nil {
 		flags |= respFlagView
 	}
+	if len(resp.Digests) > 0 {
+		flags |= respFlagDigests
+	}
 	b = binary.AppendUvarint(b, flags)
 	if flags&respFlagError != 0 {
 		b = appendString(b, resp.Error)
@@ -736,6 +755,15 @@ func encodeResponseBody(b []byte, resp Response, depth int) ([]byte, error) {
 	}
 	if flags&respFlagView != 0 {
 		b = appendView(b, resp.View)
+	}
+	if flags&respFlagDigests != 0 {
+		b = binary.AppendUvarint(b, uint64(len(resp.Digests)))
+		for _, d := range resp.Digests {
+			b = appendString(b, d.Series)
+			b = binary.AppendUvarint(b, d.Count)
+			b = appendF64(b, d.Frontier)
+			b = binary.AppendUvarint(b, d.Sum)
+		}
 	}
 	return b, nil
 }
@@ -870,6 +898,35 @@ func decodeResponseBody(r *binReader, depth int) (Response, error) {
 	if flags&respFlagView != 0 {
 		if resp.View, err = r.view(); err != nil {
 			return resp, err
+		}
+	}
+	if flags&respFlagDigests != 0 {
+		n, err := r.uvarint()
+		if err != nil {
+			return resp, err
+		}
+		// A digest costs at least four bytes (length prefix plus three
+		// varints), so the count check keeps forged counts from allocating
+		// beyond the frame.
+		if n == 0 || n > uint64(r.rem()) {
+			return resp, errBinMalformed
+		}
+		resp.Digests = make([]SeriesDigest, 0, min(n, 1024))
+		for i := uint64(0); i < n; i++ {
+			var d SeriesDigest
+			if d.Series, err = r.str(); err != nil {
+				return resp, err
+			}
+			if d.Count, err = r.uvarint(); err != nil {
+				return resp, err
+			}
+			if d.Frontier, err = r.f64(); err != nil {
+				return resp, err
+			}
+			if d.Sum, err = r.uvarint(); err != nil {
+				return resp, err
+			}
+			resp.Digests = append(resp.Digests, d)
 		}
 	}
 	return resp, nil

@@ -26,17 +26,31 @@ func mustHex(t *testing.T, s string) []byte {
 // If an encoder change breaks these, the spec must be updated in the same
 // commit (TestProtocolDocHexExamples checks the doc side).
 const (
-	goldenStoreReqHex  = "01 05 05 61 2f 63 70 75 02 c0 b2 01 bf c0 03 80 84 80 04 00"
-	goldenFetchReqHex  = "02 06 05 61 2f 63 70 75 00 00 02"
-	goldenStoreRespHex = "01 01"
-	goldenFetchRespHex = "02 09 02 c0 b2 01 bf c0 03 80 84 80 04 00"
+	goldenStoreReqHex    = "01 05 05 61 2f 63 70 75 02 c0 b2 01 bf c0 03 80 84 80 04 00"
+	goldenFetchReqHex    = "02 06 05 61 2f 63 70 75 00 00 02"
+	goldenStoreRespHex   = "01 01"
+	goldenFetchRespHex   = "02 09 02 c0 b2 01 bf c0 03 80 84 80 04 00"
+	goldenDigestReqHex   = "03 10 05 61 2f 63 70 75"
+	goldenDigestRespHex  = "03 81 04 01 05 61 2f 63 70 75 02 c0 b6 81 04 e3 9b ff f0 f9 d9 86 d6 ee 01"
+	goldenBackfillReqHex = "04 11 05 61 2f 63 70 75 02 c0 b2 01 bf c0 03 80 84 80 04 00"
 )
 
 var (
-	goldenStoreReq  = Request{Op: OpStore, Series: "a/cpu", Points: [][2]float64{{100, 0.5}, {110, 0.5}}}
-	goldenFetchReq  = Request{Op: OpFetch, Series: "a/cpu", Max: 2}
-	goldenStoreResp = Response{OK: true}
-	goldenFetchResp = Response{OK: true, Points: [][2]float64{{100, 0.5}, {110, 0.5}}}
+	goldenStoreReq    = Request{Op: OpStore, Series: "a/cpu", Points: [][2]float64{{100, 0.5}, {110, 0.5}}}
+	goldenFetchReq    = Request{Op: OpFetch, Series: "a/cpu", Max: 2}
+	goldenStoreResp   = Response{OK: true}
+	goldenFetchResp   = Response{OK: true, Points: [][2]float64{{100, 0.5}, {110, 0.5}}}
+	goldenDigestReq   = Request{Op: OpDigest, Series: "a/cpu"}
+	goldenBackfillReq = Request{Op: OpBackfill, Series: "a/cpu", Points: goldenStoreReq.Points}
+
+	// The digest response is computed by the live digest algorithm over the
+	// golden store's points, so a checksum change breaks the golden hex (and
+	// with it the spec's worked example) rather than drifting silently.
+	goldenDigestResp = func() Response {
+		m := NewMemory(16)
+		m.Handle(goldenStoreReq)
+		return Response{OK: true, Digests: m.Digests(goldenStoreReq.Series)}
+	}()
 )
 
 func TestBinaryGoldenEncodings(t *testing.T) {
@@ -49,6 +63,9 @@ func TestBinaryGoldenEncodings(t *testing.T) {
 		{"fetch request", goldenFetchReqHex, func() ([]byte, error) { return encodeRequestPayload(nil, 2, goldenFetchReq) }},
 		{"store response", goldenStoreRespHex, func() ([]byte, error) { return encodeResponsePayload(nil, 1, goldenStoreResp) }},
 		{"fetch response", goldenFetchRespHex, func() ([]byte, error) { return encodeResponsePayload(nil, 2, goldenFetchResp) }},
+		{"digest request", goldenDigestReqHex, func() ([]byte, error) { return encodeRequestPayload(nil, 3, goldenDigestReq) }},
+		{"digest response", goldenDigestRespHex, func() ([]byte, error) { return encodeResponsePayload(nil, 3, goldenDigestResp) }},
+		{"backfill request", goldenBackfillReqHex, func() ([]byte, error) { return encodeRequestPayload(nil, 4, goldenBackfillReq) }},
 	}
 	for _, c := range cases {
 		got, err := c.enc()
@@ -87,6 +104,10 @@ func TestBinaryRequestRoundTrip(t *testing.T) {
 		{Op: OpLease, Member: &cluster.Member{ID: "mem-a"}, Epoch: 12},
 		{Op: OpView},
 		{Op: OpView, Epoch: 1 << 40},
+		{Op: OpDigest},
+		{Op: OpDigest, Series: "k"},
+		{Op: OpBackfill, Series: "k", Points: [][2]float64{{1, 0.5}, {2, 0.6}}},
+		{Op: OpBackfill, Series: "k"},
 	}
 	for i, req := range reqs {
 		b, err := encodeRequestPayload(nil, uint64(i)+100, req)
@@ -130,6 +151,11 @@ func TestBinaryResponseRoundTrip(t *testing.T) {
 		{OK: true, View: &cluster.View{}},
 		{Error: `store "k": not an owner under epoch 4`, Code: CodeMoved,
 			View: &cluster.View{Epoch: 4, Members: []cluster.Member{{ID: "m", Kind: "memory", Addr: "a:1", State: cluster.StateActive}}}},
+		{OK: true, Digests: []SeriesDigest{{Series: "k", Count: 2, Frontier: 2, Sum: 123456789}}},
+		{OK: true, Digests: []SeriesDigest{
+			{Series: "a"},
+			{Series: "b", Count: 1<<64 - 1, Frontier: -1e308, Sum: 1<<64 - 1},
+		}},
 	}
 	for i, resp := range resps {
 		b, err := encodeResponsePayload(nil, uint64(i)+1, resp)
@@ -201,9 +227,13 @@ func TestBinaryDecodeRejectsMalformed(t *testing.T) {
 		// it is the malformed case (a bare 0x80 is now a truncated uvarint).
 		"batch flag zero count": {0x01, 0x80, 0x01, 0x00},
 		"batch flag truncated":  {0x01, 0x80},
-		"unknown flag bit":      {0x01, 0x80, 0x04},
-		"view flag no body":     {0x01, 0x80, 0x02},
-		"trailing garbage":      append(mustHex(t, goldenStoreRespHex), 0x00),
+		// 0x80 0x08 is uvarint 1024 = 1 << 10, the lowest unassigned flag bit.
+		"unknown flag bit":         {0x01, 0x80, 0x08},
+		"view flag no body":        {0x01, 0x80, 0x02},
+		"digests flag zero count":  {0x01, 0x80, 0x04, 0x00},
+		"digests flag no body":     {0x01, 0x80, 0x04},
+		"digests count past frame": {0x01, 0x80, 0x04, 0x7f, 0x01, 0x6b},
+		"trailing garbage":         append(mustHex(t, goldenStoreRespHex), 0x00),
 	}
 	for name, payload := range respCases {
 		if _, _, err := decodeResponsePayload(payload); err == nil {
@@ -259,7 +289,7 @@ func TestFrameRoundTrip(t *testing.T) {
 // silently into a codec that cannot carry it.
 func TestWireOpsCoverAllOps(t *testing.T) {
 	all := []Op{OpPing, OpRegister, OpLookup, OpList, OpStore, OpFetch, OpSeries, OpBatch, OpForecast,
-		OpJoin, OpLease, OpView, OpSubscribe, OpUnsubscribe, OpHello}
+		OpJoin, OpLease, OpView, OpSubscribe, OpUnsubscribe, OpHello, OpDigest, OpBackfill}
 	if len(wireOps) != len(all) {
 		t.Errorf("wireOps has %d entries, protocol has %d ops", len(wireOps), len(all))
 	}

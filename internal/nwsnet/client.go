@@ -588,6 +588,34 @@ func (c *Client) FetchCtx(ctx context.Context, memAddr, key string, from, to flo
 	return resp.Points, nil
 }
 
+// Digests asks a memory server for anti-entropy series digests: all series
+// when key is "", else just that series (see docs/PROTOCOL.md §9).
+func (c *Client) Digests(memAddr, key string) ([]SeriesDigest, error) {
+	return c.DigestsCtx(context.Background(), memAddr, key)
+}
+
+// DigestsCtx is Digests honoring a caller context.
+func (c *Client) DigestsCtx(ctx context.Context, memAddr, key string) ([]SeriesDigest, error) {
+	resp, err := c.do(ctx, memAddr, Request{Op: OpDigest, Series: key})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Digests, nil
+}
+
+// Backfill merge-inserts points behind a series' frontier on a memory
+// server — the delivery path for hinted handoff and repair pushes, where
+// the ordinary store path would dedup old timestamps away.
+func (c *Client) Backfill(memAddr, key string, points [][2]float64) error {
+	return c.BackfillCtx(context.Background(), memAddr, key, points)
+}
+
+// BackfillCtx is Backfill honoring a caller context.
+func (c *Client) BackfillCtx(ctx context.Context, memAddr, key string, points [][2]float64) error {
+	_, err := c.do(ctx, memAddr, Request{Op: OpBackfill, Series: key, Points: points})
+	return err
+}
+
 // Series lists the series keys a memory server holds.
 func (c *Client) Series(memAddr string) ([]string, error) {
 	return c.SeriesCtx(context.Background(), memAddr)

@@ -145,6 +145,10 @@ func (n *ClusterNode) Handle(req Request) Response {
 	case OpBatch:
 		return n.handleBatch(req)
 	default:
+		// Repair-plane ops (digest, backfill) pass through unguarded on
+		// purpose: anti-entropy must be able to read and heal whatever a
+		// node actually holds — including series stranded by a ring move —
+		// mirroring how handoff fetches bypass the ownership check.
 		return n.inner.Handle(req)
 	}
 }

@@ -41,6 +41,11 @@ func FuzzDecodeRequest(f *testing.F) {
 		`{"op":"subscribe","series":"k"}`,
 		`{"op":"unsubscribe","series":"k"}`,
 		`{"op":"hello","tenant":"team-a"}`,
+		`{"op":"digest"}`,
+		`{"op":"digest","series":"k"}`,
+		`{"op":"backfill","series":"k","points":[[1,0.5],[2,0.6]]}`,
+		`{"op":"backfill","series":"k","points":[[2,1],[1,1],[2,2]]}`,
+		`{"op":"backfill","series":"k"}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s + "\n"))
@@ -105,6 +110,8 @@ func FuzzDecodeResponse(f *testing.F) {
 		`{"ok":false,"error":"store \"k\": not an owner under epoch 4","code":"moved","view":{"epoch":4,"config":{"replication":2,"vnodes":64},"members":[{"id":"m1","kind":"memory","addr":"a:1","state":"active"}]}}`,
 		`{"ok":false,"code":"moved"}`,
 		`{"ok":true,"view":{"epoch":9,"members":[{"id":"m1","kind":"memory","addr":"a:1","state":"active"},{"id":"f1","kind":"forecaster","addr":"c:3","state":"joining"}]}}`,
+		`{"ok":true,"digests":[{"series":"k","count":2,"frontier":2,"sum":123456789}]}`,
+		`{"ok":true,"digests":[{"series":"a","count":0,"frontier":0,"sum":0},{"series":"b","count":18446744073709551615,"frontier":-1e308,"sum":18446744073709551615}]}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s + "\n"))
@@ -196,6 +203,10 @@ func binaryRequestSeeds() [][]byte {
 		{Op: OpUnsubscribe, Series: "k"},
 		{Op: OpHello, Tenant: "team-a"},
 		{Op: OpHello},
+		{Op: OpDigest},
+		{Op: OpDigest, Series: "k"},
+		{Op: OpBackfill, Series: "k", Points: [][2]float64{{1, 0.5}, {2, 0.6}}},
+		{Op: OpBackfill, Series: "k"},
 	}
 	var out [][]byte
 	for _, r := range reqs {
@@ -221,7 +232,7 @@ func requestElems(req Request) int {
 
 // responseElems is requestElems for responses.
 func responseElems(resp Response) int {
-	n := len(resp.Points) + len(resp.Names) + len(resp.Entries)
+	n := len(resp.Points) + len(resp.Names) + len(resp.Entries) + len(resp.Digests)
 	for _, e := range resp.Entries {
 		n += len(e.Addrs)
 	}
@@ -311,6 +322,11 @@ func FuzzDecodeBinaryResponse(f *testing.F) {
 		{Error: `store "k": not an owner under epoch 4`, Code: CodeMoved, View: &cluster.View{Epoch: 4, Members: []cluster.Member{
 			{ID: "m1", Kind: "memory", Addr: "a:1", State: cluster.StateActive},
 		}}},
+		{OK: true, Digests: []SeriesDigest{{Series: "k", Count: 2, Frontier: 2, Sum: 123456789}}},
+		{OK: true, Digests: []SeriesDigest{
+			{Series: "a"},
+			{Series: "b", Count: 1<<64 - 1, Frontier: -1e308, Sum: 1<<64 - 1},
+		}},
 	}
 	for _, r := range resps {
 		if b, err := encodeResponsePayload(nil, 1, r); err == nil {

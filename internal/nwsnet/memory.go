@@ -1,6 +1,7 @@
 package nwsnet
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -101,6 +102,10 @@ func (m *Memory) handle(req Request) Response {
 		return m.handleSeries()
 	case OpBatch:
 		return m.handleBatch(req)
+	case OpDigest:
+		return m.handleDigest(req)
+	case OpBackfill:
+		return m.handleBackfill(req)
 	default:
 		return errResp("memory: unsupported op %q", req.Op)
 	}
@@ -250,6 +255,133 @@ func (m *Memory) handleBatch(req Request) Response {
 	}
 	wg.Wait()
 	return Response{Batch: out}
+}
+
+// digestOf summarizes a ring under its shard lock: point count, frontier
+// (newest timestamp), and an FNV-1a checksum over the 16-byte little-endian
+// (t, v) bit patterns in time order. The sum covers full content, so equal
+// digests mean bit-identical series — the anti-entropy comparison the
+// repair plane is built on (docs/PROTOCOL.md §9).
+func digestOf(key string, r *series.PointRing) SeriesDigest {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (u >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		p := r.At(i)
+		mix(math.Float64bits(p.T))
+		mix(math.Float64bits(p.V))
+	}
+	d := SeriesDigest{Series: key, Count: uint64(n), Sum: h}
+	if last, ok := r.Last(); ok {
+		d.Frontier = last.T
+	}
+	return d
+}
+
+// Digest returns the anti-entropy summary of one series; ok is false when
+// the series is absent or empty.
+func (m *Memory) Digest(key string) (SeriesDigest, bool) {
+	sh := m.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r := sh.store[key]
+	if r == nil || r.Len() == 0 {
+		return SeriesDigest{}, false
+	}
+	return digestOf(key, r), true
+}
+
+// PrefixDigest summarizes the stored prefix of a series with t <= through.
+// The repairer compares it against a peer's digest snapshot: live writes
+// keep moving the local frontier past the snapshot, so only the prefix up
+// to the peer's frontier can be expected to match.
+func (m *Memory) PrefixDigest(key string, through float64) SeriesDigest {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	sh := m.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	d := SeriesDigest{Series: key}
+	r := sh.store[key]
+	if r == nil {
+		return d
+	}
+	h := uint64(offset64)
+	mix := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (u >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		p := r.At(i)
+		if p.T > through {
+			break
+		}
+		mix(math.Float64bits(p.T))
+		mix(math.Float64bits(p.V))
+		d.Count++
+		d.Frontier = p.T
+	}
+	d.Sum = h
+	return d
+}
+
+// Digests returns summaries of stored series sorted by key: all non-empty
+// series when key is "", else just that series (empty slice if absent).
+func (m *Memory) Digests(key string) []SeriesDigest {
+	if key != "" {
+		if d, ok := m.Digest(key); ok {
+			return []SeriesDigest{d}
+		}
+		return nil
+	}
+	out := make([]SeriesDigest, 0, m.nSeries.Load())
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for k, r := range sh.store {
+			if r.Len() > 0 {
+				out = append(out, digestOf(k, r))
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Series < out[j].Series })
+	return out
+}
+
+// handleDigest answers OpDigest: per-series digests, all series when the
+// request names none. An unknown series is not an error — it answers with
+// no digests, which peers read as "nothing stored here yet".
+func (m *Memory) handleDigest(req Request) Response {
+	return Response{Digests: m.Digests(req.Series)}
+}
+
+// handleBackfill answers OpBackfill: a merge-insert behind the frontier
+// (hinted-handoff redelivery and repair pulls land here; the store path
+// would dedup anything at or before the frontier away).
+func (m *Memory) handleBackfill(req Request) Response {
+	if req.Series == "" {
+		return errResp("backfill requires a series key")
+	}
+	if len(req.Points) == 0 {
+		return errResp("backfill requires points")
+	}
+	m.Backfill(req.Series, req.Points)
+	return Response{}
 }
 
 // Backfill merge-inserts historical points into a series, bypassing the

@@ -96,6 +96,24 @@ var (
 		"nws_replica_quorum_failures_total",
 		"Replicated writes that did not reach their quorum.")
 
+	// Repair plane: anti-entropy rounds and hinted handoff (see
+	// docs/ARCHITECTURE.md, "Repair plane").
+	mRepairRounds = metrics.NewCounter(
+		"nws_repair_rounds_total",
+		"Anti-entropy repair rounds completed (digest exchange plus any pulls).")
+	mRepairPointsRecovered = metrics.NewCounter(
+		"nws_repair_points_recovered_total",
+		"Measurement points merged behind the frontier by anti-entropy repair.")
+	mHintsQueued = metrics.NewCounter(
+		"nws_hints_queued_total",
+		"Points parked in hinted-handoff queues for replicas that missed a quorum write.")
+	mHintsReplayed = metrics.NewCounter(
+		"nws_hints_replayed_total",
+		"Hinted points redelivered to a recovered replica via backfill.")
+	mHintsDropped = metrics.NewCounter(
+		"nws_hints_dropped_total",
+		"Hinted points evicted (oldest first) when a replica's hint queue hit its capacity.")
+
 	// Memory server.
 	mMemoryRequests = metrics.NewCounterVec(
 		"nws_memory_requests_total",
@@ -255,6 +273,7 @@ const otherOp Op = "other"
 type opCounters struct {
 	ping, register, lookup, list, store, fetch, series, batch, forecast *metrics.Counter
 	join, lease, view, subscribe, unsubscribe, hello, other             *metrics.Counter
+	digest, backfill                                                    *metrics.Counter
 }
 
 func perOpCounters(v *metrics.CounterVec) *opCounters {
@@ -274,6 +293,8 @@ func perOpCounters(v *metrics.CounterVec) *opCounters {
 		subscribe:   v.With(string(OpSubscribe)),
 		unsubscribe: v.With(string(OpUnsubscribe)),
 		hello:       v.With(string(OpHello)),
+		digest:      v.With(string(OpDigest)),
+		backfill:    v.With(string(OpBackfill)),
 		other:       v.With(string(otherOp)),
 	}
 }
@@ -311,6 +332,10 @@ func (c *opCounters) get(op Op) *metrics.Counter {
 		return c.unsubscribe
 	case OpHello:
 		return c.hello
+	case OpDigest:
+		return c.digest
+	case OpBackfill:
+		return c.backfill
 	}
 	return c.other
 }
@@ -319,6 +344,7 @@ func (c *opCounters) get(op Op) *metrics.Counter {
 type opHistograms struct {
 	ping, register, lookup, list, store, fetch, series, batch, forecast *metrics.Histogram
 	join, lease, view, subscribe, unsubscribe, hello, other             *metrics.Histogram
+	digest, backfill                                                    *metrics.Histogram
 }
 
 func perOpHistograms(v *metrics.HistogramVec) *opHistograms {
@@ -338,6 +364,8 @@ func perOpHistograms(v *metrics.HistogramVec) *opHistograms {
 		subscribe:   v.With(string(OpSubscribe)),
 		unsubscribe: v.With(string(OpUnsubscribe)),
 		hello:       v.With(string(OpHello)),
+		digest:      v.With(string(OpDigest)),
+		backfill:    v.With(string(OpBackfill)),
 		other:       v.With(string(otherOp)),
 	}
 }
@@ -374,6 +402,10 @@ func (h *opHistograms) get(op Op) *metrics.Histogram {
 		return h.unsubscribe
 	case OpHello:
 		return h.hello
+	case OpDigest:
+		return h.digest
+	case OpBackfill:
+		return h.backfill
 	}
 	return h.other
 }

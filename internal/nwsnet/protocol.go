@@ -67,6 +67,13 @@ const (
 	OpSubscribe   Op = "subscribe"   // forecaster: watch a series for forecast pushes
 	OpUnsubscribe Op = "unsubscribe" // forecaster: stop watching a series
 	OpHello       Op = "hello"       // any server: negotiate connection metadata (tenant ID)
+
+	// Repair-plane operations (docs/PROTOCOL.md §9): anti-entropy digests
+	// and behind-the-frontier merges, used by replica repair and hinted
+	// handoff. Unlike OpStore, OpBackfill inserts points older than the
+	// series frontier instead of deduplicating them away.
+	OpDigest   Op = "digest"   // memory: per-series frontier/count/checksum digests
+	OpBackfill Op = "backfill" // memory: merge points behind the frontier
 )
 
 // opLabel maps a wire operation to a bounded metric label: known ops map to
@@ -76,7 +83,7 @@ const (
 func opLabel(op Op) string {
 	switch op {
 	case OpPing, OpRegister, OpLookup, OpList, OpStore, OpFetch, OpSeries, OpBatch, OpForecast,
-		OpJoin, OpLease, OpView, OpSubscribe, OpUnsubscribe, OpHello:
+		OpJoin, OpLease, OpView, OpSubscribe, OpUnsubscribe, OpHello, OpDigest, OpBackfill:
 		return string(op)
 	}
 	return "other"
@@ -138,6 +145,19 @@ type Request struct {
 	// attributes every later request on the connection to it when per-tenant
 	// quotas are configured (see ServerLimits.TenantRate).
 	Tenant string `json:"tenant,omitempty"`
+}
+
+// SeriesDigest summarizes one stored series for anti-entropy comparison:
+// the point count, the frontier (timestamp of the newest point), and an
+// FNV-1a checksum over the full point content in time order. Two replicas
+// whose digests for a series are equal hold bit-identical copies of it;
+// any difference tells the repairer what to pull (see internal/nwsnet
+// Repairer and docs/PROTOCOL.md §9).
+type SeriesDigest struct {
+	Series   string  `json:"series"`
+	Count    uint64  `json:"count"`
+	Frontier float64 `json:"frontier"`
+	Sum      uint64  `json:"sum"`
 }
 
 // ForecastResult carries a forecaster answer.
@@ -233,6 +253,11 @@ type Response struct {
 	// stale, and attached to CodeMoved redirects so misrouted clients
 	// refresh without polling the registry.
 	View *cluster.View `json:"view,omitempty"`
+
+	// Digests answers OpDigest: one summary per non-empty stored series,
+	// sorted by series key (or just the requested series when the request
+	// named one).
+	Digests []SeriesDigest `json:"digests,omitempty"`
 }
 
 // errResp builds an error response.

@@ -118,6 +118,9 @@ func TestProtocolDocHexExamples(t *testing.T) {
 		{"fetch-request-v2", func() ([]byte, error) { return encodeRequestPayload(nil, 2, goldenFetchReq) }},
 		{"store-response-v2", func() ([]byte, error) { return encodeResponsePayload(nil, 1, goldenStoreResp) }},
 		{"fetch-response-v2", func() ([]byte, error) { return encodeResponsePayload(nil, 2, goldenFetchResp) }},
+		{"digest-request-v2", func() ([]byte, error) { return encodeRequestPayload(nil, 3, goldenDigestReq) }},
+		{"digest-response-v2", func() ([]byte, error) { return encodeResponsePayload(nil, 3, goldenDigestResp) }},
+		{"backfill-request-v2", func() ([]byte, error) { return encodeRequestPayload(nil, 4, goldenBackfillReq) }},
 	}
 	for _, c := range binCases {
 		want, err := c.enc()
@@ -137,6 +140,9 @@ func TestProtocolDocHexExamples(t *testing.T) {
 		{"fetch-request-v1", goldenFetchReq},
 		{"store-response-v1", goldenStoreResp},
 		{"fetch-response-v1", goldenFetchResp},
+		{"digest-request-v1", goldenDigestReq},
+		{"digest-response-v1", goldenDigestResp},
+		{"backfill-request-v1", goldenBackfillReq},
 	}
 	for _, c := range jsonCases {
 		want, err := json.Marshal(c.v)

@@ -21,20 +21,45 @@ import (
 //     and fail over to the next on transport failure, so a dead replica
 //     costs one extra attempt, not an outage.
 //
-// There is no read repair or anti-entropy: a replica that misses writes
-// diverges until the writer (sensord's store-and-forward backlog) re-stores
-// through it or it falls off the healthy list. Health is per-process
-// observation, exported through nws_replica_healthy.
+// Two mechanisms close the divergence window a missed write opens (see
+// docs/ARCHITECTURE.md, "Repair plane"):
+//
+//   - Hinted handoff: when a sub-store meets quorum but a replica misses
+//     it, the writer parks the points in a bounded per-replica, per-series
+//     hint queue (capacity-metered through nws_hints_*) and redelivers
+//     them via OpBackfill the next time the replica answers.
+//   - Anti-entropy: a Repairer beside each replica exchanges per-series
+//     digests with its peers and pulls whatever ranges the hints did not
+//     cover (dropped hints, a writer that died with hints parked).
+//
+// Health is per-process observation, exported through nws_replica_healthy.
 //
 // A group of one behaves exactly like a direct client, so every caller
 // takes the replicated path unconditionally.
 type ReplicaGroup struct {
-	client *Client
+	tr     Transport
+	client *Client // nil when the group was built over a bare Transport
 	quorum int
 
 	mu       sync.Mutex
 	replicas []*replicaState
+	hintCap  int                                // max hinted points per replica per series; 0 disables
+	hints    map[string]map[string][][2]float64 // addr -> series -> parked points
+	hstats   HintStats
 }
+
+// HintStats counts this group's hinted-handoff activity (the per-process
+// totals are also exported as nws_hints_queued/replayed/dropped_total).
+type HintStats struct {
+	Queued   uint64 `json:"queued"`
+	Replayed uint64 `json:"replayed"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// hintCapDefault bounds each replica's per-series hint queue: at sensord's
+// 10-second cadence it covers over an hour of missed points per series
+// before hints start dropping and anti-entropy has to close the rest.
+const hintCapDefault = 512
 
 type replicaState struct {
 	addr    string
@@ -54,7 +79,21 @@ func NewReplicaGroup(client *Client, addrs []string, quorum int) *ReplicaGroup {
 	if client == nil {
 		client = NewClient(0)
 	}
-	g := &ReplicaGroup{client: client}
+	g := NewReplicaGroupTransport(client, addrs, quorum)
+	g.client = client
+	return g
+}
+
+// NewReplicaGroupTransport is NewReplicaGroup over any Transport — the
+// production TCP client or an in-process LocalTransport under a fault
+// harness. Close is a no-op for groups built this way; the transport's
+// owner manages its lifetime.
+func NewReplicaGroupTransport(tr Transport, addrs []string, quorum int) *ReplicaGroup {
+	g := &ReplicaGroup{
+		tr:      tr,
+		hintCap: hintCapDefault,
+		hints:   make(map[string]map[string][][2]float64),
+	}
 	for _, a := range addrs {
 		g.replicas = append(g.replicas, &replicaState{addr: a, healthy: true})
 		mReplicaHealthy.With(a).Set(1)
@@ -83,8 +122,27 @@ func (g *ReplicaGroup) Addrs() []string {
 // Quorum returns the write quorum.
 func (g *ReplicaGroup) Quorum() int { return g.quorum }
 
-// Client returns the protocol client the group calls through.
+// Client returns the protocol client the group calls through, nil when the
+// group was built over a bare Transport.
 func (g *ReplicaGroup) Client() *Client { return g.client }
+
+// SetHintCap bounds the hinted-handoff queue: at most n points per replica
+// per series (oldest dropped first past it). n == 0 disables hints.
+func (g *ReplicaGroup) SetHintCap(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	g.hintCap = n
+}
+
+// HintStats reports this group's hinted-handoff counters.
+func (g *ReplicaGroup) HintStats() HintStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hstats
+}
 
 // mark records one observation of a replica's health.
 func (g *ReplicaGroup) mark(r *replicaState, ok bool) {
@@ -120,7 +178,7 @@ func (g *ReplicaGroup) ordered() []*replicaState {
 		if !r.healthy {
 			c = 1
 		}
-		if g.client.BreakerState(r.addr) == resilience.BreakerOpen {
+		if g.tr.BreakerState(r.addr) == resilience.BreakerOpen {
 			c = 2
 		}
 		class[r] = c
@@ -151,15 +209,91 @@ func isBreakerDenial(err error) bool {
 }
 
 // CheckHealth pings every replica, refreshing the health states it returns.
+// A replica that answers gets any parked hints replayed to it.
 func (g *ReplicaGroup) CheckHealth(ctx context.Context) []ReplicaHealth {
 	for _, r := range g.snapshot() {
-		err := g.client.PingCtx(ctx, r.addr)
+		err := g.tr.PingCtx(ctx, r.addr)
 		if isBreakerDenial(err) {
 			continue
 		}
 		g.mark(r, err == nil)
+		if err == nil {
+			g.replayHints(ctx, r.addr)
+		}
 	}
 	return g.Health()
+}
+
+// queueHint parks points a replica missed from a quorum-successful write,
+// bounded to hintCap points per series with oldest-first eviction.
+func (g *ReplicaGroup) queueHint(addr, series string, pts [][2]float64) {
+	if len(pts) == 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.hintCap <= 0 {
+		return
+	}
+	bySeries := g.hints[addr]
+	if bySeries == nil {
+		bySeries = make(map[string][][2]float64)
+		g.hints[addr] = bySeries
+	}
+	q := append(bySeries[series], pts...)
+	g.hstats.Queued += uint64(len(pts))
+	mHintsQueued.Add(uint64(len(pts)))
+	if over := len(q) - g.hintCap; over > 0 {
+		q = append([][2]float64(nil), q[over:]...)
+		g.hstats.Dropped += uint64(over)
+		mHintsDropped.Add(uint64(over))
+	}
+	bySeries[series] = q
+}
+
+// replayHints redelivers everything parked for a replica via backfill
+// (idempotent on the receiver, so replaying after an applied-but-unacked
+// write is harmless). Series replay in sorted order for deterministic
+// fault-harness schedules; delivery failure keeps the remaining hints
+// parked for the next recovery observation.
+func (g *ReplicaGroup) replayHints(ctx context.Context, addr string) {
+	g.mu.Lock()
+	bySeries := g.hints[addr]
+	if len(bySeries) == 0 {
+		g.mu.Unlock()
+		return
+	}
+	keys := make([]string, 0, len(bySeries))
+	for k := range bySeries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	g.mu.Unlock()
+	for _, series := range keys {
+		g.mu.Lock()
+		pts := bySeries[series]
+		delete(bySeries, series)
+		g.mu.Unlock()
+		if len(pts) == 0 {
+			continue
+		}
+		if err := g.tr.BackfillCtx(ctx, addr, series, pts); err != nil {
+			// Park them again and stop: the replica just stopped answering.
+			g.mu.Lock()
+			bySeries[series] = append(pts, bySeries[series]...)
+			g.mu.Unlock()
+			return
+		}
+		g.mu.Lock()
+		g.hstats.Replayed += uint64(len(pts))
+		g.mu.Unlock()
+		mHintsReplayed.Add(uint64(len(pts)))
+	}
+	g.mu.Lock()
+	if len(g.hints[addr]) == 0 {
+		delete(g.hints, addr)
+	}
+	g.mu.Unlock()
 }
 
 // Store fans the points out to every replica and succeeds once the quorum
@@ -191,8 +325,10 @@ func (g *ReplicaGroup) StoreBatch(ctx context.Context, stores []BatchStore) ([]e
 	subErr := make([]error, len(stores))
 	var firstErr error
 	replicas := g.snapshot()
-	for _, r := range replicas {
-		errs, err := g.client.StoreBatchCtx(ctx, r.addr, stores)
+	acked := make([][]bool, len(replicas))
+	for ri, r := range replicas {
+		acked[ri] = make([]bool, len(stores))
+		errs, err := g.tr.StoreBatchCtx(ctx, r.addr, stores)
 		if err != nil {
 			if !isBreakerDenial(err) {
 				g.mark(r, false)
@@ -206,6 +342,7 @@ func (g *ReplicaGroup) StoreBatch(ctx context.Context, stores []BatchStore) ([]e
 		for i, e := range errs {
 			if e == nil {
 				acks[i]++
+				acked[ri][i] = true
 				continue
 			}
 			clean = false
@@ -214,11 +351,22 @@ func (g *ReplicaGroup) StoreBatch(ctx context.Context, stores []BatchStore) ([]e
 			}
 		}
 		g.mark(r, clean)
+		if clean {
+			g.replayHints(ctx, r.addr)
+		}
 	}
 	out := make([]error, len(stores))
 	failed := 0
 	for i := range stores {
 		if acks[i] >= g.quorum {
+			// The write is durable at quorum; the writer's own backlog will
+			// forget it. Park hints for every replica that missed it so
+			// recovery redelivers instead of leaving an anti-entropy hole.
+			for ri, r := range replicas {
+				if !acked[ri][i] {
+					g.queueHint(r.addr, stores[i].Series, stores[i].Points)
+				}
+			}
 			continue
 		}
 		failed++
@@ -284,7 +432,7 @@ func isProtocolError(err error) bool {
 func (g *ReplicaGroup) Fetch(ctx context.Context, key string, from, to float64, max int) ([][2]float64, error) {
 	var pts [][2]float64
 	err := g.read(func(addr string) error {
-		p, e := g.client.FetchCtx(ctx, addr, key, from, to, max)
+		p, e := g.tr.FetchCtx(ctx, addr, key, from, to, max)
 		if e == nil {
 			pts = p
 		}
@@ -318,7 +466,7 @@ func (g *ReplicaGroup) FetchBatch(ctx context.Context, fetches []BatchFetch) ([]
 		for j, i := range pending {
 			subset[j] = fetches[i]
 		}
-		results, err := g.client.FetchBatchCtx(ctx, r.addr, subset)
+		results, err := g.tr.FetchBatchCtx(ctx, r.addr, subset)
 		if err != nil {
 			if !isBreakerDenial(err) {
 				g.mark(r, isProtocolError(err))
@@ -362,7 +510,7 @@ func (g *ReplicaGroup) FetchBatch(ctx context.Context, fetches []BatchFetch) ([]
 func (g *ReplicaGroup) Series(ctx context.Context) ([]string, error) {
 	var names []string
 	err := g.read(func(addr string) error {
-		n, e := g.client.SeriesCtx(ctx, addr)
+		n, e := g.tr.SeriesCtx(ctx, addr)
 		if e == nil {
 			names = n
 		}
@@ -374,5 +522,11 @@ func (g *ReplicaGroup) Series(ctx context.Context) ([]string, error) {
 	return names, nil
 }
 
-// Close releases the group's pooled connections.
-func (g *ReplicaGroup) Close() error { return g.client.Close() }
+// Close releases the group's pooled connections; a no-op for groups built
+// over a bare Transport (the transport's owner manages its lifetime).
+func (g *ReplicaGroup) Close() error {
+	if g.client == nil {
+		return nil
+	}
+	return g.client.Close()
+}

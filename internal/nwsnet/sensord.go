@@ -131,6 +131,25 @@ func NewSensorDaemonCluster(hostName string, h sensors.Host, nsAddr string, hybr
 // recorded in the metrics either way.
 func (d *SensorDaemon) SetLogger(l *log.Logger) { d.logger = l }
 
+// SetBacklogCap bounds the per-series store-and-forward backlog (n <= 0
+// restores the default). Fault harnesses shrink it to make the backlog
+// window — the outage length the writer alone can heal — small enough to
+// overrun on purpose.
+func (d *SensorDaemon) SetBacklogCap(n int) {
+	if n <= 0 {
+		n = backlogDefaultCap
+	}
+	d.backlogCap = n
+}
+
+// BacklogCap reports the per-series store-and-forward backlog bound.
+func (d *SensorDaemon) BacklogCap() int { return d.backlogCap }
+
+// Group returns the store backend the daemon delivers through (a
+// *ReplicaGroup on the replicated path), letting harnesses and operators
+// reach replication-layer knobs like SetHintCap.
+func (d *SensorDaemon) Group() StoreBackend { return d.group }
+
 // Register announces this sensor to a name server. addr is where queries
 // about this daemon should go (informational; the daemon itself only pushes).
 func (d *SensorDaemon) Register(nsAddr, addr string) error {

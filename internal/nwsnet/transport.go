@@ -1,0 +1,228 @@
+package nwsnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nwscpu/internal/resilience"
+)
+
+// Transport is the client surface the replication layer runs over: the
+// calls ReplicaGroup needs to fan writes out and fail reads over, plus the
+// digest/backfill pair the repair plane adds. *Client implements it against
+// real TCP endpoints; LocalTransport implements it against in-process
+// handlers with deterministic fault injection, which is how the grid fault
+// campaign drives the production ReplicaGroup and Repairer code without
+// sockets, goroutine races, or wall-clock timeouts.
+type Transport interface {
+	PingCtx(ctx context.Context, addr string) error
+	StoreBatchCtx(ctx context.Context, addr string, stores []BatchStore) ([]error, error)
+	FetchCtx(ctx context.Context, addr, key string, from, to float64, max int) ([][2]float64, error)
+	FetchBatchCtx(ctx context.Context, addr string, fetches []BatchFetch) ([]FetchResult, error)
+	SeriesCtx(ctx context.Context, addr string) ([]string, error)
+	DigestsCtx(ctx context.Context, addr, key string) ([]SeriesDigest, error)
+	BackfillCtx(ctx context.Context, addr, key string, points [][2]float64) error
+	// BreakerState reports the client-side circuit breaker position for an
+	// endpoint; transports without breakers answer BreakerClosed.
+	BreakerState(addr string) resilience.BreakerState
+}
+
+var _ Transport = (*Client)(nil)
+
+// LocalTransport routes Transport calls to in-process Handlers by address,
+// with two injectable fault modes per address:
+//
+//   - down: every call fails without reaching the handler — a crashed or
+//     stalled process (the state is flipped back on "restart"; the handler
+//     keeps its memory, like a process restarting over a durable store).
+//   - partitioned: the request reaches the handler and takes effect, but
+//     the response is lost and the caller sees a transport error — the
+//     in-process analog of the chaos proxy's one-directional partition
+//     fault, exercising every "applied but unacknowledged" ambiguity.
+//
+// Calls execute synchronously on the caller's goroutine in call order, so a
+// single-threaded harness over a LocalTransport is fully deterministic.
+type LocalTransport struct {
+	mu    sync.Mutex
+	nodes map[string]*localTransportNode
+}
+
+type localTransportNode struct {
+	h           Handler
+	down        bool
+	partitioned bool
+}
+
+// NewLocalTransport returns an empty transport; Register adds endpoints.
+func NewLocalTransport() *LocalTransport {
+	return &LocalTransport{nodes: make(map[string]*localTransportNode)}
+}
+
+// Register binds an address to a handler (replacing any previous binding).
+func (t *LocalTransport) Register(addr string, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes[addr] = &localTransportNode{h: h}
+}
+
+// SetDown marks an address crashed (true) or restarted (false).
+func (t *LocalTransport) SetDown(addr string, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := t.nodes[addr]; n != nil {
+		n.down = down
+	}
+}
+
+// SetPartitioned puts an address behind an asymmetric partition: requests
+// are applied, responses are lost.
+func (t *LocalTransport) SetPartitioned(addr string, v bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := t.nodes[addr]; n != nil {
+		n.partitioned = v
+	}
+}
+
+// exchange runs one request against an address, applying its fault mode.
+func (t *LocalTransport) exchange(addr string, req Request) (Response, error) {
+	t.mu.Lock()
+	n := t.nodes[addr]
+	var down, partitioned bool
+	var h Handler
+	if n != nil {
+		h, down, partitioned = n.h, n.down, n.partitioned
+	}
+	t.mu.Unlock()
+	if n == nil {
+		return Response{}, fmt.Errorf("nwsnet: local transport: no handler for %q", addr)
+	}
+	if down {
+		return Response{}, fmt.Errorf("nwsnet: local transport: %s is down", addr)
+	}
+	resp := h.Handle(req)
+	if partitioned {
+		// The handler ran — the write (if any) is applied — but the caller
+		// never learns it.
+		return Response{}, fmt.Errorf("nwsnet: local transport: %s partitioned: response lost", addr)
+	}
+	return resp, nil
+}
+
+// PingCtx implements Transport.
+func (t *LocalTransport) PingCtx(_ context.Context, addr string) error {
+	resp, err := t.exchange(addr, Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	return respError(addr, resp)
+}
+
+// StoreBatchCtx implements Transport with Client.StoreBatchCtx semantics.
+func (t *LocalTransport) StoreBatchCtx(_ context.Context, addr string, stores []BatchStore) ([]error, error) {
+	if len(stores) == 0 {
+		return nil, nil
+	}
+	subs := make([]Request, len(stores))
+	for i, s := range stores {
+		subs[i] = Request{Op: OpStore, Series: s.Series, Points: s.Points}
+	}
+	resp, err := t.exchange(addr, Request{Op: OpBatch, Batch: subs})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(addr, resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Batch) != len(subs) {
+		return nil, fmt.Errorf("nwsnet: batch store returned %d sub-responses, want %d", len(resp.Batch), len(subs))
+	}
+	errs := make([]error, len(subs))
+	for i, r := range resp.Batch {
+		errs[i] = respError(addr, r)
+	}
+	return errs, nil
+}
+
+// FetchCtx implements Transport.
+func (t *LocalTransport) FetchCtx(_ context.Context, addr, key string, from, to float64, max int) ([][2]float64, error) {
+	resp, err := t.exchange(addr, Request{Op: OpFetch, Series: key, From: from, To: to, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(addr, resp); err != nil {
+		return nil, err
+	}
+	return resp.Points, nil
+}
+
+// FetchBatchCtx implements Transport with Client.FetchBatchCtx semantics.
+func (t *LocalTransport) FetchBatchCtx(_ context.Context, addr string, fetches []BatchFetch) ([]FetchResult, error) {
+	if len(fetches) == 0 {
+		return nil, nil
+	}
+	subs := make([]Request, len(fetches))
+	for i, f := range fetches {
+		subs[i] = Request{Op: OpFetch, Series: f.Series, From: f.From, To: f.To, Max: f.Max}
+	}
+	resp, err := t.exchange(addr, Request{Op: OpBatch, Batch: subs})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(addr, resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Batch) != len(subs) {
+		return nil, fmt.Errorf("nwsnet: batch fetch returned %d sub-responses, want %d", len(resp.Batch), len(subs))
+	}
+	out := make([]FetchResult, len(subs))
+	for i, r := range resp.Batch {
+		if err := respError(addr, r); err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Points = r.Points
+	}
+	return out, nil
+}
+
+// SeriesCtx implements Transport.
+func (t *LocalTransport) SeriesCtx(_ context.Context, addr string) ([]string, error) {
+	resp, err := t.exchange(addr, Request{Op: OpSeries})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(addr, resp); err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// DigestsCtx implements Transport.
+func (t *LocalTransport) DigestsCtx(_ context.Context, addr, key string) ([]SeriesDigest, error) {
+	resp, err := t.exchange(addr, Request{Op: OpDigest, Series: key})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(addr, resp); err != nil {
+		return nil, err
+	}
+	return resp.Digests, nil
+}
+
+// BackfillCtx implements Transport.
+func (t *LocalTransport) BackfillCtx(_ context.Context, addr, key string, points [][2]float64) error {
+	resp, err := t.exchange(addr, Request{Op: OpBackfill, Series: key, Points: points})
+	if err != nil {
+		return err
+	}
+	return respError(addr, resp)
+}
+
+// BreakerState implements Transport; the local transport has no breakers.
+func (t *LocalTransport) BreakerState(string) resilience.BreakerState {
+	return resilience.BreakerClosed
+}
+
+var _ Transport = (*LocalTransport)(nil)

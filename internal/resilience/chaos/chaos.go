@@ -12,6 +12,10 @@
 //	stall     forward the request but never read the response — a stalled
 //	          reader from the server's point of view, holding its write
 //	          path until the action's Delay (or proxy close)
+//	partition a one-directional (asymmetric) partition: requests reach the
+//	          server and take effect, but responses are read and discarded,
+//	          so the client sees a dead connection while the write applied —
+//	          the "applied but unacknowledged" ambiguity repair must absorb
 //
 // SetDown flaps the whole proxy: live connections are severed and new ones
 // refused until SetDown(false) — a full host outage on demand, used by the
@@ -36,12 +40,13 @@ type Fault string
 
 // The injectable faults.
 const (
-	Pass     Fault = "pass"
-	Refuse   Fault = "refuse"
-	Drop     Fault = "drop"
-	Delay    Fault = "delay"
-	Truncate Fault = "truncate"
-	Stall    Fault = "stall"
+	Pass      Fault = "pass"
+	Refuse    Fault = "refuse"
+	Drop      Fault = "drop"
+	Delay     Fault = "delay"
+	Truncate  Fault = "truncate"
+	Stall     Fault = "stall"
+	Partition Fault = "partition"
 )
 
 // Connection outcomes counted beyond the scheduled faults: "down" is a
@@ -328,6 +333,10 @@ func (p *Proxy) handle(client net.Conn, action Action) {
 		p.stall(client, upstream, action.Delay)
 		return
 	}
+	if action.Fault == Partition {
+		p.partition(client, upstream)
+		return
+	}
 
 	// Full duplex pass-through; either side closing tears down both.
 	done := make(chan struct{}, 2)
@@ -365,6 +374,18 @@ func (p *Proxy) stall(client, upstream net.Conn, d time.Duration) {
 	case <-expire:
 	case <-p.stop:
 	}
+}
+
+// partition forwards the client's bytes upstream but consumes and discards
+// every response byte: a one-directional partition. Unlike stall, the
+// server's writes complete normally (it never blocks or notices), so the
+// request is fully applied server-side while the client times out waiting —
+// the asymmetric-split case where a writer cannot tell "lost" from
+// "applied but unacknowledged".
+func (p *Proxy) partition(client, upstream net.Conn) {
+	go func() { io.Copy(upstream, client); upstream.Close() }()
+	io.Copy(io.Discard, upstream)
+	client.Close()
 }
 
 func containsNewline(b []byte) bool {

@@ -263,6 +263,88 @@ func TestStallForwardsRequestButNeverResponds(t *testing.T) {
 	}
 }
 
+func TestPartitionAppliesRequestDropsResponse(t *testing.T) {
+	// The asymmetric split: the request reaches the upstream and is fully
+	// processed (the server's write succeeds — it never notices anything
+	// wrong), but the response is consumed by the proxy and the client sees
+	// a dead connection.
+	received := make(chan string, 1)
+	wrote := make(chan error, 1)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					select {
+					case received <- sc.Text():
+					default:
+					}
+					_, err := c.Write([]byte(sc.Text() + "\n"))
+					select {
+					// must succeed: partition drains, unlike stall
+					case wrote <- err:
+					default:
+					}
+				}
+			}(c)
+		}
+	}()
+
+	p := startProxy(t, l.Addr().String(), NewScript(Action{Fault: Partition}))
+	if reply, err := exchange(t, p.Addr(), "hello"); err == nil {
+		t.Fatalf("partitioned exchange returned %q", reply)
+	}
+	select {
+	case got := <-received:
+		if got != "hello" {
+			t.Fatalf("upstream received %q, want %q", got, "hello")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("request never crossed the partition")
+	}
+	select {
+	case err := <-wrote:
+		if err != nil {
+			t.Fatalf("upstream write failed through the partition: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("upstream write never completed")
+	}
+	// The scripted fault spent, later connections pass.
+	if got, err := exchange(t, p.Addr(), "after"); err != nil || got != "after" {
+		t.Fatalf("post-partition exchange = %q, %v; want pass-through", got, err)
+	}
+}
+
+func TestPartitionSeededScheduleDraws(t *testing.T) {
+	// Partition participates in seeded schedules like any other fault, and
+	// identical seeds replay identical sequences.
+	weights := map[Fault]float64{Pass: 1, Partition: 2}
+	a := NewSeeded(7, 0, weights)
+	b := NewSeeded(7, 0, weights)
+	counts := map[Fault]int{}
+	for i := 0; i < 100; i++ {
+		fa, fb := a.Next(), b.Next()
+		if fa != fb {
+			t.Fatalf("draw %d: %v != %v with same seed", i, fa, fb)
+		}
+		counts[fa.Fault]++
+	}
+	if counts[Partition] == 0 || counts[Pass] == 0 {
+		t.Fatalf("weighted draws missing a fault: %v", counts)
+	}
+}
+
 func TestStallReleasesAtDelay(t *testing.T) {
 	// With a bounded Delay the stall ends on its own: the connection is torn
 	// down and the proxy keeps serving later connections normally.
